@@ -1,0 +1,26 @@
+"""Ablation: restart-based rescheduling versus job duplication.
+
+The paper's conclusion lists "job duplication techniques" as future
+work.  Duplication keeps the suspended attempt alive and races a fresh
+copy at the alternate pool, so a bad alternate-pool choice can never
+extend the job's completion time — at the cost of running two copies.
+"""
+
+from repro.experiments import ablations
+from repro.metrics.report import render_table
+
+from conftest import banner, run_once
+
+
+def test_duplication_ablation(benchmark):
+    comparison = run_once(benchmark, ablations.duplication_ablation)
+    print(banner("Ablation: restart vs duplication (high load, RR initial)"))
+    print(render_table(list(comparison.summaries), ""))
+    no_res = comparison.baseline()
+    dup = comparison.by_name("DupSusUtil")
+    print(
+        f"\nAvgCT(susp): NoRes {no_res.avg_ct_suspended:.0f}, "
+        f"DupSusUtil {dup.avg_ct_suspended:.0f}"
+    )
+    # racing a duplicate can only help suspended jobs' completion time
+    assert dup.avg_ct_suspended <= no_res.avg_ct_suspended * 1.05

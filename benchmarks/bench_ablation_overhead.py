@@ -1,0 +1,30 @@
+"""Ablation: restart overhead sensitivity.
+
+The paper's evaluation restarts jobs instantaneously and flags
+"network delays and other rescheduling associated overheads" as a
+planned simulator improvement; it also warns that "frequent restarts
+may not be desirable since each restart operation may include time
+consuming operations like transferring large amount of data".  This
+bench quantifies that: ResSusUtil under growing per-restart delays,
+showing where rescheduling's benefit erodes.
+"""
+
+from repro.experiments import ablations
+from repro.metrics.report import render_table
+
+from conftest import banner, run_once
+
+
+def test_overhead_sweep(benchmark):
+    summaries = run_once(benchmark, ablations.overhead_sweep)
+    print(banner("Ablation: restart overhead sweep (ResSusUtil, high load)"))
+    ordered = [summaries[k] for k in sorted(summaries)]
+    print(render_table(ordered, ""))
+    free = summaries[0.0]
+    worst = summaries[max(summaries)]
+    print(
+        f"\nAvgCT(susp): free restarts {free.avg_ct_suspended:.0f} -> "
+        f"+{max(summaries):.0f}min restarts {worst.avg_ct_suspended:.0f}"
+    )
+    # overheads cannot make suspended jobs finish sooner
+    assert worst.avg_ct_suspended >= free.avg_ct_suspended * 0.95

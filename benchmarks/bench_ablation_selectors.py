@@ -1,0 +1,28 @@
+"""Ablation: the alternate-pool selector family.
+
+The paper's future work proposes combining "multiple metrics (e.g.,
+utilization, queue lengths, prediction of job completion times within a
+pool)".  This bench runs the combined suspended+waiting policy with
+every selector in the family and prints the resulting table, with the
+NoRes baseline first.
+"""
+
+from repro.experiments import ablations
+from repro.metrics.report import render_table
+
+from conftest import banner, run_once
+
+
+def test_selector_ablation(benchmark):
+    comparison = run_once(benchmark, ablations.selector_ablation)
+    print(banner("Ablation: alternate-pool selectors (high load, RR initial)"))
+    print(render_table(list(comparison.summaries), ""))
+    baseline = comparison.baseline()
+    improvements = {
+        s.policy_name: baseline.avg_wct - s.avg_wct
+        for s in comparison.summaries[1:]
+    }
+    best = max(improvements, key=improvements.get)
+    print(f"\nlargest AvgWCT improvement: {best} ({improvements[best]:+.1f} min/job)")
+    # every selector should improve on the baseline in this regime
+    assert all(s.avg_wct < baseline.avg_wct for s in comparison.summaries[1:])

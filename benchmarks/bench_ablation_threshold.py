@@ -1,0 +1,30 @@
+"""Ablation: the waiting-time rescheduling threshold.
+
+The paper fixes the threshold at 30 minutes ("about twice the expected
+average waiting time in the original system") without exploring the
+knob.  This bench sweeps it: too small a threshold causes excessive
+restarts (and restart waste), too large converges back to
+suspended-only rescheduling.
+"""
+
+from repro.experiments import ablations
+from repro.metrics.report import render_table
+
+from conftest import banner, run_once
+
+
+def test_threshold_sweep(benchmark):
+    comparison = run_once(benchmark, ablations.threshold_sweep)
+    print(banner("Ablation: waiting-time threshold sweep (high load, RR initial)"))
+    print(render_table(list(comparison.summaries), ""))
+    baseline = comparison.baseline()
+    moves = {
+        s.policy_name: s.avg_waiting_moves for s in comparison.summaries[1:]
+    }
+    print("\nwaiting moves per job:", {k: round(v, 3) for k, v in moves.items()})
+    # smaller thresholds must move jobs at least as often as larger ones
+    ordered = [s.avg_waiting_moves for s in comparison.summaries[1:]]
+    assert ordered == sorted(ordered, reverse=True)
+    # the paper's 30-minute setting should beat the baseline
+    thirty = comparison.by_name("ResSusWaitUtil[30m]")
+    assert thirty.avg_wct < baseline.avg_wct

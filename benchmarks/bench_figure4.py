@@ -1,0 +1,30 @@
+"""Paper Figure 4: suspension and utilization over a long horizon.
+
+Per-minute samples aggregated to 100-minute windows, as in the paper.
+Paper observations reproduced as assertions:
+
+1. overall utilization averages ~40% and typically ranges 20-60%;
+2. suspension is bursty — the peak windowed suspended-job count is far
+   above the median window;
+3. suspension arises even when the system is underutilized (most
+   windows with suspended jobs sit below 60% utilization).
+"""
+
+from repro.experiments import figures
+
+from conftest import banner, run_once
+
+
+def test_figure4(benchmark):
+    figure = run_once(benchmark, figures.figure4)
+    print(banner("Figure 4: suspension (# jobs) and utilization (%) over the horizon"))
+    print(figure.render())
+    analysis = figure.analysis
+    # observation 1: moderate average utilization
+    assert 20.0 < analysis.mean_utilization_pct < 60.0
+    # observation 2: suspension spikes
+    series = analysis.suspension_series()
+    median_window = sorted(series)[len(series) // 2]
+    assert analysis.peak_suspended_jobs > max(4.0 * median_window, 5.0)
+    # observation 3: suspension co-exists with an underutilized system
+    assert analysis.suspension_while_underutilized > 0.5

@@ -1,0 +1,36 @@
+"""Extension: inter-site rescheduling (the paper's future work).
+
+The conclusion proposes "inter-site rescheduling" with "network delays
+and other rescheduling associated overheads" in the simulator.  This
+bench runs a two-site deployment whose burst pins down site 0 while
+site 1 idles, under a 45-minute WAN transfer cost, and compares NoRes,
+strictly-local rescheduling, local-first, and transfer-aware inter-site
+rescheduling.
+
+Expected shape: local-only rescheduling is trapped (the whole site is
+hot), so strategies allowed to cross sites should recover most of the
+waste despite paying transfer minutes.
+"""
+
+from repro.metrics.report import render_table
+from repro.sites import inter_site_ablation
+
+from conftest import banner, run_once
+
+
+def test_inter_site(benchmark):
+    scenario, rows = run_once(benchmark, inter_site_ablation)
+    print(banner(f"Inter-site rescheduling ({len(scenario.topology.sites)} sites)"))
+    print(
+        f"burst site: {scenario.burst_site}, "
+        f"transfer: {scenario.topology.transfer_minutes(scenario.topology.sites[0].pool_ids[0], scenario.topology.sites[1].pool_ids[0]):.0f} min, "
+        f"jobs: {len(scenario.trace)}"
+    )
+    print(render_table(list(rows), ""))
+    by_name = {row.policy_name: row for row in rows}
+    no_res = by_name["NoRes"]
+    local_first = by_name["LocalFirst"]
+    # crossing sites must recover waste the baseline loses
+    assert local_first.avg_wct < no_res.avg_wct
+    # and the informed variants should not be worse than doing nothing
+    assert by_name["TransferAware"].avg_wct < no_res.avg_wct

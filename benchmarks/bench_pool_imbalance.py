@@ -1,0 +1,56 @@
+"""Extension: per-pool imbalance behind "suspension without overload".
+
+Section 2.3's third observation: bursts are confined to specific pools,
+so "those pools are quickly overwhelmed ... during the same time
+period, other pools may be barely utilized."  This bench quantifies it
+on the busy week: per-pool utilization statistics, saturation episodes
+and the fraction of time some pool is saturated while the cluster as a
+whole sits under 60%.
+"""
+
+import repro
+from repro.analysis.pools import analyze_pools
+from repro.simulator.config import SimulationConfig
+
+from conftest import banner, run_once
+
+
+def _run():
+    scenario = repro.busy_week()
+    result = repro.run_simulation(
+        scenario.trace, scenario.cluster, config=SimulationConfig(strict=False)
+    )
+    analysis = analyze_pools(
+        result,
+        pool_cores=[p.total_cores for p in scenario.cluster],
+        up_to_minute=scenario.trace.horizon(),
+    )
+    return analysis
+
+
+def test_pool_imbalance(benchmark):
+    analysis = run_once(benchmark, _run)
+    print(banner("Per-pool imbalance during the busy week (NoRes)"))
+    hot = analysis.hottest()
+    cold = analysis.coldest()
+    print(
+        f"hottest pool: {hot.pool_id} mean {hot.mean_utilization * 100:.0f}% "
+        f"(saturated {hot.saturated_fraction * 100:.0f}% of the time)\n"
+        f"coldest pool: {cold.pool_id} mean {cold.mean_utilization * 100:.0f}%\n"
+        f"mean hot-cold spread: {analysis.mean_spread * 100:.0f} points\n"
+        f"saturation episodes >=30 min: {len(analysis.episodes)}\n"
+        f"some pool saturated while cluster <60% busy: "
+        f"{analysis.hot_while_idle_fraction * 100:.0f}% of samples"
+    )
+    for episode in analysis.episodes[:6]:
+        print(
+            f"  {episode.pool_id}: {episode.start_minute:.0f}-"
+            f"{episode.end_minute:.0f} min "
+            f"(cluster at {episode.cluster_utilization_during * 100:.0f}%)"
+        )
+    # the paper's observation: saturation coexists with an idle cluster
+    assert analysis.episodes, "the burst must saturate its target pools"
+    assert analysis.hot_while_idle_fraction > 0.02
+    assert all(
+        e.cluster_utilization_during < 0.8 for e in analysis.episodes
+    ), "pool saturation should not require cluster-wide overload"

@@ -1,0 +1,44 @@
+"""Paper Table 1: rescheduling of suspended jobs, normal load, RR initial.
+
+Paper values (minutes):
+
+=============  ========  ===========  ==========  ======  ======
+Strategy       SuspRate  AvgCT(susp)  AvgCT(all)  AvgST   AvgWCT
+=============  ========  ===========  ==========  ======  ======
+NoRes          1.14%     2498.7       569.8       1189.1  31.0
+ResSusUtil     1.56%     1265.4       560.0       82.2    20.8
+ResSusRand     1.52%     7580.7       638.7       80.7    91.9
+=============  ========  ===========  ==========  ======  ======
+
+Shape checks reproduced here: ResSusUtil beats NoRes on AvgCT over
+suspended jobs and on AvgWCT; ResSusRand is clearly worse than
+ResSusUtil (the paper's "rescheduling may backfire" result).
+"""
+
+from repro.experiments import tables
+
+from conftest import banner, run_once
+
+
+def test_table1(benchmark):
+    comparison = run_once(benchmark, tables.table1)
+    print(banner("Table 1: suspended-job rescheduling, normal load, RR initial"))
+    print(tables.render(comparison, ""))
+    util_gain = comparison.avg_ct_suspended_reduction("ResSusUtil")
+    wct_gain = comparison.avg_wct_reduction("ResSusUtil")
+    rand_wct_gain = comparison.avg_wct_reduction("ResSusRand")
+    print(
+        f"\nResSusUtil: AvgCT(susp) reduction {util_gain:+.1f}% (paper: +49%), "
+        f"AvgWCT reduction {wct_gain:+.1f}% (paper: +33%)"
+    )
+    print(
+        f"ResSusRand: AvgWCT reduction {rand_wct_gain:+.1f}% "
+        f"(paper: -196%, i.e. random selection backfires)"
+    )
+    assert util_gain is not None and util_gain > 0
+    assert wct_gain is not None and wct_gain > 0
+    # random must be clearly worse than utilization-aware selection
+    assert (
+        comparison.by_name("ResSusRand").avg_wct
+        > comparison.by_name("ResSusUtil").avg_wct
+    )

@@ -1,0 +1,42 @@
+"""Paper Table 2: suspended-job rescheduling under high load, RR initial.
+
+High load = the busy-week trace on a cluster with every machine's cores
+halved.  Paper values (minutes):
+
+=============  ========  ===========  ==========  ======  ======
+Strategy       SuspRate  AvgCT(susp)  AvgCT(all)  AvgST   AvgWCT
+=============  ========  ===========  ==========  ======  ======
+NoRes          1.26%     5846.1       988.7       4402.4  450.1
+ResSusUtil     1.83%     1475.1       962.2       86.2    423.9
+ResSusRand     1.60%     6485.0       1180.0      73.2    636.3
+=============  ========  ===========  ==========  ======  ======
+
+Shape checks: AvgCT(all) roughly doubles versus Table 1's normal load;
+ResSusUtil's suspended-job benefit is amplified; ResSusRand backfires.
+"""
+
+from repro.experiments import tables
+
+from conftest import banner, run_once
+
+
+def test_table2(benchmark):
+    comparison = run_once(benchmark, tables.table2)
+    print(banner("Table 2: suspended-job rescheduling, high load, RR initial"))
+    print(tables.render(comparison, ""))
+    util_gain = comparison.avg_ct_suspended_reduction("ResSusUtil")
+    print(
+        f"\nResSusUtil: AvgCT(susp) reduction {util_gain:+.1f}% (paper: +75%)"
+    )
+    normal = tables.table1()
+    ratio = comparison.baseline().avg_ct_all / normal.baseline().avg_ct_all
+    print(
+        f"NoRes AvgCT(all): high/normal load ratio {ratio:.2f}x (paper: 1.74x)"
+    )
+    assert util_gain is not None and util_gain > 0
+    assert ratio > 1.2, "high load must visibly inflate completion times"
+    # random remains clearly inferior to utilization-aware selection
+    assert (
+        comparison.by_name("ResSusRand").avg_ct_suspended
+        > comparison.by_name("ResSusUtil").avg_ct_suspended
+    )

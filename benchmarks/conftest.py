@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_*`` module regenerates one of the paper's tables or
+figures and prints the same rows/series the paper reports, so a
+``pytest benchmarks/ --benchmark-only`` run doubles as the full
+reproduction log.  Scales are controlled by the ``REPRO_SCALE`` /
+``REPRO_YEAR_SCALE`` / ``REPRO_YEAR_HORIZON`` / ``REPRO_SEED``
+environment variables (see :mod:`repro.experiments.presets`).
+
+pytest-benchmark is configured for single-shot measurements: each
+experiment is a multi-second simulation campaign, not a microbenchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with exactly one round and one iteration."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def banner(title: str) -> str:
+    """A separator making each experiment easy to find in the log."""
+    rule = "=" * max(len(title), 60)
+    return f"\n{rule}\n{title}\n{rule}"

@@ -1,0 +1,47 @@
+"""The paper's full evaluation matrix on one busy week.
+
+Runs all five strategies (NoRes, ResSusUtil, ResSusRand,
+ResSusWaitUtil, ResSusWaitRand) under both load levels (normal and the
+half-cores high load) with round-robin initial scheduling — i.e.
+Tables 1, 2 and 4 in one script — and prints the percentage reductions
+the paper quotes in prose.
+
+Run:
+    python examples/burst_week.py [scale]
+"""
+
+import sys
+
+import repro
+from repro.analysis import compare_strategies
+from repro.schedulers import RoundRobinScheduler
+
+
+def evaluate(scenario) -> None:
+    policies = [repro.policy_from_name(name) for name in repro.PAPER_POLICY_NAMES]
+    comparison = compare_strategies(
+        scenario,
+        policies,
+        scheduler_factory=RoundRobinScheduler,
+        config=repro.SimulationConfig(strict=False, record_samples=False),
+    )
+    print(repro.render_table(list(comparison.summaries), scenario.description))
+    for name in ("ResSusUtil", "ResSusWaitUtil"):
+        ct_gain = comparison.avg_ct_suspended_reduction(name)
+        wct_gain = comparison.avg_wct_reduction(name)
+        print(
+            f"  {name}: AvgCT(susp) {ct_gain:+.0f}%  AvgWCT {wct_gain:+.0f}% vs NoRes"
+        )
+    print()
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    print("=== normal load (paper Table 1) ===")
+    evaluate(repro.busy_week(scale=scale))
+    print("=== high load: cores halved (paper Tables 2 and 4) ===")
+    evaluate(repro.high_load(scale=scale))
+
+
+if __name__ == "__main__":
+    main()

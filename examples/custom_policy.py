@@ -1,0 +1,89 @@
+"""Writing a custom rescheduling policy against the public API.
+
+The paper's future work suggests combining "multiple metrics (e.g.,
+utilization, queue lengths, prediction of job completion times within a
+pool)".  This example builds exactly that — a policy using the
+multi-metric :class:`~repro.core.WeightedSelector` for suspended jobs
+and a *priority-aware* threshold for waiting jobs (latency-sensitive
+jobs move sooner) — and benchmarks it against the paper's strategies.
+
+Run:
+    python examples/custom_policy.py [scale]
+"""
+
+import sys
+from typing import Optional
+
+import repro
+from repro.core import (
+    STAY,
+    Decision,
+    ReschedulingPolicy,
+    SystemView,
+    WeightedSelector,
+    restart,
+)
+
+
+class MultiMetricPolicy(ReschedulingPolicy):
+    """Weighted multi-metric selection with priority-aware patience.
+
+    Suspended jobs move to the pool with the best combined
+    (utilization, queue pressure, suspension pressure) score; waiting
+    jobs move after a threshold that shrinks with their priority, so
+    latency-sensitive work escapes congested queues sooner.
+    """
+
+    name = "MultiMetric"
+
+    def __init__(self, base_threshold: float = 45.0) -> None:
+        self._selector = WeightedSelector(
+            utilization_weight=1.0, queue_weight=2.0, suspension_weight=0.5
+        )
+        self._base_threshold = base_threshold
+
+    @property
+    def wait_threshold(self) -> Optional[float]:
+        # the engine re-checks each waiting job on this cadence; the
+        # per-job patience logic lives in on_wait_timeout.
+        return 15.0
+
+    def on_suspend(self, job, view: SystemView) -> Decision:
+        target = self._selector.select(view.candidate_pools(job), job.pool_id, view)
+        return restart(target) if target else STAY
+
+    def on_wait_timeout(self, job, view: SystemView) -> Decision:
+        # high priority -> low patience: move at the first check;
+        # low priority -> wait ~3 checks before considering a move.
+        patience = self._base_threshold / (1.0 + job.spec.priority / 50.0)
+        waited = view.now - job.segment_start
+        if waited < patience:
+            return STAY
+        target = self._selector.select(view.candidate_pools(job), job.pool_id, view)
+        return restart(target) if target else STAY
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    scenario = repro.high_load(scale=scale)
+    print(f"scenario: {scenario.description} ({len(scenario.trace)} jobs)\n")
+
+    summaries = []
+    for policy in (repro.no_res(), repro.res_sus_wait_util(), MultiMetricPolicy()):
+        print(f"simulating {policy.name} ...")
+        result = repro.run_simulation(
+            scenario.trace,
+            scenario.cluster,
+            policy=policy,
+            config=repro.SimulationConfig(strict=False, record_samples=False),
+        )
+        summaries.append(repro.summarize(result))
+
+    print()
+    print(repro.render_table(summaries, "custom multi-metric policy vs paper strategies"))
+    print()
+    print(repro.render_waste_components(summaries))
+
+
+if __name__ == "__main__":
+    main()

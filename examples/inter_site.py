@@ -1,0 +1,54 @@
+"""Inter-site rescheduling on a two-site NetBatch deployment.
+
+The paper's conclusion proposes "inter-site rescheduling" as the next
+step beyond the single-site strategies it evaluates.  This example
+builds two geographically separated sites with a 45-minute WAN transfer
+cost, pins a high-priority burst on site 0, and shows how much of the
+stranded work each strategy recovers:
+
+* LocalOnly — today's NetBatch: suspended/stalled jobs may only move
+  within their own site, which the burst has saturated;
+* LocalFirst — cross the WAN only when no local pool is acceptable;
+* TransferAware — remote pools compete on predicted start time
+  including the transfer latency.
+
+Run:
+    python examples/inter_site.py [scale] [transfer_minutes]
+"""
+
+import sys
+
+import repro
+from repro.sites import inter_site_ablation, multi_site_scenario
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.12
+    transfer = float(sys.argv[2]) if len(sys.argv) > 2 else 45.0
+
+    scenario = multi_site_scenario(scale=scale, transfer_minutes=transfer)
+    pools_per_site = {
+        site.site_id: len(site.pools) for site in scenario.topology.sites
+    }
+    print(
+        f"two-site deployment: {pools_per_site}, "
+        f"{scenario.cluster.total_cores} cores total\n"
+        f"burst lands on {scenario.burst_site}; WAN transfer {transfer:.0f} min\n"
+    )
+
+    scenario, rows = inter_site_ablation(scenario=scenario)
+    print(repro.render_table(list(rows), "inter-site rescheduling comparison"))
+
+    by_name = {row.policy_name: row for row in rows}
+    local = by_name["LocalOnly"]
+    remote = by_name["LocalFirst"]
+    recovered = (local.avg_wct - remote.avg_wct) / local.avg_wct * 100.0
+    print(
+        f"\nAllowing cross-site moves recovers a further {recovered:.0f}% of the "
+        f"wasted completion time\nthat strictly-local rescheduling leaves on the "
+        f"table, even after paying {transfer:.0f}-minute transfers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: simulate NetBatch's busy week with and without rescheduling.
+
+Builds the calibrated busy-week scenario (a one-week job trace with a
+burst of high-priority work pinned to the large pools, on a 20-pool
+synthetic site), runs the NoRes baseline and the paper's ResSusUtil
+strategy, and prints both rows in the paper's table layout.
+
+Run:
+    python examples/quickstart.py [scale]
+
+``scale`` (default 0.1) multiplies machines-per-pool; 0.25 is the
+calibrated experiment scale, smaller is faster.
+"""
+
+import sys
+
+import repro
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    scenario = repro.busy_week(scale=scale)
+    print(
+        f"scenario: {scenario.description}\n"
+        f"  pools:    {len(scenario.cluster)}\n"
+        f"  machines: {scenario.cluster.total_machines} "
+        f"({scenario.cluster.total_cores} cores)\n"
+        f"  jobs:     {len(scenario.trace)}\n"
+    )
+
+    summaries = []
+    for policy in (repro.no_res(), repro.res_sus_util()):
+        print(f"simulating {policy.name} ...")
+        result = repro.run_simulation(
+            scenario.trace,
+            scenario.cluster,
+            policy=policy,
+            config=repro.SimulationConfig(strict=False),
+        )
+        summaries.append(repro.summarize(result))
+
+    print()
+    print(repro.render_table(summaries, "busy week, round-robin initial scheduling"))
+    print()
+    print(repro.render_waste_components(summaries, "waste decomposition (Figure 3 style)"))
+
+    baseline, rescheduled = summaries
+    if baseline.avg_ct_suspended and rescheduled.avg_ct_suspended:
+        gain = 100.0 * (1 - rescheduled.avg_ct_suspended / baseline.avg_ct_suspended)
+        print(
+            f"\nDynamic rescheduling cut suspended jobs' average completion "
+            f"time by {gain:.0f}% (the paper reports ~50% under normal load)."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Section-2 style trace analysis on a long-horizon synthetic trace.
+
+Reproduces the paper's trace-driven observations end to end:
+
+1. generate a year-like NetBatch trace and persist it to JSON Lines
+   (the archival format traces are exchanged in);
+2. reload it and print its workload statistics;
+3. run the NoRes baseline and print the Figure-2 suspension-time CDF
+   and the Figure-4 utilization/suspension aggregation.
+
+Run:
+    python examples/trace_analysis.py [horizon_minutes] [scale]
+
+Defaults keep the run under a minute (50,000 minutes at scale 0.05);
+raise the horizon towards 500,000 for the paper's full year span.
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+import repro
+from repro.analysis import analyze_suspension, analyze_utilization
+from repro.workload import characterize
+from repro.workload import trace_from_jsonl, trace_to_jsonl
+
+
+def main() -> None:
+    horizon = float(sys.argv[1]) if len(sys.argv) > 1 else 50_000.0
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.05
+
+    print(f"generating a {horizon:.0f}-minute trace at scale {scale} ...")
+    scenario = repro.year(scale=scale, horizon=horizon)
+
+    path = Path(tempfile.gettempdir()) / "netbatch_year_trace.jsonl"
+    trace_to_jsonl(scenario.trace, path)
+    print(f"archived trace to {path}")
+
+    trace = trace_from_jsonl(path)
+    stats = trace.stats()
+    print(
+        f"\ntrace statistics:\n"
+        f"  jobs:              {stats.job_count}\n"
+        f"  span:              {stats.horizon_minutes:.0f} minutes\n"
+        f"  mean runtime:      {stats.mean_runtime:.0f} minutes\n"
+        f"  high-priority:     "
+        f"{stats.fraction_with_priority_at_least(100) * 100:.1f}%\n"
+        f"  offered load:      "
+        f"{trace.offered_load(scenario.cluster.total_cores) * 100:.0f}% of "
+        f"{scenario.cluster.total_cores} cores"
+    )
+    print()
+    print(characterize(trace).render())
+
+    print("\nsimulating the NoRes baseline ...")
+    result = repro.run_simulation(
+        trace, scenario.cluster, config=repro.SimulationConfig(strict=False)
+    )
+
+    suspension = analyze_suspension(result)
+    print("\nFigure 2 — suspension-time distribution (paper: median 437, mean 905):")
+    for label, value in suspension.rows():
+        print(f"  {label:<28} {value:>10.1f}")
+
+    utilization = analyze_utilization(result, up_to_minute=horizon)
+    print(
+        f"\nFigure 4 — utilization & suspension over time "
+        f"(paper: ~40% average, 20-60% range):\n"
+        f"  mean utilization            {utilization.mean_utilization_pct:>8.1f}%\n"
+        f"  p10..p90 utilization        {utilization.p10_utilization_pct:>8.1f}%"
+        f" .. {utilization.p90_utilization_pct:.1f}%\n"
+        f"  peak suspended jobs         {utilization.peak_suspended_jobs:>8.1f}\n"
+        f"  suspension while <60% util  "
+        f"{utilization.suspension_while_underutilized * 100:>8.1f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e .` on this machine has no network and no `wheel`
+module, so the PEP 517 editable path (which builds a wheel) fails;
+this shim lets the legacy `setup.py develop` path work instead.
+"""
+
+from setuptools import setup
+
+setup()

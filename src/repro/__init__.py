@@ -1,0 +1,183 @@
+"""repro: a reproduction of "On the Feasibility of Dynamic Rescheduling
+on the Intel Distributed Computing Platform" (Middleware 2010).
+
+The package provides:
+
+* :mod:`repro.workload` — synthetic NetBatch-like traces and clusters
+  (the substitute for Intel's proprietary inputs);
+* :mod:`repro.simulator` — a from-scratch hybrid event/sampling
+  simulator of the NetBatch middleware (the ASCA stand-in);
+* :mod:`repro.core` — the paper's contribution: dynamic rescheduling
+  policies for suspended and waiting jobs;
+* :mod:`repro.schedulers` — the VPM initial schedulers;
+* :mod:`repro.metrics` / :mod:`repro.analysis` — the paper's metrics
+  and trace analyses;
+* :mod:`repro.experiments` — one function per paper table and figure.
+
+Quickstart::
+
+    import repro
+
+    scenario = repro.busy_week(scale=0.1)
+    baseline = repro.run_simulation(scenario.trace, scenario.cluster)
+    rescheduled = repro.run_simulation(
+        scenario.trace, scenario.cluster, policy=repro.res_sus_util()
+    )
+    print(repro.render_table([
+        repro.summarize(baseline), repro.summarize(rescheduled)
+    ]))
+"""
+
+from ._version import __version__
+from .core import (
+    DEFAULT_WAIT_THRESHOLD,
+    NO_OVERHEAD,
+    PAPER_POLICY_NAMES,
+    Decision,
+    DuplicateSuspended,
+    LowestUtilizationSelector,
+    MigrateSuspended,
+    NoRescheduling,
+    PoolSelector,
+    PoolSnapshot,
+    PredictedWaitSelector,
+    RandomSelector,
+    RescheduleSuspended,
+    RescheduleSuspendedAndWaiting,
+    RescheduleWaitingOnly,
+    ReschedulingPolicy,
+    RestartOverhead,
+    ShortestQueueSelector,
+    StaticSystemView,
+    SystemView,
+    WeightedSelector,
+    no_res,
+    policy_from_name,
+    res_sus_rand,
+    res_sus_util,
+    res_sus_wait_rand,
+    res_sus_wait_util,
+)
+from .errors import (
+    ClusterError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    UnknownPolicyError,
+    UnschedulableJobError,
+)
+from .metrics import (
+    EmpiricalCDF,
+    PerformanceSummary,
+    WasteBreakdown,
+    aggregate_samples,
+    render_table,
+    render_waste_components,
+    summarize,
+)
+from .schedulers import (
+    InitialScheduler,
+    RoundRobinScheduler,
+    UtilizationBasedScheduler,
+    initial_scheduler_from_name,
+)
+from .simulator import (
+    JobRecord,
+    SimulationConfig,
+    SimulationEngine,
+    SimulationResult,
+    StateSample,
+    run_simulation,
+)
+from .workload import (
+    ClusterSpec,
+    ClusterTemplate,
+    RandomStreams,
+    Scenario,
+    Trace,
+    TraceJob,
+    WorkloadGenerator,
+    WorkloadModel,
+    busy_week,
+    generate_trace,
+    high_load,
+    high_suspension,
+    smoke,
+    year,
+)
+
+__all__ = [
+    "__version__",
+    # core
+    "DEFAULT_WAIT_THRESHOLD",
+    "NO_OVERHEAD",
+    "PAPER_POLICY_NAMES",
+    "Decision",
+    "DuplicateSuspended",
+    "LowestUtilizationSelector",
+    "MigrateSuspended",
+    "NoRescheduling",
+    "PoolSelector",
+    "PoolSnapshot",
+    "PredictedWaitSelector",
+    "RandomSelector",
+    "RescheduleSuspended",
+    "RescheduleSuspendedAndWaiting",
+    "RescheduleWaitingOnly",
+    "ReschedulingPolicy",
+    "RestartOverhead",
+    "ShortestQueueSelector",
+    "StaticSystemView",
+    "SystemView",
+    "WeightedSelector",
+    "no_res",
+    "policy_from_name",
+    "res_sus_rand",
+    "res_sus_util",
+    "res_sus_wait_rand",
+    "res_sus_wait_util",
+    # errors
+    "ClusterError",
+    "ConfigurationError",
+    "ReproError",
+    "SimulationError",
+    "TraceError",
+    "UnknownPolicyError",
+    "UnschedulableJobError",
+    # metrics
+    "EmpiricalCDF",
+    "PerformanceSummary",
+    "WasteBreakdown",
+    "aggregate_samples",
+    "render_table",
+    "render_waste_components",
+    "summarize",
+    # schedulers
+    "InitialScheduler",
+    "RoundRobinScheduler",
+    "UtilizationBasedScheduler",
+    "initial_scheduler_from_name",
+    # simulator
+    "JobRecord",
+    "SimulationConfig",
+    "SimulationEngine",
+    "SimulationResult",
+    "StateSample",
+    "run_simulation",
+    # workload
+    "ClusterSpec",
+    "ClusterTemplate",
+    "RandomStreams",
+    "Scenario",
+    "Trace",
+    "TraceJob",
+    "WorkloadGenerator",
+    "WorkloadModel",
+    "busy_week",
+    "generate_trace",
+    "high_load",
+    "high_suspension",
+    "smoke",
+    "year",
+]

@@ -1,0 +1,43 @@
+"""Trace and result analyses backing the paper's figures."""
+
+from .comparison import StrategyComparison, compare_strategies, reduction_pct
+from .export import (
+    write_cdf_csv,
+    write_job_records_csv,
+    write_summaries_csv,
+    write_utilization_csv,
+)
+from .pools import PoolUsage, PoolUsageAnalysis, SaturationEpisode, analyze_pools
+from .suspension import SuspensionAnalysis, analyze_suspension, suspension_time_cdf
+from .svg import cdf_svg, stacked_bars_svg, timeseries_svg, write_svg
+from .tasks import TaskAnalysis, TaskRecord, analyze_tasks
+from .utilization import UtilizationAnalysis, analyze_utilization
+from .waste import WasteFigure, waste_decomposition
+
+__all__ = [
+    "StrategyComparison",
+    "compare_strategies",
+    "reduction_pct",
+    "write_cdf_csv",
+    "write_job_records_csv",
+    "write_summaries_csv",
+    "write_utilization_csv",
+    "PoolUsage",
+    "PoolUsageAnalysis",
+    "SaturationEpisode",
+    "analyze_pools",
+    "SuspensionAnalysis",
+    "analyze_suspension",
+    "suspension_time_cdf",
+    "cdf_svg",
+    "stacked_bars_svg",
+    "timeseries_svg",
+    "write_svg",
+    "TaskAnalysis",
+    "TaskRecord",
+    "analyze_tasks",
+    "UtilizationAnalysis",
+    "analyze_utilization",
+    "WasteFigure",
+    "waste_decomposition",
+]

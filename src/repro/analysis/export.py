@@ -1,0 +1,152 @@
+"""CSV export of experiment outputs.
+
+The figures in this reproduction are data products; these helpers write
+them (and the result tables) as CSV so any plotting tool can draw the
+paper's charts.  Used by ``repro export`` on the CLI and available
+programmatically.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence, Union
+
+from ..metrics.summary import PerformanceSummary
+from ..simulator.results import SimulationResult
+from .suspension import suspension_time_cdf
+from .utilization import UtilizationAnalysis
+
+__all__ = [
+    "write_summaries_csv",
+    "write_cdf_csv",
+    "write_utilization_csv",
+    "write_job_records_csv",
+]
+
+PathLike = Union[str, Path]
+
+
+def write_summaries_csv(
+    summaries: Sequence[PerformanceSummary], path: PathLike
+) -> None:
+    """Write table rows (one per strategy) in the paper's column layout."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "strategy",
+                "scheduler",
+                "jobs",
+                "suspend_rate",
+                "avg_ct_suspended",
+                "avg_ct_all",
+                "avg_st",
+                "avg_wct",
+                "waste_wait",
+                "waste_suspend",
+                "waste_resched",
+            ]
+        )
+        for s in summaries:
+            writer.writerow(
+                [
+                    s.policy_name,
+                    s.scheduler_name,
+                    s.job_count,
+                    f"{s.suspend_rate:.6f}",
+                    "" if s.avg_ct_suspended is None else f"{s.avg_ct_suspended:.3f}",
+                    f"{s.avg_ct_all:.3f}",
+                    "" if s.avg_st is None else f"{s.avg_st:.3f}",
+                    f"{s.avg_wct:.3f}",
+                    f"{s.waste.wait_time:.3f}",
+                    f"{s.waste.suspend_time:.3f}",
+                    f"{s.waste.resched_time:.3f}",
+                ]
+            )
+
+
+def write_cdf_csv(
+    result: SimulationResult, path: PathLike, points: int = 200
+) -> None:
+    """Write the Figure-2 suspension-time CDF as (minutes, fraction) rows."""
+    cdf = suspension_time_cdf(result)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["suspension_minutes", "cumulative_fraction"])
+        for value, fraction in cdf.points(count=min(points, max(2, len(cdf)))):
+            writer.writerow([f"{value:.3f}", f"{fraction:.6f}"])
+
+
+def write_utilization_csv(analysis: UtilizationAnalysis, path: PathLike) -> None:
+    """Write the Figure-4 windowed series as CSV rows."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "window_start_minute",
+                "utilization_pct",
+                "suspended_jobs",
+                "waiting_jobs",
+                "running_jobs",
+            ]
+        )
+        for point in analysis.points:
+            writer.writerow(
+                [
+                    f"{point.window_start:.1f}",
+                    f"{point.utilization * 100:.3f}",
+                    f"{point.suspended_jobs:.3f}",
+                    f"{point.waiting_jobs:.3f}",
+                    f"{point.running_jobs:.3f}",
+                ]
+            )
+
+
+def write_job_records_csv(result: SimulationResult, path: PathLike) -> None:
+    """Write the per-job records (the simulator's "log") as CSV."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "job_id",
+                "priority",
+                "submit_minute",
+                "finish_minute",
+                "runtime_minutes",
+                "completion_time",
+                "wait_time",
+                "suspend_time",
+                "wasted_restart_time",
+                "suspension_count",
+                "restart_count",
+                "migration_count",
+                "waiting_move_count",
+                "pools_visited",
+                "rejected",
+                "task_id",
+                "user",
+            ]
+        )
+        for r in result.records:
+            writer.writerow(
+                [
+                    r.job_id,
+                    r.priority,
+                    f"{r.submit_minute:.3f}",
+                    "" if r.finish_minute is None else f"{r.finish_minute:.3f}",
+                    f"{r.runtime_minutes:.3f}",
+                    "" if r.completion_time is None else f"{r.completion_time:.3f}",
+                    f"{r.wait_time:.3f}",
+                    f"{r.suspend_time:.3f}",
+                    f"{r.wasted_restart_time:.3f}",
+                    r.suspension_count,
+                    r.restart_count,
+                    r.migration_count,
+                    r.waiting_move_count,
+                    "|".join(r.pools_visited),
+                    int(r.rejected),
+                    "" if r.task_id is None else r.task_id,
+                    r.user,
+                ]
+            )

@@ -1,0 +1,224 @@
+"""Per-pool usage analysis.
+
+Section 2.3's third observation is about *imbalance*: "latency
+sensitive jobs with high priority are usually configured to only run in
+specific sets of physical pools ... those pools are quickly overwhelmed
+and lots of low priority jobs are suspended.  However, during the same
+time period, other pools may be barely utilized."  This module
+quantifies that from the per-pool sample series: per-pool utilization
+statistics, saturation episodes, and an imbalance measure showing hot
+pools coexisting with idle capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..simulator.results import SimulationResult, StateSample
+
+__all__ = ["PoolUsage", "SaturationEpisode", "PoolUsageAnalysis", "analyze_pools"]
+
+
+@dataclass(frozen=True)
+class PoolUsage:
+    """Usage statistics of one pool over the sampled horizon.
+
+    Attributes:
+        pool_id: the pool.
+        total_cores: the pool's capacity.
+        mean_utilization: time-average busy fraction.
+        peak_utilization: maximum busy fraction observed.
+        mean_waiting: time-average queued jobs.
+        peak_waiting: maximum queued jobs observed.
+        saturated_fraction: fraction of samples at >= 95% utilization.
+    """
+
+    pool_id: str
+    total_cores: int
+    mean_utilization: float
+    peak_utilization: float
+    mean_waiting: float
+    peak_waiting: int
+    saturated_fraction: float
+
+
+@dataclass(frozen=True)
+class SaturationEpisode:
+    """A contiguous period during which one pool stayed saturated.
+
+    Attributes:
+        pool_id: the saturated pool.
+        start_minute: first saturated sample.
+        end_minute: last saturated sample.
+        cluster_utilization_during: mean cluster-wide utilization over
+            the episode — the paper's point is that this stays moderate
+            while individual pools are overwhelmed.
+    """
+
+    pool_id: str
+    start_minute: float
+    end_minute: float
+    cluster_utilization_during: float
+
+    @property
+    def duration(self) -> float:
+        """Episode length in minutes."""
+        return self.end_minute - self.start_minute
+
+
+@dataclass(frozen=True)
+class PoolUsageAnalysis:
+    """Per-pool statistics plus imbalance measures.
+
+    Attributes:
+        pools: per-pool usage, in the cluster's pool order.
+        episodes: saturation episodes of at least ``min_episode``
+            minutes, across all pools, in start order.
+        mean_spread: time-average (max - min) pool utilization — the
+            imbalance the round-robin initial scheduler cannot see.
+        hot_while_idle_fraction: fraction of samples where some pool is
+            saturated while cluster utilization is below 60% — the
+            quantified version of the paper's observation.
+    """
+
+    pools: Tuple[PoolUsage, ...]
+    episodes: Tuple[SaturationEpisode, ...]
+    mean_spread: float
+    hot_while_idle_fraction: float
+
+    def pool(self, pool_id: str) -> PoolUsage:
+        """Usage statistics for one pool."""
+        for usage in self.pools:
+            if usage.pool_id == pool_id:
+                return usage
+        raise ConfigurationError(f"no pool {pool_id!r} in this analysis")
+
+    def hottest(self) -> PoolUsage:
+        """The pool with the highest mean utilization."""
+        return max(self.pools, key=lambda p: p.mean_utilization)
+
+    def coldest(self) -> PoolUsage:
+        """The pool with the lowest mean utilization."""
+        return min(self.pools, key=lambda p: p.mean_utilization)
+
+
+def analyze_pools(
+    result: SimulationResult,
+    pool_cores: Optional[Sequence[int]] = None,
+    saturation_threshold: float = 0.95,
+    min_episode: float = 30.0,
+    up_to_minute: Optional[float] = None,
+) -> PoolUsageAnalysis:
+    """Compute per-pool usage statistics from a simulation result.
+
+    Args:
+        result: a run with sampling enabled.
+        pool_cores: per-pool core counts in result.pool_ids order; when
+            omitted they are inferred from the peak busy cores observed
+            (exact whenever each pool was fully busy at least once).
+        saturation_threshold: busy fraction counting as saturated.
+        min_episode: minimum saturated minutes to report as an episode.
+        up_to_minute: ignore samples after this minute (drain tail).
+    """
+    samples: Sequence[StateSample] = result.samples
+    if up_to_minute is not None:
+        samples = [s for s in samples if s.minute <= up_to_minute]
+    samples = [s for s in samples if s.per_pool_busy]
+    if not samples:
+        raise ConfigurationError("no samples with per-pool data to analyse")
+    pool_count = len(result.pool_ids)
+    if pool_cores is None:
+        inferred = [0] * pool_count
+        for sample in samples:
+            for index, busy in enumerate(sample.per_pool_busy):
+                if busy > inferred[index]:
+                    inferred[index] = busy
+        pool_cores = [max(1, cores) for cores in inferred]
+    if len(pool_cores) != pool_count:
+        raise ConfigurationError(
+            f"pool_cores has {len(pool_cores)} entries for {pool_count} pools"
+        )
+
+    count = len(samples)
+    busy_sums = [0.0] * pool_count
+    waiting_sums = [0.0] * pool_count
+    peak_util = [0.0] * pool_count
+    peak_waiting = [0] * pool_count
+    saturated_counts = [0] * pool_count
+    spread_sum = 0.0
+    hot_while_idle = 0
+
+    episodes: List[SaturationEpisode] = []
+    open_start: Dict[int, float] = {}
+    open_util_sum: Dict[int, float] = {}
+    open_samples: Dict[int, int] = {}
+
+    def close_episode(index: int, end_minute: float) -> None:
+        start = open_start.pop(index)
+        util_sum = open_util_sum.pop(index)
+        n = open_samples.pop(index)
+        if end_minute - start >= min_episode:
+            episodes.append(
+                SaturationEpisode(
+                    pool_id=result.pool_ids[index],
+                    start_minute=start,
+                    end_minute=end_minute,
+                    cluster_utilization_during=util_sum / n,
+                )
+            )
+
+    for sample in samples:
+        utils = []
+        has_waiting = len(sample.per_pool_waiting) == pool_count
+        any_saturated = False
+        for index in range(pool_count):
+            busy = sample.per_pool_busy[index]
+            utilization = busy / pool_cores[index]
+            utils.append(utilization)
+            busy_sums[index] += utilization
+            if utilization > peak_util[index]:
+                peak_util[index] = utilization
+            if has_waiting:
+                waiting = sample.per_pool_waiting[index]
+                waiting_sums[index] += waiting
+                if waiting > peak_waiting[index]:
+                    peak_waiting[index] = waiting
+            if utilization >= saturation_threshold:
+                any_saturated = True
+                saturated_counts[index] += 1
+                if index not in open_start:
+                    open_start[index] = sample.minute
+                    open_util_sum[index] = 0.0
+                    open_samples[index] = 0
+                open_util_sum[index] += sample.utilization
+                open_samples[index] += 1
+            elif index in open_start:
+                close_episode(index, sample.minute)
+        spread_sum += max(utils) - min(utils)
+        if any_saturated and sample.utilization < 0.6:
+            hot_while_idle += 1
+    last_minute = samples[-1].minute
+    for index in list(open_start):
+        close_episode(index, last_minute)
+
+    pools = tuple(
+        PoolUsage(
+            pool_id=result.pool_ids[index],
+            total_cores=pool_cores[index],
+            mean_utilization=busy_sums[index] / count,
+            peak_utilization=peak_util[index],
+            mean_waiting=waiting_sums[index] / count,
+            peak_waiting=peak_waiting[index],
+            saturated_fraction=saturated_counts[index] / count,
+        )
+        for index in range(pool_count)
+    )
+    episodes.sort(key=lambda e: e.start_minute)
+    return PoolUsageAnalysis(
+        pools=pools,
+        episodes=tuple(episodes),
+        mean_spread=spread_sum / count,
+        hot_while_idle_fraction=hot_while_idle / count,
+    )

@@ -1,0 +1,217 @@
+"""Dependency-free SVG rendering of the paper's figures.
+
+The repository avoids plotting dependencies, but hand-inspecting figure
+*shapes* is much easier graphically.  These helpers emit small,
+self-contained SVG documents for the three figures:
+
+* :func:`cdf_svg` — Figure 2's suspension-time CDF (log-x line chart);
+* :func:`stacked_bars_svg` — Figure 3's waste decomposition;
+* :func:`timeseries_svg` — Figure 4's dual-axis utilization /
+  suspension series.
+
+Only stdlib string formatting is used; the output opens in any browser.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import List, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..metrics.summary import PerformanceSummary
+from ..metrics.timeseries import WindowedPoint
+
+__all__ = ["cdf_svg", "stacked_bars_svg", "timeseries_svg", "write_svg"]
+
+PathLike = Union[str, Path]
+
+_WIDTH = 720
+_HEIGHT = 420
+_MARGIN = 60
+_SERIES_COLORS = ("#4878d0", "#ee854a", "#6acc64", "#d65f5f")
+
+
+def write_svg(svg: str, path: PathLike) -> None:
+    """Write an SVG document produced by the renderers to disk."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(svg)
+
+
+def _header(title: str) -> List[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_WIDTH / 2}" y="20" text-anchor="middle" '
+        f'font-size="15">{title}</text>',
+    ]
+
+
+def _frame() -> str:
+    x0, y0 = _MARGIN, _MARGIN
+    x1, y1 = _WIDTH - _MARGIN, _HEIGHT - _MARGIN
+    return (
+        f'<polyline points="{x0},{y0} {x0},{y1} {x1},{y1}" fill="none" '
+        f'stroke="#333" stroke-width="1"/>'
+    )
+
+
+def cdf_svg(
+    points: Sequence[Tuple[float, float]],
+    title: str = "CDF of job suspension time",
+) -> str:
+    """Render (value, fraction) CDF points as a log-x line chart."""
+    if len(points) < 2:
+        raise ConfigurationError("cdf_svg needs at least two points")
+    values = [max(v, 0.1) for v, _ in points]
+    log_lo = math.log10(min(values))
+    log_hi = math.log10(max(values))
+    span = max(log_hi - log_lo, 1e-9)
+    x0, y0 = _MARGIN, _HEIGHT - _MARGIN
+    plot_w = _WIDTH - 2 * _MARGIN
+    plot_h = _HEIGHT - 2 * _MARGIN
+
+    def x_of(value: float) -> float:
+        return x0 + (math.log10(max(value, 0.1)) - log_lo) / span * plot_w
+
+    def y_of(fraction: float) -> float:
+        return y0 - fraction * plot_h
+
+    path = " ".join(
+        f"{x_of(v):.1f},{y_of(f):.1f}" for v, f in points
+    )
+    parts = _header(title)
+    parts.append(_frame())
+    parts.append(
+        f'<polyline points="{path}" fill="none" stroke="{_SERIES_COLORS[0]}" '
+        f'stroke-width="2"/>'
+    )
+    # decade gridlines and labels
+    for decade in range(int(math.floor(log_lo)), int(math.ceil(log_hi)) + 1):
+        value = 10.0**decade
+        if not (min(values) <= value <= max(values)):
+            continue
+        x = x_of(value)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{_MARGIN}" x2="{x:.1f}" y2="{y0}" '
+            f'stroke="#ddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{y0 + 18}" text-anchor="middle">'
+            f"{value:g}</text>"
+        )
+    for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y = y_of(fraction)
+        parts.append(
+            f'<text x="{x0 - 8}" y="{y + 4:.1f}" text-anchor="end">'
+            f"{fraction * 100:.0f}%</text>"
+        )
+    parts.append(
+        f'<text x="{_WIDTH / 2}" y="{_HEIGHT - 10}" text-anchor="middle">'
+        f"suspension time (minutes, log scale)</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def stacked_bars_svg(
+    summaries: Sequence[PerformanceSummary],
+    title: str = "Average wasted completion time",
+) -> str:
+    """Render per-strategy waste decompositions as stacked bars."""
+    if not summaries:
+        raise ConfigurationError("stacked_bars_svg needs at least one summary")
+    components = ("wait_time", "suspend_time", "resched_time")
+    labels = ("wait", "suspend", "resched")
+    top = max(s.avg_wct for s in summaries) or 1.0
+    x0, y0 = _MARGIN, _HEIGHT - _MARGIN
+    plot_w = _WIDTH - 2 * _MARGIN
+    plot_h = _HEIGHT - 2 * _MARGIN
+    slot = plot_w / len(summaries)
+    bar_w = slot * 0.5
+
+    parts = _header(title)
+    parts.append(_frame())
+    for index, summary in enumerate(summaries):
+        x = x0 + index * slot + (slot - bar_w) / 2
+        y = y0
+        waste = summary.waste
+        for color, component in zip(_SERIES_COLORS, components):
+            value = getattr(waste, component)
+            height = value / top * plot_h
+            y -= height
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+                f'height="{height:.1f}" fill="{color}"/>'
+            )
+        parts.append(
+            f'<text x="{x + bar_w / 2:.1f}" y="{y0 + 18}" text-anchor="middle">'
+            f"{summary.policy_name}</text>"
+        )
+        parts.append(
+            f'<text x="{x + bar_w / 2:.1f}" y="{y - 6:.1f}" text-anchor="middle">'
+            f"{waste.total:.1f}</text>"
+        )
+    for index, (color, label) in enumerate(zip(_SERIES_COLORS, labels)):
+        lx = _WIDTH - _MARGIN - 100
+        ly = _MARGIN + 16 * index
+        parts.append(f'<rect x="{lx}" y="{ly}" width="12" height="12" fill="{color}"/>')
+        parts.append(f'<text x="{lx + 18}" y="{ly + 10}">{label}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def timeseries_svg(
+    points: Sequence[WindowedPoint],
+    title: str = "Suspension and utilization over time",
+) -> str:
+    """Render Figure 4: utilization (%) and suspended jobs, dual axis."""
+    if len(points) < 2:
+        raise ConfigurationError("timeseries_svg needs at least two points")
+    x0, y0 = _MARGIN, _HEIGHT - _MARGIN
+    plot_w = _WIDTH - 2 * _MARGIN
+    plot_h = _HEIGHT - 2 * _MARGIN
+    t_lo = points[0].window_start
+    t_hi = points[-1].window_start or 1.0
+    t_span = max(t_hi - t_lo, 1e-9)
+    susp_top = max(p.suspended_jobs for p in points) or 1.0
+
+    def x_of(minute: float) -> float:
+        return x0 + (minute - t_lo) / t_span * plot_w
+
+    util_path = " ".join(
+        f"{x_of(p.window_start):.1f},{y0 - p.utilization * plot_h:.1f}"
+        for p in points
+    )
+    susp_path = " ".join(
+        f"{x_of(p.window_start):.1f},{y0 - p.suspended_jobs / susp_top * plot_h:.1f}"
+        for p in points
+    )
+    parts = _header(title)
+    parts.append(_frame())
+    parts.append(
+        f'<polyline points="{util_path}" fill="none" '
+        f'stroke="{_SERIES_COLORS[0]}" stroke-width="1.5" '
+        f'stroke-dasharray="4 3"/>'
+    )
+    parts.append(
+        f'<polyline points="{susp_path}" fill="none" '
+        f'stroke="{_SERIES_COLORS[3]}" stroke-width="1.5"/>'
+    )
+    for fraction in (0.0, 0.5, 1.0):
+        y = y0 - fraction * plot_h
+        parts.append(
+            f'<text x="{x0 - 8}" y="{y + 4:.1f}" text-anchor="end" '
+            f'fill="{_SERIES_COLORS[0]}">{fraction * 100:.0f}%</text>'
+        )
+        parts.append(
+            f'<text x="{_WIDTH - _MARGIN + 8}" y="{y + 4:.1f}" '
+            f'fill="{_SERIES_COLORS[3]}">{fraction * susp_top:.0f}</text>'
+        )
+    parts.append(
+        f'<text x="{_WIDTH / 2}" y="{_HEIGHT - 10}" text-anchor="middle">'
+        f"time (minutes); dashed = utilization, solid = suspended jobs</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)

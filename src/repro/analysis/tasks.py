@@ -1,0 +1,140 @@
+"""Task-level analysis (the paper's Section-2.2 motivation).
+
+"Some classes of chip simulation work has logical notions of *tasks*,
+each of which represents a set of jobs completing a specific function.
+Typically, 100% or a high percentage of jobs associated with a
+particular task needs to complete before the task result (combined
+from the results of those jobs) can be useful.  Often when one or more
+of those low priority jobs cannot complete in a timely fashion,
+engineers lose productivity and/or system resources are wasted."
+
+The workload generator groups low-priority jobs into tasks
+(``task_size`` in :class:`~repro.workload.generator.WorkloadModel`);
+this module measures what the quote describes: a task completes when a
+required fraction of its jobs has completed, so a single suspended
+straggler inflates the whole task's turnaround.  Comparing task-level
+metrics across policies shows rescheduling's *engineering-productivity*
+benefit, which per-job averages understate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+from ..simulator.results import JobRecord, SimulationResult
+
+__all__ = ["TaskRecord", "TaskAnalysis", "analyze_tasks"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One logical task's outcome.
+
+    Attributes:
+        task_id: the task identifier from the trace.
+        job_count: jobs belonging to the task.
+        submit_minute: earliest job submission.
+        completion_minute: when the required fraction of jobs had
+            finished.
+        completion_time: ``completion_minute - submit_minute``.
+        suspended_jobs: how many of the task's jobs were suspended.
+        straggler_was_suspended: whether the job that completed the
+            task (the last one needed) had been suspended — the paper's
+            "one low priority job cannot complete in a timely fashion"
+            situation.
+    """
+
+    task_id: int
+    job_count: int
+    submit_minute: float
+    completion_minute: float
+    completion_time: float
+    suspended_jobs: int
+    straggler_was_suspended: bool
+
+
+@dataclass(frozen=True)
+class TaskAnalysis:
+    """Aggregate task-level metrics for one simulation run.
+
+    Attributes:
+        tasks: per-task records.
+        avg_task_completion: mean task completion time.
+        avg_member_job_completion: mean completion time of the jobs
+            belonging to tasks (for the amplification ratio).
+        amplification: ``avg_task_completion / avg_member_job_completion``
+            — how much waiting-for-the-whole-task costs over the
+            average member job.
+        tasks_delayed_by_suspension: fraction of tasks whose completing
+            straggler had been suspended.
+    """
+
+    tasks: Tuple[TaskRecord, ...]
+    avg_task_completion: float
+    avg_member_job_completion: float
+    amplification: float
+    tasks_delayed_by_suspension: float
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+
+def analyze_tasks(
+    result: SimulationResult, completion_fraction: float = 1.0
+) -> TaskAnalysis:
+    """Compute task-level metrics from a simulation result.
+
+    Args:
+        result: the run to analyse (its trace must carry task ids).
+        completion_fraction: the fraction of a task's jobs that must
+            finish for the task to count as complete (the paper: "100%
+            or a high percentage").
+    """
+    if not 0.0 < completion_fraction <= 1.0:
+        raise ConfigurationError(
+            f"completion_fraction must be in (0, 1], got {completion_fraction}"
+        )
+    grouped: Dict[int, List[JobRecord]] = {}
+    for record in result.completed_records():
+        if record.task_id is not None:
+            grouped.setdefault(record.task_id, []).append(record)
+    if not grouped:
+        raise ConfigurationError(
+            "no tasks in this run; generate the workload with task_size > 0"
+        )
+
+    tasks: List[TaskRecord] = []
+    member_completion_sum = 0.0
+    member_count = 0
+    for task_id, records in sorted(grouped.items()):
+        needed = max(1, int(round(completion_fraction * len(records))))
+        by_finish = sorted(records, key=lambda r: r.finish_minute)
+        straggler = by_finish[needed - 1]
+        submit = min(r.submit_minute for r in records)
+        tasks.append(
+            TaskRecord(
+                task_id=task_id,
+                job_count=len(records),
+                submit_minute=submit,
+                completion_minute=straggler.finish_minute,
+                completion_time=straggler.finish_minute - submit,
+                suspended_jobs=sum(1 for r in records if r.was_suspended),
+                straggler_was_suspended=straggler.was_suspended,
+            )
+        )
+        member_completion_sum += sum(r.completion_time for r in records)
+        member_count += len(records)
+
+    avg_task = sum(t.completion_time for t in tasks) / len(tasks)
+    avg_member = member_completion_sum / member_count
+    return TaskAnalysis(
+        tasks=tuple(tasks),
+        avg_task_completion=avg_task,
+        avg_member_job_completion=avg_member,
+        amplification=avg_task / avg_member if avg_member else 0.0,
+        tasks_delayed_by_suspension=(
+            sum(1 for t in tasks if t.straggler_was_suspended) / len(tasks)
+        ),
+    )

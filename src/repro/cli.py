@@ -1,0 +1,299 @@
+"""Command-line interface.
+
+Usage (installed as ``repro``, or ``python -m repro``)::
+
+    repro table 1                 # reproduce paper Table 1
+    repro table all               # all five tables + high-suspension
+    repro figure 2                # reproduce paper Figure 2
+    repro run --policy ResSusUtil --scenario high-load --scale 0.1
+    repro generate-trace out.jsonl --scenario busy-week --scale 0.1
+    repro analyze-trace out.jsonl
+
+All experiment commands honour ``--scale`` and ``--seed`` (and the
+``REPRO_SCALE`` / ``REPRO_SEED`` environment variables).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .core.policies import PAPER_POLICY_NAMES, policy_from_name
+from .errors import ReproError
+from .experiments import figures, tables
+from .metrics.report import render_table, render_waste_components
+from .metrics.summary import summarize
+from .schedulers.initial import INITIAL_SCHEDULER_NAMES, initial_scheduler_from_name
+from .simulator.config import SimulationConfig
+from .simulator.simulation import run_simulation
+from .workload import io as workload_io
+from .workload.scenarios import busy_week, high_load, high_suspension, smoke, year
+
+__all__ = ["main", "build_parser"]
+
+_SCENARIOS: Dict[str, Callable] = {
+    "busy-week": busy_week,
+    "high-load": high_load,
+    "high-suspension": high_suspension,
+    "year": year,
+    "smoke": lambda scale=None, seed=7: smoke(seed),
+}
+
+_TABLES = {
+    "1": (tables.table1, "Table 1: suspended-job rescheduling, normal load, RR initial"),
+    "2": (tables.table2, "Table 2: suspended-job rescheduling, high load, RR initial"),
+    "3": (tables.table3, "Table 3: suspended-job rescheduling, high load, util initial"),
+    "4": (tables.table4, "Table 4: +waiting-job rescheduling, high load, RR initial"),
+    "5": (tables.table5, "Table 5: +waiting-job rescheduling, high load, util initial"),
+    "high-suspension": (
+        tables.high_suspension_experiment,
+        "High-suspension scenario (Section 3.2.1, in text)",
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'On the Feasibility of Dynamic Rescheduling on "
+            "the Intel Distributed Computing Platform' (Middleware 2010)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table = sub.add_parser("table", help="reproduce one of the paper's tables")
+    table.add_argument("which", choices=list(_TABLES) + ["all"])
+    _add_scale_seed(table)
+
+    figure = sub.add_parser("figure", help="reproduce one of the paper's figures")
+    figure.add_argument("which", choices=["2", "3", "4"])
+    _add_scale_seed(figure)
+    figure.add_argument(
+        "--horizon", type=float, default=None, help="horizon minutes (figures 2/4)"
+    )
+    figure.add_argument(
+        "--svg", default=None, metavar="PATH", help="also render the figure as SVG"
+    )
+
+    run = sub.add_parser("run", help="run one simulation and print its summary")
+    run.add_argument("--scenario", choices=list(_SCENARIOS), default="busy-week")
+    run.add_argument("--policy", choices=list(PAPER_POLICY_NAMES), default="NoRes")
+    run.add_argument(
+        "--initial-scheduler",
+        choices=list(INITIAL_SCHEDULER_NAMES),
+        default="round-robin",
+    )
+    run.add_argument("--wait-threshold", type=float, default=30.0)
+    run.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="write the simulation's event log to this JSONL file",
+    )
+    _add_scale_seed(run)
+
+    gen = sub.add_parser("generate-trace", help="write a scenario's trace to JSONL")
+    gen.add_argument("output", help="output path (.jsonl)")
+    gen.add_argument("--scenario", choices=list(_SCENARIOS), default="busy-week")
+    _add_scale_seed(gen)
+
+    analyze = sub.add_parser("analyze-trace", help="print statistics of a JSONL trace")
+    analyze.add_argument("input", help="trace path (.jsonl)")
+
+    validate = sub.add_parser(
+        "validate", help="run the experiments and check the paper's claims"
+    )
+    _add_scale_seed(validate)
+    validate.add_argument(
+        "--year-horizon", type=float, default=None, help="horizon for figures 2/4"
+    )
+
+    export = sub.add_parser(
+        "export", help="run one simulation and export its outputs as CSV"
+    )
+    export.add_argument("outdir", help="directory to write CSV files into")
+    export.add_argument("--scenario", choices=list(_SCENARIOS), default="busy-week")
+    export.add_argument("--policy", choices=list(PAPER_POLICY_NAMES), default="NoRes")
+    _add_scale_seed(export)
+    return parser
+
+
+def _add_scale_seed(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=None, help="cluster scale factor")
+    parser.add_argument("--seed", type=int, default=None, help="workload seed")
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    names = list(_TABLES) if args.which == "all" else [args.which]
+    for name in names:
+        build, title = _TABLES[name]
+        comparison = build(scale=args.scale, seed=args.seed)
+        print(render_table(list(comparison.summaries), title))
+        print()
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    svg_document = None
+    if args.which == "2":
+        figure = figures.figure2(
+            scale=args.scale, seed=args.seed, horizon=args.horizon
+        )
+        print(figure.render())
+        if args.svg:
+            from .analysis.svg import cdf_svg
+
+            svg_document = cdf_svg(list(figure.cdf_points))
+    elif args.which == "3":
+        figure = figures.figure3(scale=args.scale, seed=args.seed)
+        print(figures.render_figure3(figure))
+        if args.svg:
+            from .analysis.svg import stacked_bars_svg
+
+            svg_document = stacked_bars_svg(figure.summaries)
+    else:
+        figure = figures.figure4(
+            scale=args.scale, seed=args.seed, horizon=args.horizon
+        )
+        print(figure.render())
+        if args.svg:
+            from .analysis.svg import timeseries_svg
+
+            svg_document = timeseries_svg(figure.analysis.points)
+    if svg_document is not None:
+        from .analysis.svg import write_svg
+
+        write_svg(svg_document, args.svg)
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def _build_scenario(args: argparse.Namespace):
+    builder = _SCENARIOS[args.scenario]
+    kwargs = {}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    return builder(**kwargs)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = _build_scenario(args)
+    policy = policy_from_name(args.policy, args.wait_threshold)
+    scheduler = initial_scheduler_from_name(args.initial_scheduler)
+    observer = None
+    if args.events:
+        from .simulator.observer import JsonlEventWriter
+
+        observer = JsonlEventWriter(args.events)
+    result = run_simulation(
+        scenario.trace,
+        scenario.cluster,
+        policy=policy,
+        initial_scheduler=scheduler,
+        config=SimulationConfig(strict=False, observer=observer),
+    )
+    summary = summarize(result)
+    print(render_table([summary], f"scenario={scenario.name} ({len(scenario.trace)} jobs)"))
+    print()
+    print(render_waste_components([summary]))
+    if observer is not None:
+        print(f"\nwrote {observer.written} events to {args.events}")
+    return 0
+
+
+def _cmd_generate_trace(args: argparse.Namespace) -> int:
+    scenario = _build_scenario(args)
+    workload_io.trace_to_jsonl(scenario.trace, args.output)
+    stats = scenario.trace.stats()
+    print(
+        f"wrote {stats.job_count} jobs spanning {stats.horizon_minutes:.0f} minutes "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .validation import validate_paper_claims
+
+    report = validate_paper_claims(
+        scale=args.scale, seed=args.seed, year_horizon=args.year_horizon
+    )
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis.export import (
+        write_cdf_csv,
+        write_job_records_csv,
+        write_summaries_csv,
+        write_utilization_csv,
+    )
+    from .analysis.utilization import analyze_utilization
+
+    scenario = _build_scenario(args)
+    policy = policy_from_name(args.policy)
+    result = run_simulation(
+        scenario.trace,
+        scenario.cluster,
+        policy=policy,
+        config=SimulationConfig(strict=False),
+    )
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    write_job_records_csv(result, outdir / "job_records.csv")
+    write_summaries_csv([summarize(result)], outdir / "summary.csv")
+    write_utilization_csv(
+        analyze_utilization(result, up_to_minute=scenario.trace.horizon()),
+        outdir / "utilization.csv",
+    )
+    written = ["job_records.csv", "summary.csv", "utilization.csv"]
+    if any(r.was_suspended for r in result.completed_records()):
+        write_cdf_csv(result, outdir / "suspension_cdf.csv")
+        written.append("suspension_cdf.csv")
+    print(f"wrote {', '.join(written)} to {outdir}")
+    return 0
+
+
+def _cmd_analyze_trace(args: argparse.Namespace) -> int:
+    trace = workload_io.trace_from_jsonl(args.input)
+    stats = trace.stats()
+    print(f"jobs:               {stats.job_count}")
+    print(f"horizon (minutes):  {stats.horizon_minutes:.1f}")
+    print(f"mean runtime:       {stats.mean_runtime:.1f}")
+    print(f"mean interarrival:  {stats.mean_interarrival:.3f}")
+    print(f"total core-minutes: {stats.total_core_minutes:.0f}")
+    for priority in sorted(stats.priority_counts):
+        count = stats.priority_counts[priority]
+        print(f"priority {priority:>4}:      {count} ({100.0 * count / stats.job_count:.1f}%)")
+    return 0
+
+
+_COMMANDS = {
+    "table": _cmd_table,
+    "figure": _cmd_figure,
+    "run": _cmd_run,
+    "generate-trace": _cmd_generate_trace,
+    "analyze-trace": _cmd_analyze_trace,
+    "validate": _cmd_validate,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

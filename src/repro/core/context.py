@@ -1,0 +1,152 @@
+"""Read-only views of system state exposed to scheduling decisions.
+
+Rescheduling policies and initial schedulers never touch simulator
+internals; they see the system through the small interfaces defined
+here.  The simulator implements :class:`SystemView` over its live
+state; tests (and any alternative backend, e.g. a real cluster agent)
+can implement it with :class:`StaticSystemView`.
+
+The paper's closing observation motivates this separation: the random
+waiting-job strategy "can be implemented without any coordination or
+changes to the system's scheduler ... the rescheduling decision [can]
+be made solely by the waiting job".  A policy that only consumes this
+narrow view is exactly such a component.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..errors import UnknownPoolError
+
+__all__ = ["PoolSnapshot", "SystemView", "StaticSystemView", "JobView"]
+
+
+@dataclass(frozen=True)
+class PoolSnapshot:
+    """Point-in-time statistics of one physical pool.
+
+    Attributes:
+        pool_id: the pool's identifier.
+        total_cores: all cores in the pool.
+        busy_cores: cores currently running jobs.
+        waiting_jobs: jobs in the pool's wait queue.
+        suspended_jobs: jobs suspended on the pool's machines.
+    """
+
+    pool_id: str
+    total_cores: int
+    busy_cores: int
+    waiting_jobs: int
+    suspended_jobs: int
+
+    @property
+    def free_cores(self) -> int:
+        """Cores not running any job right now."""
+        return self.total_cores - self.busy_cores
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the pool's cores, in ``[0, 1]``."""
+        if self.total_cores == 0:
+            return 0.0
+        return self.busy_cores / self.total_cores
+
+
+class JobView:
+    """The attributes of a job that decisions may depend on.
+
+    This is a structural contract: the simulator passes its runtime Job
+    objects, which provide these attributes; tests may pass any object
+    with the same shape.
+
+    Attributes (all read-only from a policy's perspective):
+        spec: the :class:`~repro.workload.trace.TraceJob` record.
+        pool_id: id of the pool the job currently sits in (or ``None``).
+    """
+
+    spec = None
+    pool_id: Optional[str] = None
+
+
+class SystemView:
+    """Abstract interface policies use to observe the system.
+
+    Implementations must be cheap to query; policies may call
+    :meth:`pool` once per candidate pool per decision.
+    """
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in minutes."""
+        raise NotImplementedError
+
+    @property
+    def pool_ids(self) -> Tuple[str, ...]:
+        """All pool ids, in the site's canonical (round-robin) order."""
+        raise NotImplementedError
+
+    def pool(self, pool_id: str) -> PoolSnapshot:
+        """Snapshot of one pool; raises :class:`UnknownPoolError`."""
+        raise NotImplementedError
+
+    @property
+    def rng(self) -> random.Random:
+        """Seeded random stream for stochastic decisions.
+
+        All policies share one decision stream per simulation, so a
+        simulation is reproducible end-to-end from its seed.
+        """
+        raise NotImplementedError
+
+    def candidate_pools(self, job) -> Tuple[str, ...]:
+        """Pools ``job`` may run in, in canonical order."""
+        allowed = getattr(job.spec, "candidate_pools", None)
+        if allowed is None:
+            return self.pool_ids
+        return tuple(p for p in self.pool_ids if p in set(allowed))
+
+
+class StaticSystemView(SystemView):
+    """A fixed, in-memory :class:`SystemView` for tests and offline use.
+
+    Example:
+        >>> view = StaticSystemView(
+        ...     now=0.0,
+        ...     snapshots=[
+        ...         PoolSnapshot("a", 10, 9, 4, 0),
+        ...         PoolSnapshot("b", 10, 2, 0, 0),
+        ...     ],
+        ...     seed=1,
+        ... )
+        >>> view.pool("b").utilization
+        0.2
+    """
+
+    def __init__(
+        self, now: float, snapshots: Sequence[PoolSnapshot], seed: int = 0
+    ) -> None:
+        self._now = now
+        self._snapshots: Dict[str, PoolSnapshot] = {s.pool_id: s for s in snapshots}
+        self._order = tuple(s.pool_id for s in snapshots)
+        self._rng = random.Random(seed)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def pool_ids(self) -> Tuple[str, ...]:
+        return self._order
+
+    def pool(self, pool_id: str) -> PoolSnapshot:
+        try:
+            return self._snapshots[pool_id]
+        except KeyError:
+            raise UnknownPoolError(pool_id) from None
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng

@@ -1,0 +1,75 @@
+"""Decision values returned by rescheduling policies.
+
+A policy hook returns a :class:`Decision` telling the engine what to do
+with the job in question:
+
+* :data:`STAY` — leave the job where it is (suspended on its host, or
+  waiting in its queue).
+* ``restart(pool_id)`` — abandon the current attempt and restart the
+  job from scratch at ``pool_id`` (the paper's rescheduling action; any
+  progress made becomes *wasted time by rescheduling*).
+* ``duplicate(pool_id)`` — keep the suspended attempt *and* launch a
+  second attempt at ``pool_id``; the first to finish wins (the "job
+  duplication techniques" the paper lists as future work).
+* ``migrate(pool_id)`` — move the job to ``pool_id`` *preserving its
+  progress*, Condor-checkpoint / VM-migration style (the alternative
+  the paper discusses in Section 2.3 and rejects for NetBatch on
+  overhead grounds; implemented here so the trade-off is measurable).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+
+__all__ = ["Action", "Decision", "STAY", "restart", "duplicate", "migrate"]
+
+
+class Action(enum.Enum):
+    """What the engine should do with the job."""
+
+    STAY = "stay"
+    RESTART = "restart"
+    DUPLICATE = "duplicate"
+    MIGRATE = "migrate"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """An action plus, for move actions, the target pool."""
+
+    action: Action
+    target_pool: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.action is Action.STAY and self.target_pool is not None:
+            raise ConfigurationError("STAY decisions must not carry a target pool")
+        if self.action is not Action.STAY and not self.target_pool:
+            raise ConfigurationError(f"{self.action.value} decisions require a target pool")
+
+    @property
+    def moves(self) -> bool:
+        """Whether this decision relocates (or clones) the job."""
+        return self.action is not Action.STAY
+
+
+#: The do-nothing decision.
+STAY = Decision(Action.STAY)
+
+
+def restart(pool_id: str) -> Decision:
+    """Restart-from-scratch at ``pool_id``."""
+    return Decision(Action.RESTART, pool_id)
+
+
+def duplicate(pool_id: str) -> Decision:
+    """Launch a duplicate attempt at ``pool_id``, keeping the original."""
+    return Decision(Action.DUPLICATE, pool_id)
+
+
+def migrate(pool_id: str) -> Decision:
+    """Move to ``pool_id`` preserving progress (checkpoint/VM migration)."""
+    return Decision(Action.MIGRATE, pool_id)

@@ -1,0 +1,72 @@
+"""The rescheduling-policy interface.
+
+A :class:`ReschedulingPolicy` is consulted by the simulation engine at
+exactly two moments in a job's life:
+
+* :meth:`~ReschedulingPolicy.on_suspend` — the job has just been
+  preempted by a higher-priority job (it is now suspended on its host);
+* :meth:`~ReschedulingPolicy.on_wait_timeout` — the job has been
+  sitting in a pool's wait queue for ``wait_threshold`` minutes.
+
+Both hooks return a :class:`~repro.core.decisions.Decision`.  Policies
+are stateless with respect to individual jobs (all job state lives in
+the engine), which keeps them trivially composable and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .context import SystemView
+from .decisions import STAY, Decision
+
+__all__ = ["ReschedulingPolicy"]
+
+
+class ReschedulingPolicy:
+    """Base class: the do-nothing policy (the paper's *NoRes*).
+
+    Subclasses override one or both hooks.  A policy advertises
+    interest in waiting jobs by returning a number from
+    :attr:`wait_threshold`; when it returns ``None`` the engine never
+    schedules wait-timeout checks, so NoRes and suspension-only
+    policies pay no overhead for the mechanism.
+    """
+
+    #: Human-readable name used in reports; subclasses override.
+    name: str = "NoRes"
+
+    @property
+    def wait_threshold(self) -> Optional[float]:
+        """Queue-waiting minutes after which :meth:`on_wait_timeout` fires.
+
+        ``None`` disables waiting-job rescheduling entirely.
+        """
+        return None
+
+    def on_suspend(self, job, view: SystemView) -> Decision:
+        """Decide what to do with a just-suspended job.
+
+        Args:
+            job: the suspended job (see
+                :class:`~repro.core.context.JobView` for the attributes
+                available).
+            view: live system statistics.
+
+        Returns:
+            A decision; the base class always returns :data:`STAY`.
+        """
+        return STAY
+
+    def on_wait_timeout(self, job, view: SystemView) -> Decision:
+        """Decide what to do with a job stuck in a wait queue.
+
+        Only called when :attr:`wait_threshold` is not ``None`` and the
+        job has waited that long in one pool's queue.  Returning
+        :data:`STAY` leaves the job queued; the engine will check again
+        after another threshold period.
+        """
+        return STAY
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

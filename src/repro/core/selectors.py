@@ -1,0 +1,227 @@
+"""Alternate-pool selectors.
+
+A selector answers one question: *given that this job should move, which
+pool should it move to?*  The paper evaluates two answers — lowest
+utilization and uniform random — and sketches richer ones as future
+work ("the use of multiple metrics (e.g., utilization, queue lengths,
+prediction of job completion times within a pool) in combination").
+All of those are implemented here behind one interface, so policies
+compose with any selector.
+
+Selectors must return either a pool id different from the job's current
+pool, or ``None`` meaning "no better pool; stay put".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .context import PoolSnapshot, SystemView
+
+__all__ = [
+    "PoolSelector",
+    "LowestUtilizationSelector",
+    "RandomSelector",
+    "ShortestQueueSelector",
+    "WeightedSelector",
+    "PredictedWaitSelector",
+]
+
+
+class PoolSelector:
+    """Interface for alternate-pool selection strategies."""
+
+    def select(
+        self, candidates: Sequence[str], current_pool: Optional[str], view: SystemView
+    ) -> Optional[str]:
+        """Pick an alternate pool for a job.
+
+        Args:
+            candidates: pools the job is allowed to run in, in canonical
+                order (already filtered by the job's whitelist).
+            current_pool: the pool the job currently sits in, or ``None``
+                if it has not been placed yet.
+            view: live system statistics.
+
+        Returns:
+            A pool id different from ``current_pool``, or ``None`` to
+            keep the job where it is.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def _others(
+        candidates: Sequence[str], current_pool: Optional[str]
+    ) -> Tuple[str, ...]:
+        """Candidates excluding the current pool."""
+        return tuple(p for p in candidates if p != current_pool)
+
+
+@dataclass(frozen=True)
+class LowestUtilizationSelector(PoolSelector):
+    """Pick the least-utilized candidate pool (paper: *Util* schemes).
+
+    With ``guard=True`` (the default, matching the paper) the move is
+    suppressed unless the best alternate pool is strictly less utilized
+    than the job's current pool: "if all alternate pools are even more
+    utilized than the current pool, ResSusUtil will simply retain the
+    suspended job in its current pool, ensuring that rescheduling will
+    not negatively impact system performance" (Section 3.2.1).
+    """
+
+    guard: bool = True
+
+    def select(
+        self, candidates: Sequence[str], current_pool: Optional[str], view: SystemView
+    ) -> Optional[str]:
+        others = self._others(candidates, current_pool)
+        if not others:
+            return None
+        best = min(others, key=lambda pid: (view.pool(pid).utilization, pid))
+        if self.guard and current_pool is not None:
+            if view.pool(best).utilization >= view.pool(current_pool).utilization:
+                return None
+        return best
+
+
+@dataclass(frozen=True)
+class RandomSelector(PoolSelector):
+    """Pick a uniformly random other candidate pool (paper: *Rand*).
+
+    Deliberately load-oblivious: the paper uses it to show both that
+    naive random restarts of suspended jobs can backfire (Table 1) and
+    that, combined with waiting-job rescheduling, randomness performs
+    nearly as well as utilization-awareness (Tables 4-5) because a job
+    that lands badly simply moves again after the wait threshold.
+    """
+
+    def select(
+        self, candidates: Sequence[str], current_pool: Optional[str], view: SystemView
+    ) -> Optional[str]:
+        others = self._others(candidates, current_pool)
+        if not others:
+            return None
+        return view.rng.choice(others)
+
+
+@dataclass(frozen=True)
+class ShortestQueueSelector(PoolSelector):
+    """Pick the candidate pool with the fewest waiting jobs.
+
+    One of the paper's future-work metrics.  ``guard=True`` suppresses
+    moves to pools whose queue is no shorter than the current pool's.
+    """
+
+    guard: bool = True
+
+    def select(
+        self, candidates: Sequence[str], current_pool: Optional[str], view: SystemView
+    ) -> Optional[str]:
+        others = self._others(candidates, current_pool)
+        if not others:
+            return None
+        best = min(others, key=lambda pid: (view.pool(pid).waiting_jobs, pid))
+        if self.guard and current_pool is not None:
+            if view.pool(best).waiting_jobs >= view.pool(current_pool).waiting_jobs:
+                return None
+        return best
+
+
+@dataclass(frozen=True)
+class WeightedSelector(PoolSelector):
+    """Score pools by a weighted combination of load signals.
+
+    Implements the paper's future-work idea of "the use of multiple
+    metrics ... in combination for making rescheduling decisions".  The
+    score (lower is better) for a pool ``p`` is::
+
+        utilization_weight * utilization(p)
+        + queue_weight * waiting(p) / max(total_cores(p), 1)
+        + suspension_weight * suspended(p) / max(total_cores(p), 1)
+
+    Queue and suspension pressure are normalised by pool size so big and
+    small pools are comparable.
+    """
+
+    utilization_weight: float = 1.0
+    queue_weight: float = 1.0
+    suspension_weight: float = 0.5
+    guard: bool = True
+
+    def __post_init__(self) -> None:
+        if min(self.utilization_weight, self.queue_weight, self.suspension_weight) < 0:
+            raise ConfigurationError("WeightedSelector weights must be non-negative")
+        if self.utilization_weight + self.queue_weight + self.suspension_weight == 0:
+            raise ConfigurationError("WeightedSelector needs at least one positive weight")
+
+    def score(self, snapshot: PoolSnapshot) -> float:
+        """The pool's combined load score (lower is better)."""
+        size = max(snapshot.total_cores, 1)
+        return (
+            self.utilization_weight * snapshot.utilization
+            + self.queue_weight * snapshot.waiting_jobs / size
+            + self.suspension_weight * snapshot.suspended_jobs / size
+        )
+
+    def select(
+        self, candidates: Sequence[str], current_pool: Optional[str], view: SystemView
+    ) -> Optional[str]:
+        others = self._others(candidates, current_pool)
+        if not others:
+            return None
+        best = min(others, key=lambda pid: (self.score(view.pool(pid)), pid))
+        if self.guard and current_pool is not None:
+            if self.score(view.pool(best)) >= self.score(view.pool(current_pool)):
+                return None
+        return best
+
+
+@dataclass(frozen=True)
+class PredictedWaitSelector(PoolSelector):
+    """Pick the pool with the lowest predicted time-to-start.
+
+    A lightweight realisation of the paper's "prediction of job
+    completion times within a pool": the predicted wait for a pool is
+    zero if it has free cores, otherwise the queue backlog divided by
+    the pool's service capacity, using ``mean_runtime`` as the
+    per-job service-time estimate.
+    """
+
+    mean_runtime: float = 120.0
+    guard: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mean_runtime <= 0:
+            raise ConfigurationError(
+                f"PredictedWaitSelector: mean_runtime must be > 0, got {self.mean_runtime}"
+            )
+
+    def predicted_wait(self, snapshot: PoolSnapshot) -> float:
+        """Estimated minutes until a newly arriving job could start.
+
+        The queue backlog net of currently free cores, served at the
+        pool's aggregate rate; suspended residents count toward the
+        backlog since they reclaim their hosts before queued work.
+        """
+        net_backlog = (
+            snapshot.waiting_jobs + snapshot.suspended_jobs - snapshot.free_cores
+        )
+        if net_backlog <= 0:
+            return 0.0
+        return net_backlog * self.mean_runtime / max(snapshot.total_cores, 1)
+
+    def select(
+        self, candidates: Sequence[str], current_pool: Optional[str], view: SystemView
+    ) -> Optional[str]:
+        others = self._others(candidates, current_pool)
+        if not others:
+            return None
+        best = min(others, key=lambda pid: (self.predicted_wait(view.pool(pid)), pid))
+        if self.guard and current_pool is not None:
+            if self.predicted_wait(view.pool(best)) >= self.predicted_wait(
+                view.pool(current_pool)
+            ):
+                return None
+        return best

@@ -1,0 +1,100 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one base class at an API
+boundary.  The sub-classes are grouped by the subsystem that raises
+them; they carry plain human-readable messages and, where useful,
+structured attributes (e.g. the offending job id).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent.
+
+    Raised during validation of simulation, workload or cluster
+    configuration, before any simulation work starts.
+    """
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed (unsorted, negative times, ...)."""
+
+
+class ClusterError(ReproError):
+    """A cluster specification is malformed (empty pool, bad sizes, ...)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state.
+
+    This always indicates a bug in the engine (or a hand-built entity
+    graph that bypassed validation), never a property of the workload.
+    """
+
+
+class SchedulingError(SimulationError):
+    """A dispatch/preemption invariant was violated inside a pool."""
+
+
+class JobStateError(SimulationError):
+    """An illegal job state transition was attempted.
+
+    Attributes:
+        job_id: identifier of the job whose transition failed.
+        current: name of the state the job was in.
+        attempted: name of the transition that was attempted.
+    """
+
+    def __init__(self, job_id: int, current: str, attempted: str) -> None:
+        self.job_id = job_id
+        self.current = current
+        self.attempted = attempted
+        super().__init__(
+            f"job {job_id}: illegal transition {attempted!r} from state {current!r}"
+        )
+
+
+class UnschedulableJobError(ReproError):
+    """A job is not eligible on any machine of any candidate pool.
+
+    NetBatch's virtual pool manager cycles a job through its candidate
+    pools; a pool returns the job when *no* machine in the pool can ever
+    satisfy the job's static requirements (OS family, total memory,
+    total cores).  When every candidate pool returns the job there is no
+    point retrying, and the simulator surfaces the problem as this
+    error (or records the job as rejected when the engine is configured
+    to be lenient).
+
+    Attributes:
+        job_id: identifier of the unschedulable job.
+    """
+
+    def __init__(self, job_id: int, detail: str = "") -> None:
+        self.job_id = job_id
+        message = f"job {job_id} is not eligible on any machine of any candidate pool"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class UnknownPoolError(ReproError):
+    """A pool id was referenced that does not exist in the cluster."""
+
+    def __init__(self, pool_id: str) -> None:
+        self.pool_id = pool_id
+        super().__init__(f"unknown pool id: {pool_id!r}")
+
+
+class UnknownPolicyError(ReproError):
+    """A rescheduling policy name was not found in the registry."""
+
+    def __init__(self, name: str, known: tuple = ()) -> None:
+        self.name = name
+        hint = f" (known: {', '.join(sorted(known))})" if known else ""
+        super().__init__(f"unknown rescheduling policy: {name!r}{hint}")

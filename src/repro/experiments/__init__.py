@@ -1,0 +1,47 @@
+"""Paper experiments: one entry point per table and figure, plus ablations."""
+
+from .ablations import (
+    duplication_ablation,
+    migration_ablation,
+    overhead_sweep,
+    selector_ablation,
+    threshold_sweep,
+)
+from .figures import Figure2, Figure4, figure2, figure3, figure4, render_figure3
+from .replication import MetricEstimate, ReplicatedComparison, replicate
+from .runner import ExperimentCell, ExperimentRunner
+from .tables import (
+    high_suspension_experiment,
+    render,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+__all__ = [
+    "duplication_ablation",
+    "migration_ablation",
+    "overhead_sweep",
+    "selector_ablation",
+    "threshold_sweep",
+    "Figure2",
+    "Figure4",
+    "figure2",
+    "figure3",
+    "figure4",
+    "render_figure3",
+    "MetricEstimate",
+    "ReplicatedComparison",
+    "replicate",
+    "ExperimentCell",
+    "ExperimentRunner",
+    "high_suspension_experiment",
+    "render",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+]

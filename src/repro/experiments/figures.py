@@ -1,0 +1,164 @@
+"""One function per figure in the paper (Figures 2-4).
+
+Each ``figureN()`` regenerates the figure's underlying data series from
+a fresh simulation and returns both the analysis object and a plain-text
+rendering, so the benchmark harness can print the same series the paper
+plots.  (The figures are data products — no plotting dependency is
+needed to compare shapes.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..analysis.suspension import SuspensionAnalysis, analyze_suspension, suspension_time_cdf
+from ..analysis.utilization import UtilizationAnalysis, analyze_utilization
+from ..analysis.waste import WasteFigure, waste_decomposition
+from ..core.policies import no_res, res_sus_rand, res_sus_util
+from ..metrics.report import render_waste_components
+from ..schedulers.initial import RoundRobinScheduler
+from ..simulator.config import SimulationConfig
+from ..simulator.simulation import run_simulation
+from ..workload.scenarios import busy_week, year
+from . import presets
+
+__all__ = [
+    "Figure2",
+    "Figure4",
+    "figure2",
+    "figure3",
+    "figure4",
+]
+
+
+@dataclass(frozen=True)
+class Figure2:
+    """Figure 2's data: the suspension-time CDF and headline stats."""
+
+    analysis: SuspensionAnalysis
+    cdf_points: Tuple[Tuple[float, float], ...]
+
+    def render(self) -> str:
+        """Plain-text rendering: stats then a 20-point CDF table."""
+        lines = ["Figure 2: CDF of job suspension time (minutes)"]
+        for label, value in self.analysis.rows():
+            lines.append(f"  {label:<28} {value:>10.1f}")
+        lines.append(f"  {'CDF(minutes -> fraction)':<28}")
+        for value, fraction in self.cdf_points:
+            lines.append(f"    {value:>10.1f} -> {fraction:>6.3f}")
+        return "\n".join(lines)
+
+
+def figure2(
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    horizon: Optional[float] = None,
+) -> Figure2:
+    """Figure 2: suspension-time CDF from a long-horizon NoRes run."""
+    scenario = year(
+        scale=scale or presets.year_scale(),
+        seed=seed or presets.seed(),
+        horizon=horizon or presets.year_horizon(),
+    )
+    result = run_simulation(
+        scenario.trace,
+        scenario.cluster,
+        policy=no_res(),
+        config=SimulationConfig(strict=False),
+    )
+    cdf = suspension_time_cdf(result)
+    return Figure2(
+        analysis=analyze_suspension(result),
+        cdf_points=tuple(cdf.points(count=20)),
+    )
+
+
+def figure3(
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> WasteFigure:
+    """Figure 3: waste decomposition under normal load (busy week, RR).
+
+    Three bars — NoRes, ResSusUtil, ResSusRand — each split into wait,
+    suspend, and rescheduling waste.
+    """
+    scenario = busy_week(scale or presets.table_scale(), seed or presets.seed())
+    results = []
+    for factory in (no_res, res_sus_util, res_sus_rand):
+        results.append(
+            run_simulation(
+                scenario.trace,
+                scenario.cluster,
+                policy=factory(),
+                initial_scheduler=RoundRobinScheduler(),
+                config=SimulationConfig(strict=False),
+            )
+        )
+    return waste_decomposition(results)
+
+
+def render_figure3(figure: WasteFigure) -> str:
+    """Plain-text rendering of Figure 3 (stacked-bar values)."""
+    return render_waste_components(
+        figure.summaries, "Figure 3: average wasted completion time components"
+    )
+
+
+@dataclass(frozen=True)
+class Figure4:
+    """Figure 4's data: windowed utilization and suspension series."""
+
+    analysis: UtilizationAnalysis
+
+    def render(self, max_rows: int = 40) -> str:
+        """Plain-text rendering: headline stats plus a down-sampled series."""
+        a = self.analysis
+        lines = [
+            "Figure 4: suspension and utilization over the horizon",
+            f"  mean utilization            {a.mean_utilization_pct:>8.1f}%",
+            f"  p10..p90 utilization        {a.p10_utilization_pct:>8.1f}%"
+            f" .. {a.p90_utilization_pct:.1f}%",
+            f"  peak suspended jobs         {a.peak_suspended_jobs:>8.1f}",
+            f"  suspension while <60% util  {a.suspension_while_underutilized * 100:>8.1f}%",
+            f"  {'window_start':>14} {'util%':>7} {'suspended':>10}",
+        ]
+        points = a.points
+        step = max(1, len(points) // max_rows)
+        for point in points[::step]:
+            lines.append(
+                f"  {point.window_start:>14.0f} {point.utilization * 100:>7.1f} "
+                f"{point.suspended_jobs:>10.1f}"
+            )
+        return "\n".join(lines)
+
+
+def figure4(
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    horizon: Optional[float] = None,
+    window_minutes: float = 100.0,
+) -> Figure4:
+    """Figure 4: utilization & suspension over a long-horizon NoRes run.
+
+    The analysis is clipped to the submission horizon: the paper's
+    year-long window is a continuously-fed system, while our simulator
+    runs on past the horizon until the last straggler completes.
+    """
+    resolved_horizon = horizon or presets.year_horizon()
+    scenario = year(
+        scale=scale or presets.year_scale(),
+        seed=seed or presets.seed(),
+        horizon=resolved_horizon,
+    )
+    result = run_simulation(
+        scenario.trace,
+        scenario.cluster,
+        policy=no_res(),
+        config=SimulationConfig(strict=False),
+    )
+    return Figure4(
+        analysis=analyze_utilization(
+            result, window_minutes, up_to_minute=resolved_horizon
+        )
+    )

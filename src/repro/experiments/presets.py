@@ -1,0 +1,71 @@
+"""Shared experiment parameters.
+
+All experiment entry points honour two environment variables so the
+benchmark suite can be scaled without editing code:
+
+* ``REPRO_SCALE`` — cluster/workload scale factor (default 0.25 for the
+  table experiments).  Larger values approach the paper's deployment
+  size at the cost of runtime.
+* ``REPRO_SEED`` — workload seed (default 2010, the publication year).
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_TABLE_SCALE",
+    "DEFAULT_YEAR_SCALE",
+    "DEFAULT_YEAR_HORIZON",
+    "DEFAULT_SEED",
+    "table_scale",
+    "year_scale",
+    "year_horizon",
+    "seed",
+]
+
+DEFAULT_TABLE_SCALE = 0.25
+DEFAULT_YEAR_SCALE = 0.08
+DEFAULT_YEAR_HORIZON = 200_000.0
+DEFAULT_SEED = 2010
+
+
+def _float_env(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(f"{name} must be a number, got {raw!r}") from None
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def table_scale() -> float:
+    """Scale for the busy-week table experiments."""
+    return _float_env("REPRO_SCALE", DEFAULT_TABLE_SCALE)
+
+
+def year_scale() -> float:
+    """Scale for the long-horizon figure experiments."""
+    return _float_env("REPRO_YEAR_SCALE", DEFAULT_YEAR_SCALE)
+
+
+def year_horizon() -> float:
+    """Horizon (minutes) for the long-horizon figure experiments."""
+    return _float_env("REPRO_YEAR_HORIZON", DEFAULT_YEAR_HORIZON)
+
+
+def seed() -> int:
+    """Workload seed for all experiments."""
+    raw = os.environ.get("REPRO_SEED")
+    if raw is None:
+        return DEFAULT_SEED
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigurationError(f"REPRO_SEED must be an int, got {raw!r}") from None

@@ -1,0 +1,25 @@
+"""Metrics: the paper's Section-3.1 definitions and supporting statistics."""
+
+from .cdf import EmpiricalCDF
+from .report import format_minutes, render_table, render_waste_components
+from .summary import PerformanceSummary, WasteBreakdown, summarize
+from .timeseries import (
+    WindowedPoint,
+    aggregate_samples,
+    suspension_series,
+    utilization_series,
+)
+
+__all__ = [
+    "EmpiricalCDF",
+    "format_minutes",
+    "render_table",
+    "render_waste_components",
+    "PerformanceSummary",
+    "WasteBreakdown",
+    "summarize",
+    "WindowedPoint",
+    "aggregate_samples",
+    "suspension_series",
+    "utilization_series",
+]

@@ -1,0 +1,94 @@
+"""Empirical cumulative distribution functions.
+
+Used for the paper's Figure 2 (CDF of job suspension time) and anywhere
+else a distribution needs summarising (completion times, wait times).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..workload.distributions import quantile
+
+__all__ = ["EmpiricalCDF"]
+
+
+class EmpiricalCDF:
+    """An empirical CDF over a finite sample.
+
+    Example:
+        >>> cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        >>> cdf.fraction_at_most(2.0)
+        0.5
+        >>> cdf.percentile(50)
+        2.5
+    """
+
+    def __init__(self, values: Iterable[float]) -> None:
+        self._values: List[float] = sorted(float(v) for v in values)
+        if not self._values:
+            raise ConfigurationError("EmpiricalCDF needs at least one value")
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> Sequence[float]:
+        """The sample, sorted ascending."""
+        return self._values
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile; ``p`` in [0, 100]."""
+        return quantile(self._values, p / 100.0)
+
+    @property
+    def median(self) -> float:
+        """The 50th percentile."""
+        return self.percentile(50.0)
+
+    @property
+    def mean(self) -> float:
+        """The sample mean."""
+        return sum(self._values) / len(self._values)
+
+    @property
+    def minimum(self) -> float:
+        """The smallest sample value."""
+        return self._values[0]
+
+    @property
+    def maximum(self) -> float:
+        """The largest sample value."""
+        return self._values[-1]
+
+    def fraction_at_most(self, x: float) -> float:
+        """F(x): fraction of the sample ≤ ``x`` (binary search)."""
+        lo, hi = 0, len(self._values)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._values[mid] <= x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo / len(self._values)
+
+    def fraction_above(self, x: float) -> float:
+        """1 − F(x): fraction of the sample strictly greater than ``x``."""
+        return 1.0 - self.fraction_at_most(x)
+
+    def points(self, count: int = 100) -> List[Tuple[float, float]]:
+        """``count`` evenly spaced (value, cumulative-fraction) points.
+
+        Convenient for plotting or for printing a figure as a table of
+        series points, which is what the Figure-2 benchmark does.
+        """
+        if count < 2:
+            raise ConfigurationError(f"points count must be >= 2, got {count}")
+        step = (len(self._values) - 1) / (count - 1)
+        result: List[Tuple[float, float]] = []
+        for i in range(count):
+            index = int(round(i * step))
+            value = self._values[index]
+            result.append((value, (index + 1) / len(self._values)))
+        return result

@@ -1,0 +1,68 @@
+"""Rendering of performance summaries as paper-style tables.
+
+The benchmarks print these tables so their output can be compared line
+by line with the paper's Tables 1-5.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .summary import PerformanceSummary
+
+__all__ = ["render_table", "render_waste_components", "format_minutes"]
+
+
+def format_minutes(value: Optional[float]) -> str:
+    """Format a minutes quantity the way the paper's tables do."""
+    if value is None:
+        return "-"
+    return f"{value:.1f}"
+
+
+def render_table(
+    summaries: Sequence[PerformanceSummary], title: str = ""
+) -> str:
+    """Render summaries as the paper's table layout.
+
+    Columns: Suspend rate | AvgCT Suspend | AvgCT All | AvgST | AvgWCT.
+    """
+    header = (
+        f"{'Strategy':<18} {'SuspRate':>9} {'AvgCT(susp)':>12} "
+        f"{'AvgCT(all)':>11} {'AvgST':>9} {'AvgWCT':>9}"
+    )
+    rule = "-" * len(header)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.extend([header, rule])
+    for s in summaries:
+        lines.append(
+            f"{s.policy_name:<18} {s.suspend_rate * 100:>8.2f}% "
+            f"{format_minutes(s.avg_ct_suspended):>12} "
+            f"{format_minutes(s.avg_ct_all):>11} "
+            f"{format_minutes(s.avg_st):>9} "
+            f"{format_minutes(s.avg_wct):>9}"
+        )
+    return "\n".join(lines)
+
+
+def render_waste_components(
+    summaries: Sequence[PerformanceSummary], title: str = ""
+) -> str:
+    """Render the AvgWCT decomposition (the paper's Figure 3 as text)."""
+    header = (
+        f"{'Strategy':<18} {'Wait':>9} {'Suspend':>9} {'Resched':>9} {'Total':>9}"
+    )
+    rule = "-" * len(header)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.extend([header, rule])
+    for s in summaries:
+        w = s.waste
+        lines.append(
+            f"{s.policy_name:<18} {w.wait_time:>9.1f} {w.suspend_time:>9.1f} "
+            f"{w.resched_time:>9.1f} {w.total:>9.1f}"
+        )
+    return "\n".join(lines)

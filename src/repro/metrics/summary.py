@@ -1,0 +1,131 @@
+"""The paper's job and system-wide metrics (Section 3.1).
+
+Quoting the definitions being implemented:
+
+* **Suspend Rate** — "the fraction of all jobs submitted to NetBatch
+  that have been suspended at least once during the job lifetime".
+* **AvgCT** — "the average completion time ... further broken into two
+  subcategories, where we consider all jobs and only jobs that have
+  been suspended at least once".
+* **AvgST** — "the average suspend time of jobs that have been
+  suspended at least once".
+* **AvgWCT** — "the average wasted completion time of jobs, where
+  wasted time for a job is defined as the average duration in which a
+  job exists in NetBatch, but do not make progress towards job
+  completion", composed of (c1) wait time, (c2) suspend time and (c3)
+  wasted time by rescheduling.  "We first determine the total wasted
+  completion time for all jobs ... and then divide by the number of
+  jobs."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..simulator.results import JobRecord, SimulationResult
+
+__all__ = ["WasteBreakdown", "PerformanceSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class WasteBreakdown:
+    """Per-job average waste, split into the paper's three components.
+
+    All values are minutes averaged over **all** jobs (not only the
+    affected ones), so the components sum to AvgWCT — exactly the
+    stacked bars of the paper's Figure 3.
+    """
+
+    wait_time: float
+    suspend_time: float
+    resched_time: float
+
+    @property
+    def total(self) -> float:
+        """AvgWCT: the sum of the three components."""
+        return self.wait_time + self.suspend_time + self.resched_time
+
+
+@dataclass(frozen=True)
+class PerformanceSummary:
+    """One row of the paper's result tables.
+
+    Attributes:
+        policy_name: rescheduling strategy (NoRes, ResSusUtil, ...).
+        scheduler_name: initial scheduler in use.
+        job_count: jobs submitted (including rejected ones).
+        completed_count: jobs that finished.
+        rejected_count: statically unschedulable jobs.
+        suspend_rate: fraction of jobs suspended at least once.
+        avg_ct_suspended: mean completion time over suspended jobs
+            (``None`` when no job was suspended).
+        avg_ct_all: mean completion time over all completed jobs.
+        avg_st: mean total suspend time over suspended jobs (``None``
+            when no job was suspended).
+        waste: the AvgWCT breakdown; ``waste.total`` is AvgWCT.
+        avg_restarts: mean restarts per job (rescheduling activity).
+        avg_waiting_moves: mean waiting-queue moves per job.
+    """
+
+    policy_name: str
+    scheduler_name: str
+    job_count: int
+    completed_count: int
+    rejected_count: int
+    suspend_rate: float
+    avg_ct_suspended: Optional[float]
+    avg_ct_all: float
+    avg_st: Optional[float]
+    waste: WasteBreakdown
+    avg_restarts: float
+    avg_waiting_moves: float
+
+    @property
+    def avg_wct(self) -> float:
+        """The paper's AvgWCT (alias for ``waste.total``)."""
+        return self.waste.total
+
+
+def summarize(result: SimulationResult) -> PerformanceSummary:
+    """Compute a :class:`PerformanceSummary` from a simulation result."""
+    records = list(result.records)
+    completed = [r for r in records if not r.rejected]
+    suspended = [r for r in completed if r.was_suspended]
+
+    completed_count = len(completed)
+    suspended_count = len(suspended)
+
+    def mean(values: Iterable[float], count: int) -> float:
+        return sum(values) / count if count else 0.0
+
+    avg_ct_all = mean((r.completion_time for r in completed), completed_count)
+    avg_ct_suspended = (
+        mean((r.completion_time for r in suspended), suspended_count)
+        if suspended_count
+        else None
+    )
+    avg_st = (
+        mean((r.suspend_time for r in suspended), suspended_count)
+        if suspended_count
+        else None
+    )
+    waste = WasteBreakdown(
+        wait_time=mean((r.wait_time for r in completed), completed_count),
+        suspend_time=mean((r.suspend_time for r in completed), completed_count),
+        resched_time=mean((r.wasted_restart_time for r in completed), completed_count),
+    )
+    return PerformanceSummary(
+        policy_name=result.policy_name,
+        scheduler_name=result.scheduler_name,
+        job_count=len(records),
+        completed_count=completed_count,
+        rejected_count=len(records) - completed_count,
+        suspend_rate=suspended_count / completed_count if completed_count else 0.0,
+        avg_ct_suspended=avg_ct_suspended,
+        avg_ct_all=avg_ct_all,
+        avg_st=avg_st,
+        waste=waste,
+        avg_restarts=mean((r.restart_count for r in completed), completed_count),
+        avg_waiting_moves=mean((r.waiting_move_count for r in completed), completed_count),
+    )

@@ -1,0 +1,24 @@
+"""Initial (first-placement) schedulers and eligibility rules."""
+
+from .eligibility import machine_eligible, pool_has_eligible_machine
+from .initial import (
+    INITIAL_SCHEDULER_NAMES,
+    InitialScheduler,
+    LeastWaitingScheduler,
+    RandomInitialScheduler,
+    RoundRobinScheduler,
+    UtilizationBasedScheduler,
+    initial_scheduler_from_name,
+)
+
+__all__ = [
+    "machine_eligible",
+    "pool_has_eligible_machine",
+    "INITIAL_SCHEDULER_NAMES",
+    "InitialScheduler",
+    "LeastWaitingScheduler",
+    "RandomInitialScheduler",
+    "RoundRobinScheduler",
+    "UtilizationBasedScheduler",
+    "initial_scheduler_from_name",
+]

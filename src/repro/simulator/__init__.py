@@ -1,0 +1,42 @@
+"""The NetBatch simulator (our from-scratch ASCA stand-in).
+
+A hybrid discrete-event / per-minute-sampling simulator modelling
+virtual pool managers, physical pools, heterogeneous machines,
+priority preemption with host-level suspension, wait queues, and the
+dynamic-rescheduling hook points the paper's strategies plug into.
+"""
+
+from .config import SimulationConfig
+from .engine import LiveSystemView, SimulationEngine
+from .events import EventQueue
+from .job import Job, JobState
+from .machine import Machine
+from .observer import EventLog, EventObserver, JsonlEventWriter, SimEvent
+from .pool import PhysicalPool, SubmitOutcome, SubmitResult
+from .queues import PriorityWaitQueue
+from .results import JobRecord, SimulationResult, StateSample
+from .simulation import run_simulation
+from .virtual_pool import VirtualPoolManager
+
+__all__ = [
+    "SimulationConfig",
+    "LiveSystemView",
+    "SimulationEngine",
+    "EventQueue",
+    "Job",
+    "JobState",
+    "Machine",
+    "EventLog",
+    "EventObserver",
+    "JsonlEventWriter",
+    "SimEvent",
+    "PhysicalPool",
+    "SubmitOutcome",
+    "SubmitResult",
+    "PriorityWaitQueue",
+    "JobRecord",
+    "SimulationResult",
+    "StateSample",
+    "run_simulation",
+    "VirtualPoolManager",
+]

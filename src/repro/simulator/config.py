@@ -1,0 +1,79 @@
+"""Simulation configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.overheads import NO_OVERHEAD, RestartOverhead
+from ..errors import ConfigurationError
+
+__all__ = ["SimulationConfig"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Engine knobs, all with paper-faithful defaults.
+
+    Attributes:
+        sample_interval: minutes between state samples.  ASCA "samples
+            at each minute the current states of all NetBatch
+            components", so the default is 1.0; raise it for very long
+            horizons where per-minute samples are not needed.
+        vpm_count: number of virtual pool managers accepting
+            submissions; jobs are assigned round-robin by job id.  The
+            paper's site has several, but its evaluation semantics do
+            not depend on the count, so the default is 1.
+        seed: seed for the simulation-side random streams (stochastic
+            policies and schedulers); independent from workload seeds.
+        strict: when True, a job that is statically ineligible on every
+            candidate pool raises
+            :class:`~repro.errors.UnschedulableJobError`; when False it
+            is recorded as rejected and the run continues.
+        restart_overhead: delay model applied to every rescheduling
+            move (the paper's evaluation uses none).
+        migration_overhead: delay model applied to MIGRATE moves
+            (checkpoint/image transfer); defaults to none.
+        migration_dilation: fraction of a migrated job's *remaining*
+            work added as overhead, modelling the 10-20% virtualised
+            execution penalty the paper cites when discussing VM
+            migration (Section 2.3).
+        max_minutes: optional hard wall on simulated time; exceeding it
+            raises :class:`~repro.errors.SimulationError`.  A guard
+            against pathological workloads, not a normal stop.
+        record_samples: disable to skip state sampling entirely (saves
+            memory in policy-search sweeps that only need job records).
+        check_invariants: run deep state validation at every sample
+            tick.  Very slow; meant for tests.
+        observer: optional :class:`~repro.simulator.observer.EventObserver`
+            receiving every simulation event (ASCA-style event log);
+            ``None`` disables event emission entirely.
+    """
+
+    sample_interval: float = 1.0
+    vpm_count: int = 1
+    seed: int = 0
+    strict: bool = True
+    restart_overhead: RestartOverhead = field(default_factory=lambda: NO_OVERHEAD)
+    migration_overhead: RestartOverhead = field(default_factory=lambda: NO_OVERHEAD)
+    migration_dilation: float = 0.0
+    max_minutes: Optional[float] = None
+    record_samples: bool = True
+    check_invariants: bool = False
+    observer: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.sample_interval <= 0:
+            raise ConfigurationError(
+                f"sample_interval must be > 0, got {self.sample_interval}"
+            )
+        if self.vpm_count < 1:
+            raise ConfigurationError(f"vpm_count must be >= 1, got {self.vpm_count}")
+        if self.max_minutes is not None and self.max_minutes <= 0:
+            raise ConfigurationError(
+                f"max_minutes must be > 0 when set, got {self.max_minutes}"
+            )
+        if self.migration_dilation < 0:
+            raise ConfigurationError(
+                f"migration_dilation must be >= 0, got {self.migration_dilation}"
+            )

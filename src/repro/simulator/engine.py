@@ -1,0 +1,596 @@
+"""The simulation engine: our from-scratch stand-in for Intel's ASCA.
+
+ASCA is "a hybrid event-based and agent-based simulator ... [that]
+models the operational capability and semantics of various fine-grained
+components of NetBatch such as sites, pools, queues, job requirements
+and priorities, virtual and physical pool managers, round-robin
+physical pool scheduling.  It samples at each minute the current states
+of all NetBatch components" (Section 3.1).  This engine reproduces that
+design: a discrete-event core (submissions, completions, wait-timeout
+checks, rescheduling arrivals) plus a periodic sampling tick.
+
+The engine owns the event queue and the policy/scheduler hook points;
+pools own machine-level bookkeeping; jobs own their accounting.  The
+rescheduling policy is consulted exactly where the paper inserts its
+strategies: when a job is suspended by preemption, and when a waiting
+job crosses the policy's threshold.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections import deque
+from dataclasses import replace
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..core.context import PoolSnapshot, SystemView
+from ..core.decisions import Action, Decision
+from ..core.policy import ReschedulingPolicy
+from ..core.policies import NoRescheduling
+from ..errors import (
+    SchedulingError,
+    SimulationError,
+    UnknownPoolError,
+    UnschedulableJobError,
+)
+from ..schedulers.eligibility import machine_eligible
+from ..schedulers.initial import InitialScheduler, RoundRobinScheduler
+from ..workload.cluster import ClusterSpec
+from ..workload.distributions import RandomStreams
+from ..workload.trace import Trace, TraceJob
+from .config import SimulationConfig
+from .events import (
+    EVENT_FINISH,
+    EVENT_POOL_ARRIVAL,
+    EVENT_SAMPLE,
+    EVENT_SUBMIT,
+    EVENT_WAIT_TIMEOUT,
+    EventQueue,
+)
+from .job import Job, JobState
+from .machine import Machine
+from .pool import PhysicalPool, SubmitOutcome, SubmitResult
+from .observer import SimEvent
+from .results import JobRecord, SimulationResult, StateSample
+from .virtual_pool import VirtualPoolManager
+
+__all__ = ["SimulationEngine", "LiveSystemView"]
+
+
+class LiveSystemView(SystemView):
+    """A :class:`SystemView` backed by the engine's live state."""
+
+    def __init__(self, engine: "SimulationEngine") -> None:
+        self._engine = engine
+
+    @property
+    def now(self) -> float:
+        return self._engine.now
+
+    @property
+    def pool_ids(self) -> Tuple[str, ...]:
+        return self._engine.pool_order
+
+    def pool(self, pool_id: str) -> PoolSnapshot:
+        try:
+            return self._engine.pools[pool_id].snapshot()
+        except KeyError:
+            raise UnknownPoolError(pool_id) from None
+
+    @property
+    def rng(self) -> random.Random:
+        return self._engine.decision_rng
+
+    def candidate_pools(self, job) -> Tuple[str, ...]:
+        """Pools the job may run in *and* is statically eligible in."""
+        return self._engine.eligible_candidates(job.spec)
+
+
+class SimulationEngine:
+    """Runs one trace against one cluster under one policy."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        cluster: ClusterSpec,
+        policy: Optional[ReschedulingPolicy] = None,
+        initial_scheduler: Optional[InitialScheduler] = None,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        self.policy = policy or NoRescheduling()
+        self.scheduler = initial_scheduler or RoundRobinScheduler()
+        self.pools: Dict[str, PhysicalPool] = {
+            pool.pool_id: PhysicalPool(pool) for pool in cluster
+        }
+        self.pool_order: Tuple[str, ...] = cluster.pool_ids
+        self.total_cores = cluster.total_cores
+        self.decision_rng = RandomStreams(self.config.seed).stream("decisions")
+        self.view = LiveSystemView(self)
+        self._vpms = [
+            VirtualPoolManager(f"vpm-{i}", self.scheduler, self.pools)
+            for i in range(self.config.vpm_count)
+        ]
+        self._events = EventQueue()
+        self._records: List[JobRecord] = []
+        self._samples: List[StateSample] = []
+        self._outstanding = len(trace)
+        self._eligibility_cache: Dict[Tuple[str, int, float], Tuple[str, ...]] = {}
+        self._dup_partner: Dict[int, Job] = {}
+        self._observer = self.config.observer
+        self._shadow_ids = itertools.count(
+            (max((j.job_id for j in trace), default=0) + 1) if len(trace) else 1
+        )
+        self._finished = False
+
+        events: List[Tuple[float, int, object]] = [
+            (spec.submit_minute, EVENT_SUBMIT, Job(spec)) for spec in trace
+        ]
+        if self.config.record_samples:
+            events.append((0.0, EVENT_SAMPLE, None))
+        self._events.push_many_unsorted(events)
+
+    # -- public API -----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in minutes."""
+        return self._events.now
+
+    def run(self) -> SimulationResult:
+        """Execute until every job completes; return the result."""
+        if self._finished:
+            raise SimulationError("engine instances are single-use; build a new one")
+        max_minutes = self.config.max_minutes
+        events = self._events
+        while len(events):
+            time, _, kind, payload = events.pop()
+            if max_minutes is not None and time > max_minutes:
+                raise SimulationError(
+                    f"simulation exceeded max_minutes={max_minutes} "
+                    f"with {self._outstanding} jobs outstanding"
+                )
+            if kind == EVENT_FINISH:
+                job, epoch = payload
+                self._on_finish(job, epoch, time)
+            elif kind == EVENT_SAMPLE:
+                self._on_sample(time)
+            elif kind == EVENT_SUBMIT:
+                self._on_submit(payload, time)
+            elif kind == EVENT_WAIT_TIMEOUT:
+                job, episode = payload
+                self._on_wait_timeout(job, episode, time)
+            elif kind == EVENT_POOL_ARRIVAL:
+                job, pool_id = payload
+                self._on_pool_arrival(job, pool_id, time)
+            else:  # pragma: no cover - event kinds are closed
+                raise SimulationError(f"unknown event kind {kind}")
+        if self._outstanding != 0:
+            raise SimulationError(
+                f"event queue drained with {self._outstanding} jobs unfinished"
+            )
+        self._finished = True
+        if self._observer is not None:
+            self._observer.close()
+        return SimulationResult(
+            records=self._records,
+            samples=self._samples,
+            pool_ids=self.pool_order,
+            policy_name=self.policy.name,
+            scheduler_name=self.scheduler.name,
+            total_cores=self.total_cores,
+        )
+
+    def eligible_candidates(self, spec: TraceJob) -> Tuple[str, ...]:
+        """Pools where ``spec`` is whitelisted and statically eligible.
+
+        Cached by requirement signature (OS, cores, memory): traces
+        contain few distinct signatures, so the per-pool machine scans
+        amortise to nothing.
+        """
+        signature = (spec.os_family, spec.cores, spec.memory_gb)
+        eligible = self._eligibility_cache.get(signature)
+        if eligible is None:
+            eligible = tuple(
+                pool_id
+                for pool_id in self.pool_order
+                if any(
+                    machine_eligible(m.spec, spec)
+                    for m in self.pools[pool_id].machines
+                )
+            )
+            self._eligibility_cache[signature] = eligible
+        if spec.candidate_pools is None:
+            return eligible
+        allowed = set(spec.candidate_pools)
+        return tuple(pool_id for pool_id in eligible if pool_id in allowed)
+
+    # -- event handlers -----------------------------------------------------------------
+
+    def _emit(
+        self,
+        now: float,
+        event: str,
+        job: Job,
+        pool_id: Optional[str] = None,
+        detail: Optional[str] = None,
+    ) -> None:
+        if job.is_shadow and detail is None:
+            detail = "shadow"
+        self._observer.on_event(
+            SimEvent(
+                minute=now, event=event, job_id=job.job_id,
+                pool_id=pool_id, detail=detail,
+            )
+        )
+
+    def _on_submit(self, job: Job, now: float) -> None:
+        if self._observer is not None:
+            self._emit(now, "submit", job)
+        candidates = self.eligible_candidates(job.spec)
+        vpm = self._vpms[job.job_id % len(self._vpms)]
+        result, _ = vpm.submit(job, candidates, self.view, now)
+        self._after_placement(job, result, now)
+
+    def _on_finish(self, job: Job, epoch: int, now: float) -> None:
+        if job.epoch != epoch or job.state is not JobState.RUNNING:
+            return  # stale completion from before a suspension/restart
+        pool = self.pools[job.pool_id]
+        finish_pool = job.pool_id
+        machine = pool.finish_job(job, now)
+        if self._observer is not None:
+            self._emit(now, "finish", job, pool_id=finish_pool)
+        partner = self._dup_partner.pop(job.job_id, None)
+        if partner is not None:
+            self._dup_partner.pop(partner.job_id, None)
+            self._cancel_attempt(partner, now)
+        self._record_completion(job, partner, now)
+        self._fill(pool, machine, now)
+
+    def _on_wait_timeout(self, job: Job, episode: int, now: float) -> None:
+        if job.state is not JobState.WAITING or job.wait_episode != episode:
+            return  # the job started or moved since this check was scheduled
+        decision = self.policy.on_wait_timeout(job, self.view)
+        target = self._validated_target(job, decision)
+        if target is None:
+            # Keep checking: the paper's per-job timer re-arms while the
+            # job remains stuck.
+            threshold = self.policy.wait_threshold
+            if threshold is not None:
+                self._events.push(now + threshold, EVENT_WAIT_TIMEOUT, (job, episode))
+            return
+        origin_id = job.pool_id
+        self.pools[origin_id].remove_waiting(job, now)
+        if self._observer is not None:
+            self._emit(now, "dequeue", job, pool_id=origin_id)
+        # A moved job may itself preempt lower-priority work at the
+        # target pool; run those victims through the suspension hook.
+        victims = self._move_to_pool(job, target, now, origin=origin_id)
+        if victims:
+            self._process_victims(victims, now)
+
+    def _on_pool_arrival(self, job: Job, pool_id: str, now: float) -> None:
+        if job.state is JobState.FINISHED:
+            return  # cancelled while in transit (duplication loser)
+        if job.state is not JobState.PENDING:
+            raise SimulationError(
+                f"job {job.job_id} arrived at pool {pool_id} in state {job.state.value}"
+            )
+        result = self.pools[pool_id].submit(job, now)
+        if result.outcome is SubmitOutcome.INELIGIBLE:
+            raise SchedulingError(
+                f"job {job.job_id} was rescheduled to pool {pool_id} "
+                f"where it is statically ineligible"
+            )
+        self._after_placement(job, result, now)
+
+    def _on_sample(self, now: float) -> None:
+        busy = 0
+        running = 0
+        suspended = 0
+        waiting = 0
+        per_pool_busy: List[int] = []
+        per_pool_waiting: List[int] = []
+        per_pool_suspended: List[int] = []
+        for pool_id in self.pool_order:
+            pool = self.pools[pool_id]
+            pool_waiting = len(pool.wait_queue)
+            pool_suspended = len(pool.suspended)
+            busy += pool.busy_cores
+            running += pool.running_jobs
+            suspended += pool_suspended
+            waiting += pool_waiting
+            per_pool_busy.append(pool.busy_cores)
+            per_pool_waiting.append(pool_waiting)
+            per_pool_suspended.append(pool_suspended)
+        self._samples.append(
+            StateSample(
+                minute=now,
+                busy_cores=busy,
+                total_cores=self.total_cores,
+                running_jobs=running,
+                suspended_jobs=suspended,
+                waiting_jobs=waiting,
+                per_pool_busy=tuple(per_pool_busy),
+                per_pool_waiting=tuple(per_pool_waiting),
+                per_pool_suspended=tuple(per_pool_suspended),
+            )
+        )
+        if self.config.check_invariants:
+            for pool in self.pools.values():
+                pool.check_invariants()
+        if self._outstanding > 0:
+            self._events.push(now + self.config.sample_interval, EVENT_SAMPLE, None)
+
+    # -- placement and rescheduling machinery ---------------------------------------------
+
+    def _after_placement(self, job: Job, result: SubmitResult, now: float) -> None:
+        outcome = result.outcome
+        if outcome is SubmitOutcome.STARTED:
+            if self._observer is not None:
+                self._emit(now, "start", job, pool_id=job.pool_id)
+            self._schedule_finish(job, now)
+        elif outcome is SubmitOutcome.PREEMPTED:
+            if self._observer is not None:
+                self._emit(now, "start", job, pool_id=job.pool_id)
+                for victim in result.victims:
+                    self._emit(
+                        now, "suspend", victim, pool_id=victim.pool_id,
+                        detail=f"preempted-by={job.job_id}",
+                    )
+            self._schedule_finish(job, now)
+            self._process_victims(result.victims, now)
+        elif outcome is SubmitOutcome.QUEUED:
+            if self._observer is not None:
+                self._emit(now, "queue", job, pool_id=job.pool_id)
+            self._arm_wait_timer(job, now)
+        elif outcome is SubmitOutcome.INELIGIBLE:
+            if self.config.strict:
+                raise UnschedulableJobError(job.job_id)
+            job.reject(now)
+            if self._observer is not None:
+                self._emit(now, "reject", job)
+            self._record_rejection(job)
+        else:  # pragma: no cover - outcomes are closed
+            raise SimulationError(f"unknown submit outcome {outcome}")
+
+    def _schedule_finish(self, job: Job, now: float) -> None:
+        speed = job.machine.spec.speed_factor
+        finish_at = now + job.remaining_minutes() / speed
+        self._events.push(finish_at, EVENT_FINISH, (job, job.epoch))
+
+    def _arm_wait_timer(self, job: Job, now: float) -> None:
+        threshold = self.policy.wait_threshold
+        if threshold is not None:
+            self._events.push(
+                now + threshold, EVENT_WAIT_TIMEOUT, (job, job.wait_episode)
+            )
+
+    def _process_victims(self, victims: Tuple[Job, ...], now: float) -> None:
+        """Run the policy's suspension hook over a preemption's victims.
+
+        Restarted victims may preempt lower-priority jobs at their
+        target pool; the resulting second-order victims are processed
+        from the same work queue.  Chains terminate because priorities
+        strictly decrease along them.
+        """
+        pending: Deque[Job] = deque(victims)
+        while pending:
+            victim = pending.popleft()
+            # Handling an earlier victim can release capacity that
+            # resumes this one before its turn; only still-suspended
+            # jobs go to the policy.
+            if victim.state is not JobState.SUSPENDED:
+                continue
+            decision = self.policy.on_suspend(victim, self.view)
+            target = self._validated_target(victim, decision)
+            if target is None:
+                continue
+            if decision.action is Action.RESTART:
+                origin_id = victim.pool_id
+                origin = self.pools[origin_id]
+                machine = origin.detach_suspended(victim, now)
+                if self._observer is not None:
+                    self._emit(
+                        now, "restart", victim, pool_id=target,
+                        detail=f"from={origin_id}",
+                    )
+                self._fill(origin, machine, now)
+                new_victims = self._move_to_pool(victim, target, now, origin=origin_id)
+            elif decision.action is Action.MIGRATE:
+                origin_id = victim.pool_id
+                origin = self.pools[origin_id]
+                machine = origin.detach_suspended(
+                    victim, now, preserve_progress=True
+                )
+                self._fill(origin, machine, now)
+                victim.dilate_remaining(self.config.migration_dilation)
+                if self._observer is not None:
+                    self._emit(
+                        now, "migrate", victim, pool_id=target,
+                        detail=f"from={origin_id}",
+                    )
+                new_victims = self._move_to_pool(
+                    victim,
+                    target,
+                    now,
+                    overhead=self.config.migration_overhead,
+                    origin=origin_id,
+                )
+            else:  # Action.DUPLICATE
+                # At most one live duplicate per logical job, and never
+                # a duplicate of a duplicate: a second suspension of a
+                # job that already has a shadow degrades to STAY.
+                if victim.is_shadow or victim.job_id in self._dup_partner:
+                    continue
+                shadow = self._make_shadow(victim)
+                if self._observer is not None:
+                    self._emit(
+                        now, "duplicate", victim, pool_id=target,
+                        detail=f"shadow={shadow.job_id}",
+                    )
+                new_victims = self._move_to_pool(shadow, target, now)
+            pending.extend(new_victims)
+
+    def _move_to_pool(
+        self, job: Job, target: str, now: float, overhead=None, origin=None
+    ) -> Tuple[Job, ...]:
+        """Send a PENDING job to ``target``, honouring move overhead.
+
+        ``overhead`` defaults to the restart-overhead model; migrations
+        pass the migration model instead.  Topology-aware overhead
+        models (inter-site transfers) receive the origin pool via
+        ``delay_between`` when they define it.  Returns any jobs
+        suspended by the move (empty when the move is delayed by
+        overhead; those victims surface when the arrival event fires).
+        """
+        if overhead is None:
+            overhead = self.config.restart_overhead
+        delay_between = getattr(overhead, "delay_between", None)
+        if delay_between is not None and origin is not None:
+            delay = delay_between(job.spec, origin, target)
+        else:
+            delay = overhead.delay_for(job.spec)
+        if delay > 0:
+            self._events.push(now + delay, EVENT_POOL_ARRIVAL, (job, target))
+            return ()
+        result = self.pools[target].submit(job, now)
+        if result.outcome is SubmitOutcome.INELIGIBLE:
+            raise SchedulingError(
+                f"job {job.job_id} was rescheduled to pool {target} "
+                f"where it is statically ineligible"
+            )
+        if result.outcome is SubmitOutcome.QUEUED:
+            if self._observer is not None:
+                self._emit(now, "queue", job, pool_id=target)
+            self._arm_wait_timer(job, now)
+        else:
+            if self._observer is not None:
+                self._emit(now, "start", job, pool_id=target)
+                if result.outcome is SubmitOutcome.PREEMPTED:
+                    for new_victim in result.victims:
+                        self._emit(
+                            now, "suspend", new_victim,
+                            pool_id=new_victim.pool_id,
+                            detail=f"preempted-by={job.job_id}",
+                        )
+            self._schedule_finish(job, now)
+        return result.victims
+
+    def _validated_target(self, job: Job, decision: Decision) -> Optional[str]:
+        """The decision's target pool, or ``None`` if the job should stay.
+
+        A target is only honoured when it differs from the job's
+        current pool and the job is statically eligible there; anything
+        else degrades to STAY, so a misbehaving policy cannot corrupt
+        the simulation.
+        """
+        if not decision.moves:
+            return None
+        target = decision.target_pool
+        if target == job.pool_id:
+            return None
+        if target not in self.eligible_candidates(job.spec):
+            return None
+        return target
+
+    def _make_shadow(self, original: Job) -> Job:
+        """Create the duplicate attempt for ``original`` and link the pair."""
+        shadow_spec = replace(original.spec, job_id=next(self._shadow_ids))
+        shadow = Job(shadow_spec, is_shadow=True)
+        shadow.shadow_of = original.job_id
+        # Shadows materialise mid-simulation: their accounting clock
+        # starts now, not at the original submission.
+        shadow.segment_start = self.now
+        self._dup_partner[original.job_id] = shadow
+        self._dup_partner[shadow.job_id] = original
+        return shadow
+
+    def _cancel_attempt(self, job: Job, now: float) -> None:
+        """Tear down the losing attempt of a duplicate pair."""
+        if job.state is JobState.PENDING:
+            job.cancel(now)  # in transit; the arrival event will see FINISHED
+            return
+        pool = self.pools[job.pool_id]
+        machine = pool.cancel_job(job, now)
+        if machine is not None:
+            self._fill(pool, machine, now)
+
+    def _fill(self, pool: PhysicalPool, machine: Machine, now: float) -> None:
+        """Refill freed capacity and schedule completions for placed jobs."""
+        resumable_ids = set(machine.suspended) if self._observer is not None else ()
+        for placed in pool.fill_machine(machine, now):
+            if self._observer is not None:
+                kind = "resume" if placed.job_id in resumable_ids else "start"
+                self._emit(now, kind, placed, pool_id=pool.pool_id)
+            self._schedule_finish(placed, now)
+
+    # -- record building ---------------------------------------------------------------
+
+    def _record_completion(self, winner: Job, partner: Optional[Job], now: float) -> None:
+        """Emit the JobRecord for a finished logical job.
+
+        For duplicate pairs the winner may be the shadow; the record is
+        keyed by the original job's identity and merges both attempts'
+        accounting.
+        """
+        if winner.is_shadow and partner is None:  # pragma: no cover - defensive
+            raise SimulationError(
+                f"shadow {winner.job_id} finished without a linked original"
+            )
+        if winner.is_shadow:
+            identity = partner
+        else:
+            identity = winner
+        attempts = [winner] if partner is None else [winner, partner]
+        record = JobRecord(
+            job_id=identity.job_id,
+            priority=identity.priority,
+            submit_minute=identity.spec.submit_minute,
+            finish_minute=now,
+            runtime_minutes=identity.spec.runtime_minutes,
+            cores=identity.spec.cores,
+            memory_gb=identity.spec.memory_gb,
+            wait_time=sum(a.total_wait for a in attempts),
+            suspend_time=sum(a.total_suspend for a in attempts),
+            wasted_restart_time=sum(a.wasted_restart for a in attempts),
+            suspension_count=sum(a.suspension_count for a in attempts),
+            restart_count=sum(a.restart_count for a in attempts)
+            + (1 if partner is not None else 0),
+            migration_count=sum(a.migration_count for a in attempts),
+            waiting_move_count=sum(a.waiting_move_count for a in attempts),
+            pools_visited=tuple(
+                dict.fromkeys(p for a in attempts for p in a.pools_visited)
+            ),
+            rejected=False,
+            task_id=identity.spec.task_id,
+            user=identity.spec.user,
+        )
+        self._records.append(record)
+        self._outstanding -= 1
+
+    def _record_rejection(self, job: Job) -> None:
+        self._records.append(
+            JobRecord(
+                job_id=job.job_id,
+                priority=job.priority,
+                submit_minute=job.spec.submit_minute,
+                finish_minute=None,
+                runtime_minutes=job.spec.runtime_minutes,
+                cores=job.spec.cores,
+                memory_gb=job.spec.memory_gb,
+                wait_time=0.0,
+                suspend_time=0.0,
+                wasted_restart_time=0.0,
+                suspension_count=0,
+                restart_count=0,
+                migration_count=0,
+                waiting_move_count=0,
+                pools_visited=(),
+                rejected=True,
+                task_id=job.spec.task_id,
+                user=job.spec.user,
+            )
+        )
+        self._outstanding -= 1

@@ -1,0 +1,193 @@
+"""Runtime machine: core/memory accounting and occupancy.
+
+Models NetBatch's host-level semantics:
+
+* a **running** job holds cores and memory;
+* a **suspended** job releases its cores but keeps its memory resident
+  (suspension is SIGSTOP-style, the process image stays on the host) —
+  this is precisely why suspended jobs waste resources and why
+  rescheduling them away "better utilize[s] system resources";
+* consequently, preemption can free cores but never memory, so a
+  high-priority job whose memory demand exceeds the host's *free*
+  memory cannot be placed there by preemption.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import SchedulingError
+from ..schedulers.eligibility import machine_eligible
+from ..workload.cluster import MachineSpec
+from .job import Job, JobState
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """Mutable occupancy state of one machine."""
+
+    __slots__ = ("spec", "free_cores", "free_memory_gb", "running", "suspended")
+
+    def __init__(self, spec: MachineSpec) -> None:
+        self.spec = spec
+        self.free_cores = spec.cores
+        self.free_memory_gb = spec.memory_gb
+        self.running: Dict[int, Job] = {}
+        self.suspended: Dict[int, Job] = {}
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def machine_id(self) -> str:
+        """The machine's identifier."""
+        return self.spec.machine_id
+
+    @property
+    def busy_cores(self) -> int:
+        """Cores currently held by running jobs."""
+        return self.spec.cores - self.free_cores
+
+    def eligible(self, job_spec) -> bool:
+        """Static eligibility (OS, total cores, total memory)."""
+        return machine_eligible(self.spec, job_spec)
+
+    def fits_now(self, job_spec) -> bool:
+        """Whether the job could start immediately (dynamic check)."""
+        return (
+            self.free_cores >= job_spec.cores
+            and self.free_memory_gb >= job_spec.memory_gb
+        )
+
+    def preemptible_cores(self, priority: int) -> int:
+        """Cores held by running jobs with priority strictly below ``priority``."""
+        return sum(
+            job.spec.cores for job in self.running.values() if job.priority < priority
+        )
+
+    def could_fit_by_preemption(self, job_spec, priority: int) -> bool:
+        """Whether suspending lower-priority work would make the job fit.
+
+        Preemption releases victims' cores but not their memory, so the
+        memory check is against *current* free memory.
+        """
+        if self.free_memory_gb < job_spec.memory_gb:
+            return False
+        return self.free_cores + self.preemptible_cores(priority) >= job_spec.cores
+
+    def preemption_victims(self, job_spec, priority: int) -> List[Job]:
+        """Minimal set of lowest-priority running jobs to suspend.
+
+        Victims are taken lowest priority first; within a priority
+        level, in submission order.  NetBatch's host-level preemption
+        does not consider how much work a victim has completed, so
+        neither do we — mid-flight jobs lose real progress when a
+        rescheduling policy then restarts them elsewhere, which is
+        exactly the waste the paper's ResSusRand results expose.
+        Returns an empty list when preemption cannot make the job fit.
+        """
+        if not self.could_fit_by_preemption(job_spec, priority):
+            return []
+        needed = job_spec.cores - self.free_cores
+        if needed <= 0:
+            return []
+        candidates = sorted(
+            (job for job in self.running.values() if job.priority < priority),
+            key=lambda job: (job.priority, job.job_id),
+        )
+        victims: List[Job] = []
+        freed = 0
+        for job in candidates:
+            victims.append(job)
+            freed += job.spec.cores
+            if freed >= needed:
+                return victims
+        return []  # pragma: no cover - guarded by could_fit_by_preemption
+
+    # -- occupancy transitions ---------------------------------------------------
+
+    def place(self, job: Job) -> None:
+        """Account a job that starts running here."""
+        if not self.fits_now(job.spec):
+            raise SchedulingError(
+                f"machine {self.machine_id}: job {job.job_id} does not fit "
+                f"(free {self.free_cores}c/{self.free_memory_gb}GB, "
+                f"needs {job.spec.cores}c/{job.spec.memory_gb}GB)"
+            )
+        self.free_cores -= job.spec.cores
+        self.free_memory_gb -= job.spec.memory_gb
+        self.running[job.job_id] = job
+
+    def suspend(self, job: Job) -> None:
+        """Move a running job to the suspended set (cores freed, memory kept)."""
+        if job.job_id not in self.running:
+            raise SchedulingError(
+                f"machine {self.machine_id}: cannot suspend job {job.job_id}: not running here"
+            )
+        del self.running[job.job_id]
+        self.suspended[job.job_id] = job
+        self.free_cores += job.spec.cores
+
+    def resume(self, job: Job) -> None:
+        """Move a suspended job back to running (cores re-acquired)."""
+        if job.job_id not in self.suspended:
+            raise SchedulingError(
+                f"machine {self.machine_id}: cannot resume job {job.job_id}: not suspended here"
+            )
+        if self.free_cores < job.spec.cores:
+            raise SchedulingError(
+                f"machine {self.machine_id}: cannot resume job {job.job_id}: "
+                f"only {self.free_cores} cores free"
+            )
+        del self.suspended[job.job_id]
+        self.running[job.job_id] = job
+        self.free_cores -= job.spec.cores
+
+    def remove(self, job: Job) -> None:
+        """Detach a job entirely (finish, restart-away, or cancellation)."""
+        if job.job_id in self.running:
+            del self.running[job.job_id]
+            self.free_cores += job.spec.cores
+            self.free_memory_gb += job.spec.memory_gb
+        elif job.job_id in self.suspended:
+            del self.suspended[job.job_id]
+            self.free_memory_gb += job.spec.memory_gb
+        else:
+            raise SchedulingError(
+                f"machine {self.machine_id}: cannot remove job {job.job_id}: not present"
+            )
+
+    def check_invariants(self) -> None:
+        """Raise :class:`SchedulingError` if occupancy accounting drifted."""
+        used_cores = sum(j.spec.cores for j in self.running.values())
+        used_memory = sum(
+            j.spec.memory_gb for j in self.running.values()
+        ) + sum(j.spec.memory_gb for j in self.suspended.values())
+        if self.free_cores != self.spec.cores - used_cores:
+            raise SchedulingError(
+                f"machine {self.machine_id}: core accounting drift "
+                f"(free={self.free_cores}, expected={self.spec.cores - used_cores})"
+            )
+        if abs(self.free_memory_gb - (self.spec.memory_gb - used_memory)) > 1e-6:
+            raise SchedulingError(
+                f"machine {self.machine_id}: memory accounting drift "
+                f"(free={self.free_memory_gb}, expected={self.spec.memory_gb - used_memory})"
+            )
+        for job in self.running.values():
+            if job.state is not JobState.RUNNING:
+                raise SchedulingError(
+                    f"machine {self.machine_id}: job {job.job_id} in running set "
+                    f"but state is {job.state.value}"
+                )
+        for job in self.suspended.values():
+            if job.state is not JobState.SUSPENDED:
+                raise SchedulingError(
+                    f"machine {self.machine_id}: job {job.job_id} in suspended set "
+                    f"but state is {job.state.value}"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"Machine({self.machine_id}, free={self.free_cores}/{self.spec.cores}c, "
+            f"running={len(self.running)}, suspended={len(self.suspended)})"
+        )

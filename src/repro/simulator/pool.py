@@ -1,0 +1,338 @@
+"""The physical pool manager.
+
+Implements the dispatch semantics of Section 2.1 at the level of one
+pool:
+
+* **First-fit dispatch** — "the pool manager searches its list to find
+  the first eligible machine (i.e., which satisfies the job
+  requirements) that is available and schedules the job there".
+* **Priority preemption** — "if there is a job currently running on an
+  eligible machine that has lower priority than the new job, this
+  currently running job will be suspended by the new job".
+* **Queueing** — "otherwise, the new job will be queued and waiting for
+  resources to become available in the physical pool".
+* **Give-back** — "if none of the machines in the list is eligible, the
+  physical pool manager will return the new job to the virtual pool
+  manager".
+
+The pool mutates machines and jobs but never talks to the event queue
+or to policies; the engine orchestrates those.  All capacity-releasing
+paths report which machines freed up so the engine can re-fill them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.context import PoolSnapshot
+from ..errors import SchedulingError
+from ..workload.cluster import PoolSpec
+from .job import Job, JobState
+from .machine import Machine
+from .queues import PriorityWaitQueue
+
+__all__ = ["PhysicalPool", "SubmitOutcome", "SubmitResult"]
+
+
+class SubmitOutcome(enum.Enum):
+    """What happened when a job arrived at a pool."""
+
+    STARTED = "started"  # placed on a free machine immediately
+    PREEMPTED = "preempted"  # placed by suspending lower-priority work
+    QUEUED = "queued"  # eligible machines exist, none available
+    INELIGIBLE = "ineligible"  # no machine can ever run this job
+
+
+@dataclass(frozen=True)
+class SubmitResult:
+    """Outcome of :meth:`PhysicalPool.submit`.
+
+    Attributes:
+        outcome: what happened.
+        machine: machine the job started on, when it started.
+        victims: jobs suspended to make room (``PREEMPTED`` only); the
+            engine passes each to the rescheduling policy.
+    """
+
+    outcome: SubmitOutcome
+    machine: Optional[Machine] = None
+    victims: Tuple[Job, ...] = ()
+
+
+class PhysicalPool:
+    """Runtime state and dispatch logic of one physical pool."""
+
+    def __init__(self, spec: PoolSpec) -> None:
+        self.spec = spec
+        self.machines: List[Machine] = [Machine(m) for m in spec.machines]
+        self.wait_queue = PriorityWaitQueue()
+        self.suspended: Dict[int, Job] = {}
+        self.total_cores = spec.total_cores
+        self.busy_cores = 0
+        self.running_jobs = 0
+        self._suspend_order: Dict[int, int] = {}
+        self._suspend_counter = 0
+
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def pool_id(self) -> str:
+        """The pool's identifier."""
+        return self.spec.pool_id
+
+    def utilization(self) -> float:
+        """Busy fraction of the pool's cores."""
+        if self.total_cores == 0:
+            return 0.0
+        return self.busy_cores / self.total_cores
+
+    def snapshot(self) -> PoolSnapshot:
+        """Point-in-time statistics for schedulers and policies."""
+        return PoolSnapshot(
+            pool_id=self.pool_id,
+            total_cores=self.total_cores,
+            busy_cores=self.busy_cores,
+            waiting_jobs=len(self.wait_queue),
+            suspended_jobs=len(self.suspended),
+        )
+
+    def running_job_count(self) -> int:
+        """Number of jobs currently executing in this pool."""
+        return self.running_jobs
+
+    # -- submission -----------------------------------------------------------------
+
+    def submit(self, job: Job, now: float) -> SubmitResult:
+        """Dispatch an arriving job per the NetBatch pool-manager rules."""
+        eligible_exists = False
+        # 1. First fit on an available eligible machine.
+        for machine in self.machines:
+            if not machine.eligible(job.spec):
+                continue
+            eligible_exists = True
+            if machine.fits_now(job.spec):
+                self._start_on(job, machine, now)
+                return SubmitResult(SubmitOutcome.STARTED, machine=machine)
+        if not eligible_exists:
+            return SubmitResult(SubmitOutcome.INELIGIBLE)
+        # 2. Preemption: first eligible machine where suspending
+        #    lower-priority work makes room.
+        for machine in self.machines:
+            if not machine.eligible(job.spec):
+                continue
+            victims = machine.preemption_victims(job.spec, job.priority)
+            # An empty victim list means preemption cannot make the job
+            # fit here (a machine it would already fit on was taken in
+            # step 1), so move on.
+            if not victims:
+                continue
+            for victim in victims:
+                self._suspend_on(victim, machine, now)
+            if not machine.fits_now(job.spec):
+                raise SchedulingError(
+                    f"pool {self.pool_id}: preemption on {machine.machine_id} "
+                    f"did not make room for job {job.job_id}"
+                )
+            self._start_on(job, machine, now)
+            return SubmitResult(
+                SubmitOutcome.PREEMPTED, machine=machine, victims=tuple(victims)
+            )
+        # 3. Queue.
+        job.enqueue(self.pool_id, now)
+        self.wait_queue.push(job)
+        return SubmitResult(SubmitOutcome.QUEUED)
+
+    # -- capacity refill ---------------------------------------------------------------
+
+    def fill_machine(self, machine: Machine, now: float) -> List[Job]:
+        """Hand freed capacity on ``machine`` to pending work.
+
+        Suspended jobs resident on the machine resume first,
+        unconditionally: NetBatch suspension is host-level (the process
+        image stays resident), so a host with a suspended job is not
+        "available" to the dispatch queue and the job resumes as soon
+        as its preemptor's cores free up.  Queued jobs only claim
+        whatever capacity is left once nothing resident can resume.
+        New *arrivals* can still re-suspend a resumed job through
+        dispatch-time preemption — which is how one job comes to be
+        "suspended more than once" during a burst (Section 2.2).
+        Returns the jobs that started or resumed.
+        """
+        placed: List[Job] = []
+        while True:
+            resumable = self._best_resumable(machine)
+            waiting = None
+            if resumable is None:
+                waiting = self.wait_queue.best_match(
+                    lambda j: machine.eligible(j.spec) and machine.fits_now(j.spec)
+                )
+            if resumable is None and waiting is None:
+                break
+            if resumable is not None:
+                job = resumable
+                machine.resume(job)
+                job.resume(now)
+                del self.suspended[job.job_id]
+                self._suspend_order.pop(job.job_id, None)
+                self.busy_cores += job.spec.cores
+                self.running_jobs += 1
+            else:
+                job = waiting
+                self.wait_queue.remove(job)
+                self._start_on(job, machine, now)
+            placed.append(job)
+        return placed
+
+    def _best_resumable(self, machine: Machine) -> Optional[Job]:
+        """Highest-priority suspended job on ``machine`` that fits its free cores."""
+        best: Optional[Job] = None
+        best_key = None
+        for job in machine.suspended.values():
+            if machine.free_cores < job.spec.cores:
+                continue
+            key = (-job.priority, self._suspend_order.get(job.job_id, 0))
+            if best_key is None or key < best_key:
+                best_key = key
+                best = job
+        return best
+
+    # -- job lifecycle hooks (called by the engine) ------------------------------------------
+
+    def finish_job(self, job: Job, now: float) -> Machine:
+        """Account a running job's completion; returns its machine."""
+        machine = job.machine
+        if machine is None or job.job_id not in machine.running:
+            raise SchedulingError(
+                f"pool {self.pool_id}: job {job.job_id} is not running on any machine here"
+            )
+        machine.remove(job)
+        self.busy_cores -= job.spec.cores
+        self.running_jobs -= 1
+        job.finish(now)
+        return machine
+
+    def detach_suspended(
+        self, job: Job, now: float, preserve_progress: bool = False
+    ) -> Machine:
+        """Remove a suspended job (rescheduled away); returns its machine.
+
+        Frees the memory the suspended job was holding, which may allow
+        queued work to start — the engine refills the machine.  With
+        ``preserve_progress`` the job keeps its completed work
+        (checkpoint/VM migration); otherwise the progress becomes
+        wasted-restart time (the paper's restart semantics).
+        """
+        machine = job.machine
+        if machine is None or job.job_id not in machine.suspended:
+            raise SchedulingError(
+                f"pool {self.pool_id}: job {job.job_id} is not suspended on any machine here"
+            )
+        machine.remove(job)
+        del self.suspended[job.job_id]
+        self._suspend_order.pop(job.job_id, None)
+        if preserve_progress:
+            job.checkpoint_detach(now)
+        else:
+            job.abandon(now)
+        return machine
+
+    def detach_running(self, job: Job, now: float) -> Machine:
+        """Remove a running job without completing it (duplicate-loser cleanup)."""
+        machine = job.machine
+        if machine is None or job.job_id not in machine.running:
+            raise SchedulingError(
+                f"pool {self.pool_id}: job {job.job_id} is not running on any machine here"
+            )
+        machine.remove(job)
+        self.busy_cores -= job.spec.cores
+        self.running_jobs -= 1
+        return machine
+
+    def remove_waiting(self, job: Job, now: float) -> None:
+        """Take a job out of the wait queue (waiting-job rescheduling)."""
+        self.wait_queue.remove(job)
+        job.dequeue(now)
+
+    def cancel_job(self, job: Job, now: float) -> Optional[Machine]:
+        """Tear down a duplicate-loser attempt wherever it is in this pool.
+
+        Returns the machine whose capacity was freed, or ``None`` when
+        the job was only waiting in the queue.
+        """
+        if job.state is JobState.RUNNING:
+            machine = self.detach_running(job, now)
+            job.cancel(now)
+            return machine
+        if job.state is JobState.SUSPENDED:
+            machine = job.machine
+            if machine is None or job.job_id not in machine.suspended:
+                raise SchedulingError(
+                    f"pool {self.pool_id}: job {job.job_id} is not suspended here"
+                )
+            machine.remove(job)
+            del self.suspended[job.job_id]
+            self._suspend_order.pop(job.job_id, None)
+            job.cancel(now)
+            return machine
+        if job.state is JobState.WAITING:
+            self.wait_queue.remove(job)
+            job.cancel(now)
+            return None
+        raise SchedulingError(
+            f"pool {self.pool_id}: cannot cancel job {job.job_id} "
+            f"in state {job.state.value}"
+        )
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _start_on(self, job: Job, machine: Machine, now: float) -> None:
+        machine.place(job)
+        job.start(machine, self.pool_id, now)
+        self.busy_cores += job.spec.cores
+        self.running_jobs += 1
+
+    def _suspend_on(self, victim: Job, machine: Machine, now: float) -> None:
+        machine.suspend(victim)
+        victim.suspend(now)
+        self.suspended[victim.job_id] = victim
+        self._suspend_order[victim.job_id] = self._suspend_counter
+        self._suspend_counter += 1
+        self.busy_cores -= victim.spec.cores
+        self.running_jobs -= 1
+
+    def check_invariants(self) -> None:
+        """Validate aggregate counters against per-machine state."""
+        running = sum(len(m.running) for m in self.machines)
+        if running != self.running_jobs:
+            raise SchedulingError(
+                f"pool {self.pool_id}: running-job drift (counter={self.running_jobs}, "
+                f"actual={running})"
+            )
+        busy = sum(m.busy_cores for m in self.machines)
+        if busy != self.busy_cores:
+            raise SchedulingError(
+                f"pool {self.pool_id}: busy-core drift (counter={self.busy_cores}, "
+                f"actual={busy})"
+            )
+        suspended_on_machines = {
+            job_id for m in self.machines for job_id in m.suspended
+        }
+        if suspended_on_machines != set(self.suspended):
+            raise SchedulingError(
+                f"pool {self.pool_id}: suspended-set drift"
+            )
+        for machine in self.machines:
+            machine.check_invariants()
+        for job in self.wait_queue.iter_jobs():
+            if job.state is not JobState.WAITING:
+                raise SchedulingError(
+                    f"pool {self.pool_id}: queued job {job.job_id} in state {job.state.value}"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"PhysicalPool({self.pool_id}, util={self.utilization():.2f}, "
+            f"waiting={len(self.wait_queue)}, suspended={len(self.suspended)})"
+        )

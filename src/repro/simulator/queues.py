@@ -1,0 +1,105 @@
+"""Priority wait queue with lazy removal.
+
+Physical pools queue jobs "waiting for resources to become available"
+in priority order (higher priority first), FIFO within a priority
+level.  The queue supports the operation waiting-job rescheduling
+needs — removing a job from the middle — via lazy invalidation, so
+both push and pop stay O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import SchedulingError
+from .job import Job
+
+__all__ = ["PriorityWaitQueue"]
+
+
+class PriorityWaitQueue:
+    """Max-priority, FIFO-within-priority queue of waiting jobs."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Job]] = []
+        self._counter = itertools.count()
+        self._members: set = set()  # job ids currently valid in the queue
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, job: Job) -> bool:
+        return job.job_id in self._members
+
+    def push(self, job: Job) -> None:
+        """Enqueue ``job`` (must not already be queued here)."""
+        if job.job_id in self._members:
+            raise SchedulingError(f"job {job.job_id} is already in this wait queue")
+        heapq.heappush(self._heap, (-job.priority, next(self._counter), job))
+        self._members.add(job.job_id)
+
+    def pop(self) -> Job:
+        """Dequeue the highest-priority (oldest within level) job."""
+        while self._heap:
+            _, _, job = heapq.heappop(self._heap)
+            if job.job_id in self._members:
+                self._members.discard(job.job_id)
+                return job
+        raise SchedulingError("pop from an empty wait queue")
+
+    def peek(self) -> Optional[Job]:
+        """The job :meth:`pop` would return, or ``None`` if empty."""
+        while self._heap:
+            _, _, job = self._heap[0]
+            if job.job_id in self._members:
+                return job
+            heapq.heappop(self._heap)
+        return None
+
+    def remove(self, job: Job) -> None:
+        """Remove ``job`` from anywhere in the queue (lazy)."""
+        if job.job_id not in self._members:
+            raise SchedulingError(f"job {job.job_id} is not in this wait queue")
+        self._members.discard(job.job_id)
+        self._compact_if_stale()
+
+    def best_match(self, predicate) -> Optional[Job]:
+        """Highest-priority (oldest within level) job satisfying ``predicate``.
+
+        Non-destructive O(n) scan over the heap storage — used by pools
+        to match queued jobs to a machine that just freed capacity,
+        where sorting the whole queue per event would be too costly.
+        """
+        best_key: Optional[Tuple[int, int]] = None
+        best_job: Optional[Job] = None
+        for neg_priority, order, job in self._heap:
+            if job.job_id not in self._members:
+                continue
+            key = (neg_priority, order)
+            if (best_key is None or key < best_key) and predicate(job):
+                best_key = key
+                best_job = job
+        return best_job
+
+    def iter_jobs(self) -> Iterator[Job]:
+        """Iterate valid entries in priority order (non-destructive).
+
+        O(n log n); used by pools when matching queued jobs to a freed
+        machine, and by tests.
+        """
+        for _, _, job in sorted(self._heap):
+            if job.job_id in self._members:
+                yield job
+
+    def _compact_if_stale(self) -> None:
+        """Rebuild the heap when more than half its entries are invalid."""
+        if len(self._heap) > 16 and len(self._heap) > 2 * len(self._members):
+            self._heap = [
+                entry for entry in self._heap if entry[2].job_id in self._members
+            ]
+            heapq.heapify(self._heap)
+
+    def __repr__(self) -> str:
+        return f"PriorityWaitQueue(len={len(self)})"

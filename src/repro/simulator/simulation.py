@@ -1,0 +1,63 @@
+"""The one-call simulation facade.
+
+Most users need exactly one entry point::
+
+    from repro import run_simulation, res_sus_util, busy_week
+
+    scenario = busy_week()
+    result = run_simulation(
+        scenario.trace, scenario.cluster, policy=res_sus_util()
+    )
+
+Power users construct :class:`~repro.simulator.engine.SimulationEngine`
+directly (e.g. to step events manually in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.policy import ReschedulingPolicy
+from ..schedulers.initial import InitialScheduler
+from ..workload.cluster import ClusterSpec
+from ..workload.trace import Trace
+from .config import SimulationConfig
+from .engine import SimulationEngine
+from .results import SimulationResult
+
+__all__ = ["run_simulation"]
+
+
+def run_simulation(
+    trace: Trace,
+    cluster: ClusterSpec,
+    *,
+    policy: Optional[ReschedulingPolicy] = None,
+    initial_scheduler: Optional[InitialScheduler] = None,
+    config: Optional[SimulationConfig] = None,
+) -> SimulationResult:
+    """Simulate ``trace`` on ``cluster`` and return the results.
+
+    Args:
+        trace: the workload (e.g. from a scenario preset or generator).
+        cluster: the site to emulate.
+        policy: dynamic rescheduling policy; defaults to the paper's
+            *NoRes* baseline.
+        initial_scheduler: the VPM's initial scheduler; defaults to
+            NetBatch's round-robin.
+        config: engine knobs; defaults to
+            :class:`~repro.simulator.config.SimulationConfig`'s
+            paper-faithful settings.
+
+    Returns:
+        The :class:`~repro.simulator.results.SimulationResult` with
+        per-job records and per-minute state samples.
+    """
+    engine = SimulationEngine(
+        trace,
+        cluster,
+        policy=policy,
+        initial_scheduler=initial_scheduler,
+        config=config,
+    )
+    return engine.run()

@@ -1,0 +1,67 @@
+"""The virtual pool manager (VPM).
+
+"NetBatch deploys a middleware layer called virtual pool managers at
+each site ... A virtual pool manager accepts job submissions from users
+at that site, and then distributes jobs to the connected physical pools
+according to resource availability and NetBatch configurations"
+(Section 2.1).
+
+The VPM delegates pool *ordering* to the pluggable initial scheduler
+and walks that order, skipping pools that would give the job back as
+statically ineligible.  The engine pre-filters candidates to pools with
+at least one eligible machine, so give-back almost never happens at the
+pool; the pool-level check remains as a backstop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.context import SystemView
+from ..schedulers.initial import InitialScheduler
+from .job import Job
+from .pool import PhysicalPool, SubmitOutcome, SubmitResult
+
+__all__ = ["VirtualPoolManager"]
+
+
+class VirtualPoolManager:
+    """One site-level submission endpoint."""
+
+    def __init__(
+        self,
+        vpm_id: str,
+        scheduler: InitialScheduler,
+        pools: Dict[str, PhysicalPool],
+    ) -> None:
+        self.vpm_id = vpm_id
+        self.scheduler = scheduler
+        self._pools = pools
+
+    def submit(
+        self, job: Job, candidates: Sequence[str], view: SystemView, now: float
+    ) -> Tuple[SubmitResult, Optional[str]]:
+        """Place ``job`` at the first pool (in scheduler order) that takes it.
+
+        Args:
+            job: the job to place.
+            candidates: pool ids the job may run in *and* that have at
+                least one statically eligible machine (pre-filtered by
+                the engine).
+            view: live statistics handed to the initial scheduler.
+            now: current simulated time.
+
+        Returns:
+            The accepting pool's :class:`SubmitResult` and its id, or
+            an ``INELIGIBLE`` result and ``None`` when every candidate
+            gave the job back.
+        """
+        if candidates:
+            for pool_id in self.scheduler.order(candidates, view):
+                result = self._pools[pool_id].submit(job, now)
+                if result.outcome is not SubmitOutcome.INELIGIBLE:
+                    return result, pool_id
+        return SubmitResult(SubmitOutcome.INELIGIBLE), None
+
+    def __repr__(self) -> str:
+        return f"VirtualPoolManager({self.vpm_id}, scheduler={self.scheduler.name})"

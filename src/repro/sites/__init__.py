@@ -1,0 +1,25 @@
+"""Multi-site NetBatch: topology, WAN overheads, inter-site rescheduling.
+
+Implements the paper's inter-site future work on top of the single-site
+simulator: sites are groups of pools with pairwise transfer latencies;
+site-aware selectors and overhead models plug into the ordinary policy
+and engine interfaces.
+"""
+
+from .experiments import inter_site_ablation
+from .overheads import InterSiteOverhead
+from .scenario import MultiSiteScenario, multi_site_scenario, rename_pools
+from .selectors import LocalFirstSelector, TransferAwareSelector
+from .topology import SiteSpec, SiteTopology
+
+__all__ = [
+    "inter_site_ablation",
+    "InterSiteOverhead",
+    "MultiSiteScenario",
+    "multi_site_scenario",
+    "rename_pools",
+    "LocalFirstSelector",
+    "TransferAwareSelector",
+    "SiteSpec",
+    "SiteTopology",
+]

@@ -1,0 +1,83 @@
+"""Inter-site rescheduling experiments (the paper's future work).
+
+The conclusion proposes "more sophisticated rescheduling strategies
+that combine job duplication techniques and inter-site rescheduling"
+and notes the simulator should "incorporate network delays and other
+rescheduling associated overheads".  :func:`inter_site_ablation` runs
+exactly that study: a burst pins down one site while the others idle,
+and we compare
+
+* **NoRes** — the baseline;
+* **local-only** rescheduling (strictly intra-site, the deployed
+  NetBatch capability);
+* **local-first** rescheduling (go remote only when no local pool is
+  acceptable);
+* **transfer-aware** inter-site rescheduling (remote pools compete on
+  predicted start time including the WAN latency),
+
+all under an :class:`~repro.sites.overheads.InterSiteOverhead` that
+charges real minutes for crossing sites.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.policies import NoRescheduling, RescheduleSuspendedAndWaiting
+from ..core.selectors import LowestUtilizationSelector
+from ..metrics.summary import PerformanceSummary, summarize
+from ..schedulers.initial import RoundRobinScheduler
+from ..simulator.config import SimulationConfig
+from ..simulator.simulation import run_simulation
+from .overheads import InterSiteOverhead
+from .scenario import MultiSiteScenario, multi_site_scenario
+from .selectors import LocalFirstSelector, TransferAwareSelector
+
+__all__ = ["inter_site_ablation"]
+
+
+def inter_site_ablation(
+    scale: float = 0.2,
+    seed: int = 2010,
+    transfer_minutes: float = 45.0,
+    wait_threshold: float = 30.0,
+    scenario: Optional[MultiSiteScenario] = None,
+) -> Tuple[MultiSiteScenario, Tuple[PerformanceSummary, ...]]:
+    """Run the inter-site strategy comparison; returns (scenario, rows)."""
+    if scenario is None:
+        scenario = multi_site_scenario(
+            scale=scale, seed=seed, transfer_minutes=transfer_minutes
+        )
+    topology = scenario.topology
+    overhead = InterSiteOverhead(topology=topology, per_gb_minutes=1.0)
+    policies = [
+        NoRescheduling(),
+        RescheduleSuspendedAndWaiting(
+            LocalFirstSelector(topology, allow_remote=False),
+            wait_threshold,
+            name="LocalOnly",
+        ),
+        RescheduleSuspendedAndWaiting(
+            LocalFirstSelector(topology, allow_remote=True),
+            wait_threshold,
+            name="LocalFirst",
+        ),
+        RescheduleSuspendedAndWaiting(
+            TransferAwareSelector(topology),
+            wait_threshold,
+            name="TransferAware",
+        ),
+    ]
+    summaries = []
+    for policy in policies:
+        result = run_simulation(
+            scenario.trace,
+            scenario.cluster,
+            policy=policy,
+            initial_scheduler=RoundRobinScheduler(),
+            config=SimulationConfig(
+                strict=False, record_samples=False, restart_overhead=overhead
+            ),
+        )
+        summaries.append(summarize(result))
+    return scenario, tuple(summaries)

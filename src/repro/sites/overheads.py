@@ -1,0 +1,71 @@
+"""Topology-aware move overheads.
+
+The paper's planned simulator improvement — "network delays and other
+rescheduling associated overheads" — matters most *between* sites:
+"data synchronization and large data transfers" accompany a job that
+restarts in another data center.  :class:`InterSiteOverhead` charges an
+intra-site move like an ordinary restart and adds the topology's
+transfer latency (plus a per-GB term) for cross-site moves.
+
+The engine duck-types on :meth:`delay_between`; any object with that
+method can serve as a move-overhead model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.overheads import NO_OVERHEAD, RestartOverhead
+from ..errors import ConfigurationError
+from .topology import SiteTopology
+
+__all__ = ["InterSiteOverhead"]
+
+
+@dataclass(frozen=True)
+class InterSiteOverhead:
+    """Move delay = local overhead + inter-site transfer when crossing.
+
+    Attributes:
+        topology: the site topology providing pairwise latencies.
+        local: overhead applied to every move (defaults to none, the
+            paper's intra-site assumption).
+        per_gb_minutes: additional cross-site cost per GB of job
+            footprint (input data and binaries travelling over the WAN).
+    """
+
+    topology: SiteTopology
+    local: RestartOverhead = field(default_factory=lambda: NO_OVERHEAD)
+    per_gb_minutes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.per_gb_minutes < 0:
+            raise ConfigurationError("per_gb_minutes must be >= 0")
+
+    def delay_for(self, job_spec) -> float:
+        """Context-free fallback: the local move cost only.
+
+        Used by the engine when the origin pool is unknown (first
+        placements are not moves, so this path is rare).
+        """
+        return self.local.delay_for(job_spec)
+
+    def delay_between(self, job_spec, origin_pool: str, target_pool: str) -> float:
+        """Delay for moving ``job_spec`` from ``origin`` to ``target``."""
+        delay = self.local.delay_for(job_spec)
+        if not self.topology.same_site(origin_pool, target_pool):
+            delay += self.topology.transfer_minutes(origin_pool, target_pool)
+            delay += self.per_gb_minutes * job_spec.memory_gb
+        return delay
+
+    @property
+    def is_free(self) -> bool:
+        """True when no move ever incurs any delay."""
+        if not self.local.is_free or self.per_gb_minutes > 0:
+            return False
+        pools = [p for site in self.topology.sites for p in site.pool_ids]
+        return all(
+            self.topology.transfer_minutes(a, b) == 0.0
+            for a in pools
+            for b in pools
+        )

@@ -1,0 +1,107 @@
+"""Site-aware alternate-pool selectors.
+
+Inter-site rescheduling changes the selection problem: a remote pool
+may be emptier, but reaching it costs a WAN transfer.  Two selectors
+capture the design space:
+
+* :class:`LocalFirstSelector` — only go remote when no local pool is
+  acceptable (the conservative deployment the paper's operators would
+  likely start with);
+* :class:`TransferAwareSelector` — score every candidate by expected
+  time-to-start *including* the transfer latency, so a far-away empty
+  pool competes fairly against a nearby busy one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.context import SystemView
+from ..core.selectors import LowestUtilizationSelector, PoolSelector
+from ..errors import ConfigurationError
+from .topology import SiteTopology
+
+__all__ = ["LocalFirstSelector", "TransferAwareSelector"]
+
+
+@dataclass(frozen=True)
+class LocalFirstSelector(PoolSelector):
+    """Delegate to an inner selector, preferring same-site pools.
+
+    The inner selector first sees only the candidates co-located with
+    the job's current pool; only if it declines (no acceptable local
+    pool) does it see the remote candidates.  With
+    ``allow_remote=False`` the selector is strictly intra-site — the
+    paper's current-deployment baseline, against which inter-site
+    rescheduling is the proposed extension.
+    """
+
+    topology: SiteTopology
+    inner: PoolSelector = field(default_factory=LowestUtilizationSelector)
+    allow_remote: bool = True
+
+    def select(
+        self, candidates: Sequence[str], current_pool: Optional[str], view: SystemView
+    ) -> Optional[str]:
+        if current_pool is None:
+            return self.inner.select(candidates, current_pool, view)
+        local = set(self.topology.local_pools(current_pool))
+        local_candidates = [p for p in candidates if p in local]
+        choice = self.inner.select(local_candidates, current_pool, view)
+        if choice is not None or not self.allow_remote:
+            return choice
+        remote_candidates = [p for p in candidates if p not in local]
+        if not remote_candidates:
+            return None
+        return self.inner.select(remote_candidates, current_pool, view)
+
+
+@dataclass(frozen=True)
+class TransferAwareSelector(PoolSelector):
+    """Minimise predicted time-to-start including the transfer latency.
+
+    Score(pool) = predicted queueing wait (backlog over service rate,
+    as in :class:`~repro.core.selectors.PredictedWaitSelector`) plus the
+    topology's transfer minutes from the job's current pool.  The move
+    is suppressed unless the best alternative beats staying put by
+    ``min_gain_minutes``, so marginal cross-site moves don't churn.
+    """
+
+    topology: SiteTopology
+    mean_runtime: float = 120.0
+    min_gain_minutes: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.mean_runtime <= 0:
+            raise ConfigurationError("mean_runtime must be > 0")
+        if self.min_gain_minutes < 0:
+            raise ConfigurationError("min_gain_minutes must be >= 0")
+
+    def _queue_wait(self, snapshot) -> float:
+        net_backlog = (
+            snapshot.waiting_jobs + snapshot.suspended_jobs - snapshot.free_cores
+        )
+        if net_backlog <= 0:
+            return 0.0
+        return net_backlog * self.mean_runtime / max(snapshot.total_cores, 1)
+
+    def select(
+        self, candidates: Sequence[str], current_pool: Optional[str], view: SystemView
+    ) -> Optional[str]:
+        others = self._others(candidates, current_pool)
+        if not others:
+            return None
+
+        def score(pool_id: str) -> float:
+            wait = self._queue_wait(view.pool(pool_id))
+            if current_pool is not None:
+                wait += self.topology.transfer_minutes(current_pool, pool_id)
+            return wait
+
+        best = min(others, key=lambda pid: (score(pid), pid))
+        if current_pool is not None:
+            staying = self._queue_wait(view.pool(current_pool))
+            if score(best) + self.min_gain_minutes > staying:
+                return None
+        return best

@@ -1,0 +1,203 @@
+"""Programmatic validation of the paper's headline claims.
+
+Runs the reproduction experiments and checks each qualitative claim the
+paper makes, producing a structured report (also available from the CLI
+as ``repro validate``).  This is the repository's "does the
+reproduction still reproduce?" switchboard: every claim is a named,
+evaluable predicate over experiment outputs, so a regression in the
+simulator or a recalibration of the workload shows up as a failed claim
+rather than a silently drifting number.
+
+The claims checked (see EXPERIMENTS.md for the full paper-vs-measured
+discussion, including the known gaps that are deliberately *not*
+asserted here):
+
+1.  Baseline utilization sits in the paper's 20-60% band (Figure 4).
+2.  Suspension times are long and right-skewed (Figure 2).
+3.  ResSusUtil cuts the average completion time of suspended jobs
+    (Table 1, "50% reduction").
+4.  ResSusUtil cuts the average wasted completion time (Table 1,
+    "reduce the system waste time by more than 33%").
+5.  ResSusUtil all but eliminates time spent suspended (Tables 1-2).
+6.  Random alternate-pool selection is clearly worse than
+    utilization-based selection without second chances (Tables 1-3).
+7.  High load amplifies completion times (Table 2 vs Table 1).
+8.  Rescheduling keeps working under the utilization-based initial
+    scheduler (Table 3).
+9.  Adding waiting-job rescheduling improves on suspended-only
+    rescheduling (Table 4 vs Table 2).
+10. With second chances, random selection performs comparably to
+    utilization-based selection (Tables 4-5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .experiments import figures, tables
+
+__all__ = ["ClaimResult", "ValidationReport", "validate_paper_claims"]
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """Outcome of checking one paper claim.
+
+    Attributes:
+        claim: short name of the claim.
+        paper: what the paper reports.
+        measured: what this reproduction measured.
+        passed: whether the qualitative claim held.
+    """
+
+    claim: str
+    paper: str
+    measured: str
+    passed: bool
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All claim results plus convenience accessors."""
+
+    results: List[ClaimResult]
+
+    @property
+    def passed(self) -> bool:
+        """True when every claim held."""
+        return all(r.passed for r in self.results)
+
+    @property
+    def failures(self) -> List[ClaimResult]:
+        """The claims that did not hold."""
+        return [r for r in self.results if not r.passed]
+
+    def render(self) -> str:
+        """Human-readable report table."""
+        lines = [f"{'':2} {'claim':<44} {'paper':<26} measured"]
+        lines.append("-" * 100)
+        for r in self.results:
+            mark = "OK" if r.passed else "!!"
+            lines.append(f"{mark:2} {r.claim:<44} {r.paper:<26} {r.measured}")
+        verdict = "ALL CLAIMS HOLD" if self.passed else (
+            f"{len(self.failures)} CLAIM(S) FAILED"
+        )
+        lines.append("-" * 100)
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def validate_paper_claims(
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    year_horizon: Optional[float] = None,
+) -> ValidationReport:
+    """Run the experiment suite and check the paper's headline claims."""
+    t1 = tables.table1(scale=scale, seed=seed)
+    t2 = tables.table2(scale=scale, seed=seed)
+    t3 = tables.table3(scale=scale, seed=seed)
+    t4 = tables.table4(scale=scale, seed=seed)
+    t5 = tables.table5(scale=scale, seed=seed)
+    fig2 = figures.figure2(scale=scale, seed=seed, horizon=year_horizon)
+    fig4 = figures.figure4(scale=scale, seed=seed, horizon=year_horizon)
+
+    results: List[ClaimResult] = []
+
+    def check(claim: str, paper: str, measured: str, passed: bool) -> None:
+        results.append(
+            ClaimResult(claim=claim, paper=paper, measured=measured, passed=passed)
+        )
+
+    mean_util = fig4.analysis.mean_utilization_pct
+    check(
+        "utilization in the 20-60% band (Fig 4)",
+        "~40% average",
+        f"{mean_util:.0f}% average",
+        20.0 <= mean_util <= 60.0,
+    )
+
+    susp = fig2.analysis
+    check(
+        "suspensions long and right-skewed (Fig 2)",
+        "median 437, mean 905",
+        f"median {susp.median_minutes:.0f}, mean {susp.mean_minutes:.0f}",
+        susp.median_minutes > 30.0 and susp.mean_minutes > susp.median_minutes,
+    )
+
+    util_ct_gain = t1.avg_ct_suspended_reduction("ResSusUtil")
+    check(
+        "ResSusUtil cuts suspended jobs' AvgCT (T1)",
+        "-49%",
+        f"{-util_ct_gain:.0f}%" if util_ct_gain is not None else "n/a",
+        util_ct_gain is not None and util_ct_gain > 10.0,
+    )
+
+    util_wct_gain = t1.avg_wct_reduction("ResSusUtil")
+    check(
+        "ResSusUtil cuts AvgWCT by >=33% (T1)",
+        "-33%",
+        f"{-util_wct_gain:.0f}%" if util_wct_gain is not None else "n/a",
+        util_wct_gain is not None and util_wct_gain >= 33.0,
+    )
+
+    st_baseline = t1.baseline().avg_st or 0.0
+    st_resched = t1.by_name("ResSusUtil").avg_st or 0.0
+    check(
+        "ResSusUtil eliminates suspend time (T1)",
+        "1189 -> 82 min",
+        f"{st_baseline:.0f} -> {st_resched:.0f} min",
+        st_resched < 0.25 * st_baseline if st_baseline else False,
+    )
+
+    rand_worse = all(
+        comparison.by_name("ResSusRand").avg_wct
+        > comparison.by_name("ResSusUtil").avg_wct
+        for comparison in (t1, t2, t3)
+    )
+    check(
+        "random selection clearly worse than util (T1-T3)",
+        "Rand backfires",
+        "Rand > Util AvgWCT in T1, T2, T3" if rand_worse else "ordering violated",
+        rand_worse,
+    )
+
+    load_ratio = t2.baseline().avg_ct_all / t1.baseline().avg_ct_all
+    check(
+        "high load inflates AvgCT(all) (T2 vs T1)",
+        "1.74x",
+        f"{load_ratio:.2f}x",
+        load_ratio > 1.2,
+    )
+
+    t3_gain = t3.avg_ct_suspended_reduction("ResSusUtil")
+    check(
+        "rescheduling works under util-based initial (T3)",
+        "-75% CT(susp)",
+        f"{-t3_gain:.0f}%" if t3_gain is not None else "n/a",
+        t3_gain is not None and t3_gain > 0.0,
+    )
+
+    combined_better = (
+        t4.by_name("ResSusWaitUtil").avg_wct < t2.by_name("ResSusUtil").avg_wct
+    )
+    check(
+        "waiting-job rescheduling improves further (T4 vs T2)",
+        "-79% vs -75% CT(susp)",
+        "WaitUtil < Util on AvgWCT" if combined_better else "no improvement",
+        combined_better,
+    )
+
+    rand_competitive = all(
+        comparison.by_name("ResSusWaitRand").avg_wct
+        < 2.0 * comparison.by_name("ResSusWaitUtil").avg_wct
+        for comparison in (t4, t5)
+    )
+    check(
+        "random ~ util with second chances (T4-T5)",
+        "within ~1-13%",
+        "within 2x in T4 and T5" if rand_competitive else "not competitive",
+        rand_competitive,
+    )
+
+    return ValidationReport(results=results)

@@ -1,0 +1,92 @@
+"""Workload substrate: traces, clusters, synthetic generation, scenarios.
+
+This package replaces the paper's proprietary inputs — the year-long
+NetBatch job traces and the production cluster inventory — with
+parametric, seed-reproducible synthetic equivalents.  See DESIGN.md
+section 2 for the substitution rationale.
+"""
+
+from .arrivals import BurstProcess, BurstWindow, DiurnalPoissonProcess, PoissonProcess
+from .characterization import (
+    TraceCharacterization,
+    characterize,
+    fano_factor,
+)
+from .cluster import ClusterSpec, ClusterTemplate, MachineSpec, PoolSpec
+from .distributions import (
+    BoundedPareto,
+    Categorical,
+    Constant,
+    Exponential,
+    LogNormal,
+    Mixture,
+    RandomStreams,
+    Sampler,
+    Uniform,
+    lognormal_from_median,
+)
+from .generator import WorkloadGenerator, WorkloadModel, generate_trace
+from .io import (
+    cluster_from_json,
+    cluster_to_json,
+    trace_from_csv,
+    trace_from_jsonl,
+    trace_to_csv,
+    trace_to_jsonl,
+)
+from .scenarios import (
+    DEFAULT_WAIT_THRESHOLD,
+    WEEK_MINUTES,
+    Scenario,
+    busy_week,
+    high_load,
+    high_suspension,
+    smoke,
+    year,
+)
+from .trace import Trace, TraceJob, TraceStats, jobs_by_task
+
+__all__ = [
+    "BurstProcess",
+    "BurstWindow",
+    "DiurnalPoissonProcess",
+    "PoissonProcess",
+    "TraceCharacterization",
+    "characterize",
+    "fano_factor",
+    "ClusterSpec",
+    "ClusterTemplate",
+    "MachineSpec",
+    "PoolSpec",
+    "BoundedPareto",
+    "Categorical",
+    "Constant",
+    "Exponential",
+    "LogNormal",
+    "Mixture",
+    "RandomStreams",
+    "Sampler",
+    "Uniform",
+    "lognormal_from_median",
+    "WorkloadGenerator",
+    "WorkloadModel",
+    "generate_trace",
+    "cluster_from_json",
+    "cluster_to_json",
+    "trace_from_csv",
+    "trace_from_jsonl",
+    "trace_to_csv",
+    "trace_to_jsonl",
+    "DEFAULT_WAIT_THRESHOLD",
+    "WEEK_MINUTES",
+    "Scenario",
+    "busy_week",
+    "high_load",
+    "high_suspension",
+    "smoke",
+    "year",
+    "Trace",
+    "TraceJob",
+    "TraceStats",
+    "jobs_by_task",
+]

@@ -1,0 +1,265 @@
+"""Workload characterization: the paper's Section-2 methodology as a toolkit.
+
+The paper's first contribution is "an analysis of job execution traces
+... one of the first trace-driven efforts at empirically understanding
+the performance characteristics of scheduling policies within a
+distributed computing platform".  This module provides the
+corresponding measurements over any :class:`~repro.workload.trace.Trace`
+— ours or an imported one — so the synthetic generator's output can be
+checked against the properties the paper reports (and against any real
+trace a user substitutes):
+
+* arrival-process statistics, including windowed burstiness (the Fano
+  factor: variance-to-mean ratio of per-window arrival counts; 1 for a
+  Poisson process, ≫1 for the bursty high-priority stream);
+* runtime-distribution statistics (percentiles, tail weight);
+* priority mix and per-business-group load shares;
+* pool-affinity breadth (how constrained candidate sets are).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .distributions import quantile
+from .trace import Trace
+
+__all__ = [
+    "ArrivalCharacterization",
+    "RuntimeCharacterization",
+    "MixCharacterization",
+    "TraceCharacterization",
+    "characterize",
+    "fano_factor",
+]
+
+
+def fano_factor(
+    arrival_minutes: List[float],
+    window_minutes: float = 60.0,
+    span: Optional[Tuple[float, float]] = None,
+) -> float:
+    """Variance-to-mean ratio of per-window arrival counts.
+
+    1.0 for a homogeneous Poisson process; substantially above 1 for
+    bursty arrivals (the paper's high-priority stream).
+
+    ``span`` fixes the observation window; by default it is the
+    arrivals' own extent.  When measuring one priority class of a
+    longer trace, pass the whole trace's span — a class that arrives
+    only in one burst is extremely bursty *over the trace*, even though
+    it looks Poisson within the burst itself.
+    """
+    if window_minutes <= 0:
+        raise ConfigurationError("window_minutes must be > 0")
+    if not arrival_minutes:
+        return 0.0
+    if span is None:
+        start = min(arrival_minutes)
+        end = max(arrival_minutes)
+    else:
+        start, end = span
+        if end < start:
+            raise ConfigurationError("span end must be >= start")
+    window_count = max(1, int(math.ceil((end - start) / window_minutes)))
+    counts = [0] * window_count
+    for minute in arrival_minutes:
+        index = min(window_count - 1, int((minute - start) // window_minutes))
+        counts[index] += 1
+    mean = sum(counts) / window_count
+    if mean == 0:
+        return 0.0
+    variance = sum((c - mean) ** 2 for c in counts) / window_count
+    return variance / mean
+
+
+@dataclass(frozen=True)
+class ArrivalCharacterization:
+    """Arrival-process statistics for one priority class (or all jobs).
+
+    Attributes:
+        job_count: arrivals measured.
+        rate_per_minute: mean arrival rate over the span.
+        interarrival_cv: coefficient of variation of interarrival gaps
+            (1 for Poisson; > 1 indicates clustering).
+        fano_factor: windowed burstiness (see :func:`fano_factor`).
+    """
+
+    job_count: int
+    rate_per_minute: float
+    interarrival_cv: float
+    fano_factor: float
+
+
+@dataclass(frozen=True)
+class RuntimeCharacterization:
+    """Runtime-distribution statistics.
+
+    Attributes:
+        mean: mean runtime (minutes).
+        median: 50th percentile.
+        p90: 90th percentile.
+        p99: 99th percentile.
+        maximum: longest runtime.
+        tail_weight: fraction of total runtime mass contributed by the
+            longest 10% of jobs — the heavy-tail signature (0.1 for a
+            uniform distribution, larger when tails dominate).
+    """
+
+    mean: float
+    median: float
+    p90: float
+    p99: float
+    maximum: float
+    tail_weight: float
+
+
+@dataclass(frozen=True)
+class MixCharacterization:
+    """Composition of the workload.
+
+    Attributes:
+        priority_share: priority level -> fraction of jobs.
+        group_load_share: user/group -> fraction of total core-minutes.
+        restricted_fraction: fraction of jobs with a candidate-pool
+            whitelist (ownership/affinity configuration).
+        mean_candidate_pools: mean whitelist size over restricted jobs.
+    """
+
+    priority_share: Dict[int, float]
+    group_load_share: Dict[str, float]
+    restricted_fraction: float
+    mean_candidate_pools: float
+
+
+@dataclass(frozen=True)
+class TraceCharacterization:
+    """Full Section-2-style characterization of a trace."""
+
+    arrivals_all: ArrivalCharacterization
+    arrivals_by_priority: Dict[int, ArrivalCharacterization]
+    runtime: RuntimeCharacterization
+    mix: MixCharacterization
+
+    def render(self) -> str:
+        """Human-readable report."""
+        lines = ["trace characterization"]
+        a = self.arrivals_all
+        lines.append(
+            f"  arrivals: {a.job_count} jobs, {a.rate_per_minute:.3f}/min, "
+            f"interarrival CV {a.interarrival_cv:.2f}, Fano {a.fano_factor:.1f}"
+        )
+        for priority in sorted(self.arrivals_by_priority):
+            p = self.arrivals_by_priority[priority]
+            lines.append(
+                f"    priority {priority:>3}: {p.job_count} jobs, "
+                f"Fano {p.fano_factor:.1f}"
+            )
+        r = self.runtime
+        lines.append(
+            f"  runtimes: mean {r.mean:.0f}, median {r.median:.0f}, "
+            f"p90 {r.p90:.0f}, p99 {r.p99:.0f}, max {r.maximum:.0f} min; "
+            f"top-decile mass {r.tail_weight * 100:.0f}%"
+        )
+        m = self.mix
+        lines.append(
+            f"  mix: {m.restricted_fraction * 100:.0f}% pool-restricted "
+            f"(mean whitelist {m.mean_candidate_pools:.1f} pools)"
+        )
+        return "\n".join(lines)
+
+
+def _characterize_arrivals(
+    minutes: List[float],
+    window_minutes: float,
+    span: Optional[Tuple[float, float]] = None,
+) -> ArrivalCharacterization:
+    count = len(minutes)
+    if count < 2:
+        return ArrivalCharacterization(
+            job_count=count, rate_per_minute=0.0, interarrival_cv=0.0, fano_factor=0.0
+        )
+    extent = minutes[-1] - minutes[0]
+    gaps = [b - a for a, b in zip(minutes, minutes[1:])]
+    mean_gap = sum(gaps) / len(gaps)
+    if mean_gap > 0:
+        variance = sum((g - mean_gap) ** 2 for g in gaps) / len(gaps)
+        cv = math.sqrt(variance) / mean_gap
+    else:
+        cv = 0.0
+    return ArrivalCharacterization(
+        job_count=count,
+        rate_per_minute=count / extent if extent > 0 else 0.0,
+        interarrival_cv=cv,
+        fano_factor=fano_factor(minutes, window_minutes, span=span),
+    )
+
+
+def characterize(
+    trace: Trace, burstiness_window: float = 60.0
+) -> TraceCharacterization:
+    """Compute the full characterization of ``trace``."""
+    if len(trace) == 0:
+        raise ConfigurationError("cannot characterize an empty trace")
+    all_minutes = [j.submit_minute for j in trace]
+    by_priority: Dict[int, List[float]] = {}
+    runtimes: List[float] = []
+    group_core_minutes: Dict[str, float] = {}
+    restricted = 0
+    whitelist_sizes: List[int] = []
+    for job in trace:
+        by_priority.setdefault(job.priority, []).append(job.submit_minute)
+        runtimes.append(job.runtime_minutes)
+        group_core_minutes[job.user] = (
+            group_core_minutes.get(job.user, 0.0)
+            + job.runtime_minutes * job.cores
+        )
+        if job.candidate_pools is not None:
+            restricted += 1
+            whitelist_sizes.append(len(job.candidate_pools))
+
+    runtimes.sort()
+    total_mass = sum(runtimes)
+    top_decile_start = int(math.floor(0.9 * len(runtimes)))
+    tail_mass = sum(runtimes[top_decile_start:])
+    runtime = RuntimeCharacterization(
+        mean=total_mass / len(runtimes),
+        median=quantile(runtimes, 0.5),
+        p90=quantile(runtimes, 0.9),
+        p99=quantile(runtimes, 0.99),
+        maximum=runtimes[-1],
+        tail_weight=tail_mass / total_mass if total_mass else 0.0,
+    )
+
+    total_core_minutes = sum(group_core_minutes.values())
+    mix = MixCharacterization(
+        priority_share={
+            priority: len(minutes) / len(trace)
+            for priority, minutes in by_priority.items()
+        },
+        group_load_share={
+            group: mass / total_core_minutes
+            for group, mass in sorted(group_core_minutes.items())
+        }
+        if total_core_minutes
+        else {},
+        restricted_fraction=restricted / len(trace),
+        mean_candidate_pools=(
+            sum(whitelist_sizes) / len(whitelist_sizes) if whitelist_sizes else 0.0
+        ),
+    )
+    trace_span = (all_minutes[0], all_minutes[-1])
+    return TraceCharacterization(
+        arrivals_all=_characterize_arrivals(all_minutes, burstiness_window),
+        arrivals_by_priority={
+            priority: _characterize_arrivals(
+                minutes, burstiness_window, span=trace_span
+            )
+            for priority, minutes in sorted(by_priority.items())
+        },
+        runtime=runtime,
+        mix=mix,
+    )

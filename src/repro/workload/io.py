@@ -1,0 +1,179 @@
+"""Serialisation of traces and cluster specs.
+
+Traces are stored as JSON Lines (one job per line) and clusters as a
+single JSON document.  Both formats round-trip exactly and are stable
+across library versions, so generated workloads can be archived next to
+experiment results.  CSV export is provided for traces as well, for
+spreadsheet-based inspection.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..errors import ClusterError, TraceError
+from .cluster import ClusterSpec, MachineSpec, PoolSpec
+from .trace import Trace, TraceJob
+
+__all__ = [
+    "trace_to_jsonl",
+    "trace_from_jsonl",
+    "trace_to_csv",
+    "trace_from_csv",
+    "cluster_to_json",
+    "cluster_from_json",
+]
+
+PathLike = Union[str, Path]
+
+_TRACE_FIELDS = [
+    "job_id",
+    "submit_minute",
+    "runtime_minutes",
+    "priority",
+    "cores",
+    "memory_gb",
+    "os_family",
+    "candidate_pools",
+    "task_id",
+    "user",
+]
+
+
+def _job_to_dict(job: TraceJob) -> Dict:
+    return {
+        "job_id": job.job_id,
+        "submit_minute": job.submit_minute,
+        "runtime_minutes": job.runtime_minutes,
+        "priority": job.priority,
+        "cores": job.cores,
+        "memory_gb": job.memory_gb,
+        "os_family": job.os_family,
+        "candidate_pools": list(job.candidate_pools) if job.candidate_pools else None,
+        "task_id": job.task_id,
+        "user": job.user,
+    }
+
+
+def _job_from_dict(record: Dict) -> TraceJob:
+    try:
+        pools = record.get("candidate_pools")
+        return TraceJob(
+            job_id=int(record["job_id"]),
+            submit_minute=float(record["submit_minute"]),
+            runtime_minutes=float(record["runtime_minutes"]),
+            priority=int(record.get("priority", 0)),
+            cores=int(record.get("cores", 1)),
+            memory_gb=float(record.get("memory_gb", 1.0)),
+            os_family=str(record.get("os_family", "linux")),
+            candidate_pools=tuple(pools) if pools else None,
+            task_id=int(record["task_id"]) if record.get("task_id") is not None else None,
+            user=str(record.get("user", "")),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise TraceError(f"malformed trace record: {record!r} ({exc})") from exc
+
+
+def trace_to_jsonl(trace: Trace, path: PathLike) -> None:
+    """Write ``trace`` to ``path`` as JSON Lines (one job per line)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for job in trace:
+            handle.write(json.dumps(_job_to_dict(job)) + "\n")
+
+
+def trace_from_jsonl(path: PathLike) -> Trace:
+    """Read a trace previously written by :func:`trace_to_jsonl`."""
+    jobs: List[TraceJob] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"{path}:{line_number}: invalid JSON ({exc})") from exc
+            jobs.append(_job_from_dict(record))
+    return Trace(jobs)
+
+
+def trace_to_csv(trace: Trace, path: PathLike) -> None:
+    """Write ``trace`` as CSV; ``candidate_pools`` joined with ``|``."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_TRACE_FIELDS)
+        writer.writeheader()
+        for job in trace:
+            record = _job_to_dict(job)
+            pools = record["candidate_pools"]
+            record["candidate_pools"] = "|".join(pools) if pools else ""
+            record["task_id"] = "" if record["task_id"] is None else record["task_id"]
+            writer.writerow(record)
+
+
+def trace_from_csv(path: PathLike) -> Trace:
+    """Read a trace previously written by :func:`trace_to_csv`."""
+    jobs: List[TraceJob] = []
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        for row in csv.DictReader(handle):
+            record: Dict = dict(row)
+            record["candidate_pools"] = (
+                record["candidate_pools"].split("|") if record.get("candidate_pools") else None
+            )
+            record["task_id"] = record["task_id"] if record.get("task_id") else None
+            jobs.append(_job_from_dict(record))
+    return Trace(jobs)
+
+
+def cluster_to_json(cluster: ClusterSpec, path: PathLike) -> None:
+    """Write a cluster spec to ``path`` as a single JSON document."""
+    document = {
+        "pools": [
+            {
+                "pool_id": pool.pool_id,
+                "machines": [
+                    {
+                        "machine_id": m.machine_id,
+                        "cores": m.cores,
+                        "memory_gb": m.memory_gb,
+                        "speed_factor": m.speed_factor,
+                        "os_family": m.os_family,
+                    }
+                    for m in pool.machines
+                ],
+            }
+            for pool in cluster
+        ]
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+
+
+def cluster_from_json(path: PathLike) -> ClusterSpec:
+    """Read a cluster spec previously written by :func:`cluster_to_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ClusterError(f"{path}: invalid JSON ({exc})") from exc
+    try:
+        pools = []
+        for pool_record in document["pools"]:
+            pool_id = pool_record["pool_id"]
+            machines = tuple(
+                MachineSpec(
+                    machine_id=m["machine_id"],
+                    pool_id=pool_id,
+                    cores=int(m["cores"]),
+                    memory_gb=float(m["memory_gb"]),
+                    speed_factor=float(m.get("speed_factor", 1.0)),
+                    os_family=str(m.get("os_family", "linux")),
+                )
+                for m in pool_record["machines"]
+            )
+            pools.append(PoolSpec(pool_id=pool_id, machines=machines))
+    except (KeyError, ValueError, TypeError) as exc:
+        raise ClusterError(f"{path}: malformed cluster document ({exc})") from exc
+    return ClusterSpec(pools)

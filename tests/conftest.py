@@ -1,0 +1,139 @@
+"""Shared fixtures and builders for the test suite.
+
+The builders create minimal, fully deterministic clusters and traces so
+engine tests can assert exact times and states; the session-scoped
+``smoke_*`` fixtures run the small stochastic scenario once and share
+its results across integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import pytest
+
+import repro
+from repro.simulator.config import SimulationConfig
+from repro.workload.cluster import ClusterSpec, MachineSpec, PoolSpec
+from repro.workload.trace import Trace, TraceJob
+
+
+def make_machine(
+    machine_id: str = "p0/m0",
+    pool_id: str = "p0",
+    cores: int = 4,
+    memory_gb: float = 16.0,
+    speed_factor: float = 1.0,
+    os_family: str = "linux",
+) -> MachineSpec:
+    """A machine spec with sensible defaults for unit tests."""
+    return MachineSpec(
+        machine_id=machine_id,
+        pool_id=pool_id,
+        cores=cores,
+        memory_gb=memory_gb,
+        speed_factor=speed_factor,
+        os_family=os_family,
+    )
+
+
+def make_pool(
+    pool_id: str = "p0",
+    machine_count: int = 2,
+    cores: int = 4,
+    memory_gb: float = 16.0,
+    speed_factor: float = 1.0,
+    os_family: str = "linux",
+) -> PoolSpec:
+    """A pool of identical machines."""
+    machines = tuple(
+        make_machine(
+            machine_id=f"{pool_id}/m{i}",
+            pool_id=pool_id,
+            cores=cores,
+            memory_gb=memory_gb,
+            speed_factor=speed_factor,
+            os_family=os_family,
+        )
+        for i in range(machine_count)
+    )
+    return PoolSpec(pool_id=pool_id, machines=machines)
+
+
+def make_cluster(pool_sizes: Sequence[Tuple[str, int]] = (("p0", 2), ("p1", 2))) -> ClusterSpec:
+    """A cluster of identical 4-core/16GB pools, sized per ``pool_sizes``."""
+    return ClusterSpec([make_pool(pool_id, count) for pool_id, count in pool_sizes])
+
+
+def make_job(
+    job_id: int,
+    submit: float = 0.0,
+    runtime: float = 10.0,
+    priority: int = 0,
+    cores: int = 1,
+    memory_gb: float = 1.0,
+    os_family: str = "linux",
+    candidate_pools: Optional[Tuple[str, ...]] = None,
+) -> TraceJob:
+    """A trace job with unit-test-friendly defaults."""
+    return TraceJob(
+        job_id=job_id,
+        submit_minute=submit,
+        runtime_minutes=runtime,
+        priority=priority,
+        cores=cores,
+        memory_gb=memory_gb,
+        os_family=os_family,
+        candidate_pools=candidate_pools,
+    )
+
+
+def make_trace(jobs: List[TraceJob]) -> Trace:
+    """A trace from explicit jobs."""
+    return Trace(jobs)
+
+
+def run_tiny(
+    jobs: List[TraceJob],
+    cluster: Optional[ClusterSpec] = None,
+    policy=None,
+    initial_scheduler=None,
+    **config_kwargs,
+):
+    """Run a simulation over explicit jobs with invariant checking on."""
+    config_kwargs.setdefault("check_invariants", True)
+    config_kwargs.setdefault("strict", True)
+    return repro.run_simulation(
+        make_trace(jobs),
+        cluster or make_cluster(),
+        policy=policy,
+        initial_scheduler=initial_scheduler,
+        config=SimulationConfig(**config_kwargs),
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke_scenario():
+    """The small stochastic scenario, built once per test session."""
+    return repro.smoke(seed=7)
+
+
+@pytest.fixture(scope="session")
+def smoke_result(smoke_scenario):
+    """A NoRes run of the smoke scenario with invariant checks enabled."""
+    return repro.run_simulation(
+        smoke_scenario.trace,
+        smoke_scenario.cluster,
+        config=SimulationConfig(check_invariants=True, strict=False),
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke_resched_result(smoke_scenario):
+    """A ResSusWaitUtil run of the smoke scenario."""
+    return repro.run_simulation(
+        smoke_scenario.trace,
+        smoke_scenario.cluster,
+        policy=repro.res_sus_wait_util(),
+        config=SimulationConfig(check_invariants=True, strict=False),
+    )

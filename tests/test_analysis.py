@@ -1,0 +1,103 @@
+"""Tests for repro.analysis (figures 2-4 analyses, comparison)."""
+
+import pytest
+
+import repro
+from repro.analysis.comparison import compare_strategies, reduction_pct
+from repro.analysis.suspension import analyze_suspension, suspension_time_cdf
+from repro.analysis.utilization import analyze_utilization
+from repro.analysis.waste import waste_decomposition
+from repro.errors import ConfigurationError
+from repro.simulator.config import SimulationConfig
+
+
+class TestSuspensionAnalysis:
+    def test_headline_stats_consistent(self, smoke_result):
+        analysis = analyze_suspension(smoke_result)
+        assert analysis.suspended_jobs > 0
+        assert analysis.median_minutes <= analysis.p80_minutes <= analysis.max_minutes
+        assert analysis.mean_suspensions_per_job >= 1.0
+        assert len(analysis.rows()) == 6
+
+    def test_cdf_matches_records(self, smoke_result):
+        cdf = suspension_time_cdf(smoke_result)
+        suspended = list(smoke_result.suspended_records())
+        assert len(cdf) == len(suspended)
+        assert cdf.mean == pytest.approx(
+            sum(r.suspend_time for r in suspended) / len(suspended)
+        )
+
+    def test_requires_suspensions(self):
+        from conftest import make_job, run_tiny
+
+        result = run_tiny([make_job(0)])
+        with pytest.raises(ConfigurationError):
+            suspension_time_cdf(result)
+
+
+class TestUtilizationAnalysis:
+    def test_series_shapes(self, smoke_result):
+        analysis = analyze_utilization(smoke_result, window_minutes=50.0)
+        assert len(analysis.points) > 10
+        assert len(analysis.utilization_series()) == len(analysis.points)
+        assert 0.0 < analysis.mean_utilization_pct < 100.0
+        assert analysis.p10_utilization_pct <= analysis.p90_utilization_pct
+
+    def test_underutilized_suspension_fraction_bounds(self, smoke_result):
+        analysis = analyze_utilization(smoke_result)
+        assert 0.0 <= analysis.suspension_while_underutilized <= 1.0
+
+    def test_requires_samples(self):
+        from conftest import make_job, run_tiny
+
+        result = run_tiny([make_job(0)], record_samples=False)
+        with pytest.raises(ConfigurationError):
+            analyze_utilization(result)
+
+
+class TestWasteDecomposition:
+    def test_bars_and_series(self, smoke_result, smoke_resched_result):
+        figure = waste_decomposition([smoke_result, smoke_resched_result])
+        bars = figure.bars()
+        assert set(bars) == {"NoRes", "ResSusWaitUtil"}
+        series = figure.series()
+        assert set(series) == {"wait_time", "suspend_time", "resched_time"}
+        assert len(series["wait_time"]) == 2
+        assert figure.strategy_names() == ["NoRes", "ResSusWaitUtil"]
+        # NoRes has no rescheduling waste by definition
+        assert bars["NoRes"].resched_time == 0.0
+
+
+class TestComparison:
+    def test_reduction_pct(self):
+        assert reduction_pct(100.0, 50.0) == pytest.approx(50.0)
+        assert reduction_pct(100.0, 120.0) == pytest.approx(-20.0)
+        assert reduction_pct(None, 5.0) is None
+        assert reduction_pct(0.0, 5.0) is None
+
+    def test_compare_strategies(self, smoke_scenario):
+        comparison = compare_strategies(
+            smoke_scenario,
+            [repro.no_res(), repro.res_sus_util()],
+            config=SimulationConfig(strict=False, record_samples=False),
+        )
+        assert comparison.scenario_name == "smoke"
+        assert comparison.baseline().policy_name == "NoRes"
+        assert comparison.by_name("ResSusUtil").policy_name == "ResSusUtil"
+        reduction = comparison.avg_ct_suspended_reduction("ResSusUtil")
+        assert reduction is not None
+        assert comparison.avg_wct_reduction("ResSusUtil") is not None
+        assert comparison.avg_ct_all_reduction("ResSusUtil") is not None
+
+    def test_unknown_strategy(self, smoke_scenario):
+        comparison = compare_strategies(
+            smoke_scenario,
+            [repro.no_res()],
+            config=SimulationConfig(strict=False, record_samples=False),
+        )
+        with pytest.raises(ConfigurationError):
+            comparison.by_name("Nope")
+
+    def test_empty_policies_rejected(self, smoke_scenario):
+        with pytest.raises(ConfigurationError):
+            compare_strategies(smoke_scenario, [])

@@ -1,0 +1,107 @@
+"""Unit tests for repro.workload.arrivals."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.arrivals import BurstProcess, PoissonProcess
+
+
+class TestPoissonProcess:
+    def test_arrivals_sorted_and_in_range(self):
+        process = PoissonProcess(rate=0.5)
+        times = process.arrivals(1000.0, random.Random(1))
+        assert times == sorted(times)
+        assert all(0 <= t < 1000.0 for t in times)
+
+    def test_rate_zero_produces_nothing(self):
+        assert PoissonProcess(rate=0.0).arrivals(1000.0, random.Random(1)) == []
+
+    def test_count_close_to_expectation(self):
+        process = PoissonProcess(rate=2.0)
+        count = len(process.arrivals(10000.0, random.Random(2)))
+        assert abs(count - process.expected_count(10000.0)) < 500
+
+    def test_iter_matches_list_generation_statistically(self):
+        process = PoissonProcess(rate=1.0)
+        lazy = list(process.iter_arrivals(500.0, random.Random(3)))
+        assert lazy == sorted(lazy)
+        assert all(0 <= t < 500.0 for t in lazy)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonProcess(rate=-1.0)
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonProcess(rate=1.0).arrivals(-1.0, random.Random(0))
+
+
+class TestBurstProcess:
+    def test_windows_are_disjoint_and_ordered(self):
+        process = BurstProcess(mean_gap=100.0, mean_duration=50.0, burst_rate=1.0)
+        windows = process.windows(5000.0, random.Random(1))
+        assert len(windows) > 5
+        for earlier, later in zip(windows, windows[1:]):
+            assert earlier.end <= later.start
+
+    def test_arrivals_inside_windows(self):
+        process = BurstProcess(mean_gap=100.0, mean_duration=50.0, burst_rate=2.0)
+        for window in process.windows(5000.0, random.Random(2)):
+            assert all(window.start <= t < window.end for t in window.arrivals)
+
+    def test_flat_arrivals_sorted(self):
+        process = BurstProcess(mean_gap=50.0, mean_duration=50.0, burst_rate=1.0)
+        times = process.arrivals(5000.0, random.Random(3))
+        assert times == sorted(times)
+
+    def test_expected_count_reasonable(self):
+        process = BurstProcess(mean_gap=100.0, mean_duration=100.0, burst_rate=1.0)
+        count = len(process.arrivals(100000.0, random.Random(4)))
+        expected = process.expected_count(100000.0)
+        assert abs(count - expected) / expected < 0.2
+
+    def test_deterministic_first_burst(self):
+        process = BurstProcess(
+            mean_gap=1e9,
+            mean_duration=100.0,
+            burst_rate=1.0,
+            first_burst_start=500.0,
+            first_burst_duration=200.0,
+        )
+        windows = process.windows(2000.0, random.Random(5))
+        assert len(windows) == 1
+        assert windows[0].start == 500.0
+        assert windows[0].end == 700.0
+        assert len(windows[0]) > 100  # ~200 arrivals at rate 1
+
+    def test_first_burst_past_horizon_yields_nothing(self):
+        process = BurstProcess(
+            mean_gap=10.0, mean_duration=10.0, burst_rate=1.0, first_burst_start=5000.0
+        )
+        assert process.windows(1000.0, random.Random(6)) == []
+
+    def test_window_duration_property(self):
+        process = BurstProcess(
+            mean_gap=1e9,
+            mean_duration=100.0,
+            burst_rate=0.0,
+            first_burst_start=0.0,
+            first_burst_duration=50.0,
+        )
+        (window,) = process.windows(1000.0, random.Random(0))
+        assert window.duration == 50.0
+        assert len(window) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BurstProcess(mean_gap=0.0, mean_duration=1.0, burst_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            BurstProcess(mean_gap=1.0, mean_duration=0.0, burst_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            BurstProcess(mean_gap=1.0, mean_duration=1.0, burst_rate=-1.0)
+        with pytest.raises(ConfigurationError):
+            BurstProcess(
+                mean_gap=1.0, mean_duration=1.0, burst_rate=1.0, first_burst_start=-1.0
+            )

@@ -1,0 +1,87 @@
+"""Tests for workload characterization (repro.workload.characterization)."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.arrivals import BurstProcess, PoissonProcess
+from repro.workload.characterization import characterize, fano_factor
+from repro.workload.scenarios import busy_week
+from repro.workload.trace import Trace
+
+from conftest import make_job
+
+
+class TestFanoFactor:
+    def test_poisson_near_one(self):
+        rng = random.Random(1)
+        times = PoissonProcess(rate=1.0).arrivals(50_000.0, rng)
+        factor = fano_factor(times, window_minutes=60.0)
+        assert 0.7 < factor < 1.3
+
+    def test_bursty_much_greater_than_one(self):
+        rng = random.Random(2)
+        process = BurstProcess(mean_gap=2000.0, mean_duration=200.0, burst_rate=5.0)
+        times = process.arrivals(100_000.0, rng)
+        factor = fano_factor(times, window_minutes=60.0)
+        assert factor > 5.0
+
+    def test_empty_and_singleton(self):
+        assert fano_factor([]) == 0.0
+        assert fano_factor([5.0]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fano_factor([1.0], window_minutes=0.0)
+
+
+class TestCharacterize:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            characterize(Trace([]))
+
+    def test_basic_statistics(self):
+        jobs = [
+            make_job(i, submit=float(i), runtime=10.0 * (i + 1), priority=0)
+            for i in range(10)
+        ]
+        report = characterize(Trace(jobs))
+        assert report.arrivals_all.job_count == 10
+        assert report.arrivals_all.rate_per_minute == pytest.approx(10 / 9)
+        assert report.runtime.mean == pytest.approx(55.0)
+        assert report.runtime.maximum == 100.0
+        assert report.mix.priority_share == {0: 1.0}
+
+    def test_restricted_fraction(self):
+        jobs = [
+            make_job(0, runtime=5.0, candidate_pools=("a", "b")),
+            make_job(1, submit=1.0, runtime=5.0),
+        ]
+        report = characterize(Trace(jobs))
+        assert report.mix.restricted_fraction == 0.5
+        assert report.mix.mean_candidate_pools == 2.0
+
+    def test_deterministic_interarrival_cv_zero(self):
+        jobs = [make_job(i, submit=float(i) * 10.0, runtime=1.0) for i in range(20)]
+        report = characterize(Trace(jobs))
+        assert report.arrivals_all.interarrival_cv == pytest.approx(0.0)
+
+    def test_busy_week_has_bursty_high_priority(self):
+        trace = busy_week(scale=0.08).trace
+        report = characterize(trace)
+        high = report.arrivals_by_priority[100]
+        low = report.arrivals_by_priority[0]
+        # the burst stream is far burstier than the Poisson base stream
+        assert high.fano_factor > 3.0 * low.fano_factor
+        # heavy-tailed runtimes: top decile carries disproportionate mass
+        assert report.runtime.tail_weight > 0.25
+        # render smoke check
+        text = report.render()
+        assert "Fano" in text
+        assert "priority 100" in text
+
+    def test_group_load_shares_sum_to_one(self):
+        trace = busy_week(scale=0.06).trace
+        report = characterize(trace)
+        assert sum(report.mix.group_load_share.values()) == pytest.approx(1.0)

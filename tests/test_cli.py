@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_choices(self):
+        args = build_parser().parse_args(["table", "1"])
+        assert args.which == "1"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "9"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scenario == "busy-week"
+        assert args.policy == "NoRes"
+
+
+class TestCommands:
+    def test_run_smoke(self, capsys):
+        code = main(["run", "--scenario", "smoke", "--policy", "ResSusUtil"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ResSusUtil" in out
+        assert "SuspRate" in out
+
+    def test_run_with_util_scheduler(self, capsys):
+        code = main(
+            ["run", "--scenario", "smoke", "--initial-scheduler", "utilization"]
+        )
+        assert code == 0
+
+    def test_generate_and_analyze_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        code = main(["generate-trace", str(out), "--scenario", "smoke"])
+        assert code == 0
+        assert out.exists()
+        code = main(["analyze-trace", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "jobs:" in text
+        assert "priority" in text
+
+    def test_analyze_missing_file_fails_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        with pytest.raises(FileNotFoundError):
+            main(["analyze-trace", str(missing)])
+
+    def test_table_small_scale(self, capsys):
+        code = main(["table", "1", "--scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "NoRes" in out
+
+    def test_figure3_small_scale(self, capsys):
+        code = main(["figure", "3", "--scale", "0.05"])
+        assert code == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+
+class TestCliEvents:
+    def test_run_with_event_log(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "events.jsonl"
+        code = main(["run", "--scenario", "smoke", "--events", str(path)])
+        assert code == 0
+        assert path.exists()
+        first_line = path.read_text().splitlines()[0]
+        assert '"event": "submit"' in first_line

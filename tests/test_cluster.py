@@ -1,0 +1,149 @@
+"""Unit tests for repro.workload.cluster."""
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.workload.cluster import ClusterSpec, ClusterTemplate, MachineSpec, PoolSpec
+from repro.workload.distributions import RandomStreams
+
+from conftest import make_cluster, make_machine, make_pool
+
+
+class TestMachineSpec:
+    def test_validation(self):
+        with pytest.raises(ClusterError):
+            make_machine(cores=0)
+        with pytest.raises(ClusterError):
+            make_machine(memory_gb=0.0)
+        with pytest.raises(ClusterError):
+            make_machine(speed_factor=0.0)
+
+
+class TestPoolSpec:
+    def test_totals(self):
+        pool = make_pool("p0", machine_count=3, cores=4, memory_gb=8.0)
+        assert pool.total_cores == 12
+        assert pool.total_memory_gb == 24.0
+        assert len(pool) == 3
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ClusterError):
+            PoolSpec(pool_id="p0", machines=())
+
+    def test_mismatched_pool_id_rejected(self):
+        machine = make_machine(pool_id="other")
+        with pytest.raises(ClusterError):
+            PoolSpec(pool_id="p0", machines=(machine,))
+
+    def test_empty_pool_id_rejected(self):
+        with pytest.raises(ClusterError):
+            PoolSpec(pool_id="", machines=(make_machine(pool_id=""),))
+
+
+class TestClusterSpec:
+    def test_lookup_and_order(self):
+        cluster = make_cluster([("a", 1), ("b", 2)])
+        assert cluster.pool_ids == ("a", "b")
+        assert cluster.pool("b").total_cores == 8
+        with pytest.raises(ClusterError):
+            cluster.pool("missing")
+
+    def test_totals(self):
+        cluster = make_cluster([("a", 2), ("b", 3)])
+        assert cluster.total_machines == 5
+        assert cluster.total_cores == 20
+
+    def test_duplicate_pool_ids_rejected(self):
+        with pytest.raises(ClusterError):
+            ClusterSpec([make_pool("a"), make_pool("a")])
+
+    def test_duplicate_machine_ids_rejected(self):
+        pool_a = PoolSpec("a", (make_machine("m0", "a"),))
+        pool_b = PoolSpec("b", (make_machine("m0", "b"),))
+        with pytest.raises(ClusterError):
+            ClusterSpec([pool_a, pool_b])
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ClusterError):
+            ClusterSpec([])
+
+    def test_with_cores_halved(self):
+        cluster = make_cluster([("a", 2)])
+        halved = cluster.with_cores_halved()
+        assert halved.total_cores == cluster.total_cores // 2
+        # memory untouched
+        assert halved.pool("a").total_memory_gb == cluster.pool("a").total_memory_gb
+
+    def test_halving_floors_at_one_core(self):
+        pool = PoolSpec("a", (make_machine("m0", "a", cores=1),))
+        halved = ClusterSpec([pool]).with_cores_halved()
+        assert halved.pool("a").machines[0].cores == 1
+
+    def test_scaled_cores(self):
+        cluster = make_cluster([("a", 1)])
+        assert cluster.scaled_cores(2.0).total_cores == 8
+        with pytest.raises(ClusterError):
+            cluster.scaled_cores(0.0)
+
+    def test_subset(self):
+        cluster = make_cluster([("a", 1), ("b", 1), ("c", 1)])
+        subset = cluster.subset(["c", "a"])
+        assert subset.pool_ids == ("c", "a")
+
+    def test_equality(self):
+        assert make_cluster([("a", 1)]) == make_cluster([("a", 1)])
+        assert make_cluster([("a", 1)]) != make_cluster([("a", 2)])
+
+
+class TestClusterTemplate:
+    def test_build_pool_count_and_ids(self):
+        template = ClusterTemplate(scale=0.1)
+        cluster = template.build(RandomStreams(1))
+        assert len(cluster) == template.pool_count() == 20
+        assert cluster.pool_ids[0] == "pool-00"
+        assert cluster.pool_ids[-1] == "pool-19"
+
+    def test_scale_changes_machine_counts(self):
+        small = ClusterTemplate(scale=0.1).build(RandomStreams(1))
+        large = ClusterTemplate(scale=0.2).build(RandomStreams(1))
+        assert large.total_machines > small.total_machines
+
+    def test_deterministic_given_seed(self):
+        a = ClusterTemplate(scale=0.1).build(RandomStreams(9))
+        b = ClusterTemplate(scale=0.1).build(RandomStreams(9))
+        assert a == b
+
+    def test_minimum_one_machine_per_pool(self):
+        cluster = ClusterTemplate(scale=0.001).build(RandomStreams(1))
+        assert all(len(pool) >= 1 for pool in cluster)
+
+    def test_large_pool_ids(self):
+        template = ClusterTemplate()
+        assert template.large_pool_ids() == ("pool-00", "pool-01", "pool-02", "pool-03")
+
+    def test_windows_pools_are_medium_class(self):
+        template = ClusterTemplate(scale=0.1)
+        cluster = template.build(RandomStreams(1))
+        windows_ids = template.windows_pool_ids()
+        assert len(windows_ids) == template.windows_pool_count
+        for pool_id in windows_ids:
+            machines = cluster.pool(pool_id).machines
+            assert all(m.os_family == "windows" for m in machines)
+        # everything else is linux
+        for pool in cluster:
+            if pool.pool_id not in windows_ids:
+                assert all(m.os_family == "linux" for m in pool.machines)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ClusterError):
+            ClusterTemplate(scale=0.0)
+
+    def test_invalid_windows_count_rejected(self):
+        with pytest.raises(ClusterError):
+            ClusterTemplate(windows_pool_count=-1)
+        with pytest.raises(ClusterError):
+            ClusterTemplate(windows_pool_count=99)
+
+    def test_empty_size_classes_rejected(self):
+        with pytest.raises(ClusterError):
+            ClusterTemplate(size_classes=())

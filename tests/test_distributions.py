@@ -1,0 +1,200 @@
+"""Unit tests for repro.workload.distributions."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.distributions import (
+    BoundedPareto,
+    Categorical,
+    Constant,
+    Exponential,
+    LogNormal,
+    Mixture,
+    RandomStreams,
+    Uniform,
+    empirical_mean,
+    lognormal_from_median,
+    quantile,
+)
+
+
+class TestRandomStreams:
+    def test_same_name_returns_same_stream(self):
+        streams = RandomStreams(seed=1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(seed=1)
+        a = [streams.stream("a").random() for _ in range(5)]
+        b = [streams.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_reproducible_across_instances(self):
+        a = RandomStreams(seed=42).stream("x").random()
+        b = RandomStreams(seed=42).stream("x").random()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(seed=1).stream("x").random()
+        b = RandomStreams(seed=2).stream("x").random()
+        assert a != b
+
+    def test_spawn_creates_independent_family(self):
+        streams = RandomStreams(seed=1)
+        child = streams.spawn("workload")
+        assert child.seed != streams.seed
+        assert child.stream("a").random() != streams.stream("a").random()
+
+    def test_spawn_is_deterministic(self):
+        a = RandomStreams(seed=5).spawn("w").seed
+        b = RandomStreams(seed=5).spawn("w").seed
+        assert a == b
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomStreams(seed=1.5)
+
+
+class TestConstant:
+    def test_sample_and_mean(self):
+        c = Constant(3.5)
+        assert c.sample(random.Random(0)) == 3.5
+        assert c.mean() == 3.5
+
+
+class TestUniform:
+    def test_samples_in_range(self):
+        u = Uniform(2.0, 5.0)
+        rng = random.Random(0)
+        for _ in range(100):
+            assert 2.0 <= u.sample(rng) <= 5.0
+
+    def test_mean(self):
+        assert Uniform(2.0, 6.0).mean() == 4.0
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Uniform(5.0, 2.0)
+
+
+class TestExponential:
+    def test_mean_matches_parameter(self):
+        e = Exponential(mean_value=10.0)
+        assert e.mean() == 10.0
+        assert abs(empirical_mean(e, random.Random(1), 20000) - 10.0) < 0.5
+
+    def test_nonpositive_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Exponential(mean_value=0.0)
+
+
+class TestLogNormal:
+    def test_analytic_mean(self):
+        d = LogNormal(mu=1.0, sigma=0.5)
+        assert math.isclose(d.mean(), math.exp(1.0 + 0.125))
+
+    def test_from_median(self):
+        d = lognormal_from_median(100.0, sigma=1.0)
+        assert math.isclose(d.median(), 100.0)
+
+    def test_empirical_mean_close(self):
+        d = lognormal_from_median(50.0, sigma=0.5)
+        measured = empirical_mean(d, random.Random(3), 50000)
+        assert abs(measured - d.mean()) / d.mean() < 0.05
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogNormal(mu=0.0, sigma=-1.0)
+
+    def test_bad_median_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lognormal_from_median(0.0, sigma=1.0)
+
+
+class TestBoundedPareto:
+    def test_samples_within_bounds(self):
+        d = BoundedPareto(alpha=1.3, low=10.0, high=1000.0)
+        rng = random.Random(0)
+        for _ in range(1000):
+            value = d.sample(rng)
+            assert 10.0 <= value <= 1000.0
+
+    def test_analytic_mean_matches_empirical(self):
+        d = BoundedPareto(alpha=1.5, low=10.0, high=500.0)
+        measured = empirical_mean(d, random.Random(7), 100000)
+        assert abs(measured - d.mean()) / d.mean() < 0.05
+
+    def test_alpha_one_special_case(self):
+        d = BoundedPareto(alpha=1.0, low=10.0, high=100.0)
+        measured = empirical_mean(d, random.Random(9), 100000)
+        assert abs(measured - d.mean()) / d.mean() < 0.05
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BoundedPareto(alpha=0.0, low=1.0, high=2.0)
+        with pytest.raises(ConfigurationError):
+            BoundedPareto(alpha=1.0, low=5.0, high=2.0)
+        with pytest.raises(ConfigurationError):
+            BoundedPareto(alpha=1.0, low=0.0, high=2.0)
+
+
+class TestMixture:
+    def test_mean_is_weighted(self):
+        m = Mixture(components=(Constant(10.0), Constant(20.0)), weights=(1.0, 3.0))
+        assert math.isclose(m.mean(), 17.5)
+
+    def test_samples_from_components(self):
+        m = Mixture(components=(Constant(1.0), Constant(2.0)), weights=(0.5, 0.5))
+        values = {m.sample(random.Random(i)) for i in range(50)}
+        assert values == {1.0, 2.0}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Mixture(components=(Constant(1.0),), weights=(1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            Mixture(components=(), weights=())
+        with pytest.raises(ConfigurationError):
+            Mixture(components=(Constant(1.0),), weights=(0.0,))
+
+
+class TestCategorical:
+    def test_returns_given_values(self):
+        c = Categorical(values=("a", "b"), weights=(1.0, 1.0))
+        assert c.sample(random.Random(0)) in {"a", "b"}
+
+    def test_weighted_mean(self):
+        c = Categorical(values=(2, 4), weights=(3.0, 1.0))
+        assert math.isclose(c.mean(), 2.5)
+
+    def test_zero_weight_never_sampled(self):
+        c = Categorical(values=("always", "never"), weights=(1.0, 0.0))
+        rng = random.Random(0)
+        assert all(c.sample(rng) == "always" for _ in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Categorical(values=(), weights=())
+        with pytest.raises(ConfigurationError):
+            Categorical(values=(1,), weights=(-1.0,))
+
+
+class TestQuantile:
+    def test_median_of_two(self):
+        assert quantile([1.0, 3.0], 0.5) == 2.0
+
+    def test_endpoints(self):
+        values = [1.0, 2.0, 3.0]
+        assert quantile(values, 0.0) == 1.0
+        assert quantile(values, 1.0) == 3.0
+
+    def test_single_value(self):
+        assert quantile([5.0], 0.7) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            quantile([], 0.5)
+        with pytest.raises(ConfigurationError):
+            quantile([1.0], 1.5)

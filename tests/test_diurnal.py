@@ -1,0 +1,77 @@
+"""Tests for the diurnal arrival process and its scenario integration."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.arrivals import DiurnalPoissonProcess
+from repro.workload.scenarios import year
+
+
+class TestDiurnalPoissonProcess:
+    def test_rate_peaks_at_configured_minute(self):
+        process = DiurnalPoissonProcess(
+            base_rate=1.0, daily_amplitude=0.5, peak_minute_of_day=840.0
+        )
+        assert process.rate_at(840.0) == pytest.approx(1.5)
+        assert process.rate_at(840.0 - 720.0) == pytest.approx(0.5)
+
+    def test_weekend_dip(self):
+        process = DiurnalPoissonProcess(base_rate=1.0, weekend_factor=0.25)
+        monday_noon = 720.0
+        saturday_noon = 5 * 1440.0 + 720.0
+        assert process.rate_at(saturday_noon) == pytest.approx(
+            0.25 * process.rate_at(monday_noon)
+        )
+
+    def test_arrivals_sorted_and_bounded(self):
+        process = DiurnalPoissonProcess(base_rate=0.5)
+        times = process.arrivals(5000.0, random.Random(1))
+        assert times == sorted(times)
+        assert all(0 <= t < 5000.0 for t in times)
+
+    def test_count_tracks_expectation(self):
+        process = DiurnalPoissonProcess(base_rate=1.0)
+        horizon = 1440.0 * 21
+        count = len(process.arrivals(horizon, random.Random(2)))
+        expected = process.expected_count(horizon)
+        assert abs(count - expected) / expected < 0.05
+
+    def test_weekday_busier_than_weekend(self):
+        process = DiurnalPoissonProcess(base_rate=1.0, weekend_factor=0.4)
+        times = process.arrivals(1440.0 * 14, random.Random(3))
+        weekday = sum(1 for t in times if (int(t // 1440) % 7) < 5)
+        weekend = sum(1 for t in times if (int(t // 1440) % 7) >= 5)
+        # 5 weekdays at full rate vs 2 weekend days at 40%
+        assert weekday / 5 > weekend / 2
+
+    def test_zero_rate(self):
+        process = DiurnalPoissonProcess(base_rate=0.0)
+        assert process.arrivals(1000.0, random.Random(0)) == []
+        assert process.expected_count(1000.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalPoissonProcess(base_rate=-1.0)
+        with pytest.raises(ConfigurationError):
+            DiurnalPoissonProcess(base_rate=1.0, daily_amplitude=1.0)
+        with pytest.raises(ConfigurationError):
+            DiurnalPoissonProcess(base_rate=1.0, weekend_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            DiurnalPoissonProcess(base_rate=1.0, peak_minute_of_day=2000.0)
+
+
+class TestDiurnalScenario:
+    def test_year_with_diurnal_differs_from_flat(self):
+        flat = year(scale=0.03, horizon=20000.0, diurnal=False)
+        cyclic = year(scale=0.03, horizon=20000.0, diurnal=True)
+        assert flat.trace != cyclic.trace
+
+    def test_diurnal_day_night_contrast(self):
+        scenario = year(scale=0.03, horizon=1440.0 * 14, diurnal=True)
+        base = [j for j in scenario.trace if j.priority != 100]
+        # afternoon (12:00-16:00) vs night (00:00-04:00) submissions
+        afternoon = sum(1 for j in base if 720 <= j.submit_minute % 1440 < 960)
+        night = sum(1 for j in base if 0 <= j.submit_minute % 1440 < 240)
+        assert afternoon > night

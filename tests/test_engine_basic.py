@@ -1,0 +1,221 @@
+"""Micro-scenario tests of the engine: exact times on tiny hand-built inputs.
+
+All clusters here use speed_factor 1.0 so completion times are exact.
+"""
+
+import pytest
+
+import repro
+from repro.errors import SimulationError, UnschedulableJobError
+from repro.simulator.config import SimulationConfig
+from repro.simulator.engine import SimulationEngine
+from repro.workload.cluster import ClusterSpec, PoolSpec
+
+from conftest import make_cluster, make_job, make_machine, make_pool, make_trace, run_tiny
+
+
+def single_machine_cluster(cores=1, memory=16.0):
+    return ClusterSpec([make_pool("p0", 1, cores=cores, memory_gb=memory)])
+
+
+class TestBasicExecution:
+    def test_single_job_runs_to_completion(self):
+        result = run_tiny([make_job(0, submit=5.0, runtime=10.0)])
+        (record,) = result.records
+        assert record.finish_minute == 15.0
+        assert record.completion_time == 10.0
+        assert record.wait_time == 0.0
+        assert record.pools_visited == ("p0",)
+
+    def test_speed_factor_shortens_execution(self):
+        cluster = ClusterSpec(
+            [PoolSpec("p0", (make_machine("p0/m0", "p0", speed_factor=2.0),))]
+        )
+        result = run_tiny([make_job(0, runtime=10.0)], cluster=cluster)
+        assert result.records[0].finish_minute == 5.0
+
+    def test_fifo_queueing_on_single_core(self):
+        cluster = single_machine_cluster()
+        jobs = [
+            make_job(0, submit=0.0, runtime=10.0),
+            make_job(1, submit=1.0, runtime=10.0),
+        ]
+        result = run_tiny(jobs, cluster=cluster)
+        first = result.record_by_id(0)
+        second = result.record_by_id(1)
+        assert first.finish_minute == 10.0
+        assert second.finish_minute == 20.0
+        assert second.wait_time == 9.0
+
+    def test_round_robin_spreads_across_pools(self):
+        cluster = make_cluster([("p0", 1), ("p1", 1)])
+        jobs = [make_job(i, submit=float(i) * 0.1, runtime=100.0) for i in range(2)]
+        result = run_tiny(jobs, cluster=cluster)
+        pools = {r.pools_visited[0] for r in result.records}
+        assert pools == {"p0", "p1"}
+
+    def test_completion_time_identity_without_suspension(self):
+        # CT == wait + runtime for speed-1 machines and no suspension
+        cluster = single_machine_cluster()
+        jobs = [make_job(i, submit=0.0, runtime=7.0) for i in range(4)]
+        result = run_tiny(jobs, cluster=cluster)
+        for record in result.records:
+            assert record.completion_time == pytest.approx(
+                record.wait_time + record.runtime_minutes
+            )
+
+    def test_rejected_job_strict_raises(self):
+        with pytest.raises(UnschedulableJobError):
+            run_tiny([make_job(0, os_family="solaris")], strict=True)
+
+    def test_rejected_job_lenient_records(self):
+        result = run_tiny([make_job(0, os_family="solaris")], strict=False)
+        (record,) = result.records
+        assert record.rejected
+        assert result.rejected_count() == 1
+
+    def test_candidate_pools_respected(self):
+        cluster = make_cluster([("p0", 1), ("p1", 1)])
+        jobs = [make_job(0, candidate_pools=("p1",), runtime=5.0)]
+        result = run_tiny(jobs, cluster=cluster)
+        assert result.records[0].pools_visited == ("p1",)
+
+    def test_engine_single_use(self):
+        engine = SimulationEngine(make_trace([make_job(0)]), make_cluster())
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_max_minutes_guard(self):
+        with pytest.raises(SimulationError):
+            run_tiny([make_job(0, runtime=100.0)], max_minutes=10.0)
+
+    def test_empty_trace(self):
+        result = run_tiny([])
+        assert len(result.records) == 0
+
+
+class TestPreemptionAndResume:
+    def test_high_priority_preempts_and_victim_resumes(self):
+        cluster = single_machine_cluster()
+        jobs = [
+            make_job(0, submit=0.0, runtime=10.0, priority=0),
+            make_job(1, submit=4.0, runtime=6.0, priority=100),
+        ]
+        result = run_tiny(jobs, cluster=cluster)
+        victim = result.record_by_id(0)
+        preemptor = result.record_by_id(1)
+        assert preemptor.finish_minute == 10.0
+        assert preemptor.wait_time == 0.0
+        # victim: ran 4, suspended 6, ran remaining 6
+        assert victim.suspension_count == 1
+        assert victim.suspend_time == 6.0
+        assert victim.finish_minute == 16.0
+        assert victim.was_suspended
+
+    def test_suspended_resumes_before_queued_jobs(self):
+        cluster = single_machine_cluster()
+        jobs = [
+            make_job(0, submit=0.0, runtime=10.0, priority=0),
+            make_job(1, submit=2.0, runtime=5.0, priority=100),
+            make_job(2, submit=3.0, runtime=5.0, priority=100),
+        ]
+        result = run_tiny(jobs, cluster=cluster)
+        victim = result.record_by_id(0)
+        # job 2 queues (cannot preempt equal priority); when job 1
+        # finishes at 7, the resident victim resumes first (host-level
+        # residency), so job 2 starts only after the victim finishes.
+        assert victim.finish_minute == 15.0
+        assert result.record_by_id(2).finish_minute == 20.0
+        assert victim.suspend_time == 5.0
+
+    def test_repeated_suspension(self):
+        cluster = single_machine_cluster()
+        jobs = [
+            make_job(0, submit=0.0, runtime=20.0, priority=0),
+            make_job(1, submit=5.0, runtime=5.0, priority=100),
+            make_job(2, submit=12.0, runtime=5.0, priority=100),
+        ]
+        result = run_tiny(jobs, cluster=cluster)
+        victim = result.record_by_id(0)
+        assert victim.suspension_count == 2
+        assert victim.suspend_time == 10.0
+        assert victim.finish_minute == 30.0
+
+    def test_memory_blocks_preemption(self):
+        cluster = single_machine_cluster(cores=1, memory=4.0)
+        jobs = [
+            make_job(0, submit=0.0, runtime=10.0, priority=0, memory_gb=3.0),
+            make_job(1, submit=2.0, runtime=5.0, priority=100, memory_gb=2.0),
+        ]
+        result = run_tiny(jobs, cluster=cluster)
+        # suspension would keep the victim's 3GB resident; the high
+        # priority job cannot fit and must wait instead.
+        victim = result.record_by_id(0)
+        high = result.record_by_id(1)
+        assert victim.suspension_count == 0
+        assert victim.finish_minute == 10.0
+        assert high.wait_time == 8.0
+
+    def test_multi_victim_preemption(self):
+        cluster = ClusterSpec([make_pool("p0", 1, cores=4, memory_gb=64.0)])
+        jobs = [
+            make_job(0, submit=0.0, runtime=10.0, priority=0, cores=2),
+            make_job(1, submit=0.0, runtime=10.0, priority=0, cores=2),
+            make_job(2, submit=1.0, runtime=4.0, priority=100, cores=4),
+        ]
+        result = run_tiny(jobs, cluster=cluster)
+        assert result.record_by_id(0).suspension_count == 1
+        assert result.record_by_id(1).suspension_count == 1
+        assert result.record_by_id(2).finish_minute == 5.0
+
+    def test_medium_preempted_by_high(self):
+        cluster = single_machine_cluster()
+        jobs = [
+            make_job(0, submit=0.0, runtime=10.0, priority=50),
+            make_job(1, submit=1.0, runtime=2.0, priority=100),
+        ]
+        result = run_tiny(jobs, cluster=cluster)
+        assert result.record_by_id(0).suspension_count == 1
+        assert result.record_by_id(1).finish_minute == 3.0
+
+
+class TestSampling:
+    def test_samples_cover_active_horizon(self):
+        result = run_tiny([make_job(0, runtime=10.0)])
+        minutes = [s.minute for s in result.samples]
+        assert minutes[0] == 0.0
+        assert minutes[-1] >= 10.0
+        # per-minute samples
+        assert minutes[1] - minutes[0] == 1.0
+
+    def test_sample_counts_running_and_busy(self):
+        cluster = single_machine_cluster()
+        result = run_tiny([make_job(0, runtime=10.0)], cluster=cluster)
+        mid = [s for s in result.samples if 1.0 <= s.minute < 10.0]
+        assert all(s.busy_cores == 1 and s.running_jobs == 1 for s in mid)
+        assert all(s.utilization == 1.0 for s in mid)
+
+    def test_suspension_visible_in_samples(self):
+        cluster = single_machine_cluster()
+        jobs = [
+            make_job(0, submit=0.0, runtime=10.0, priority=0),
+            make_job(1, submit=2.0, runtime=5.0, priority=100),
+        ]
+        result = run_tiny(jobs, cluster=cluster)
+        suspended_minutes = [s.minute for s in result.samples if s.suspended_jobs == 1]
+        assert suspended_minutes
+        assert min(suspended_minutes) >= 2.0
+        assert max(suspended_minutes) <= 7.0
+
+    def test_record_samples_disabled(self):
+        result = run_tiny([make_job(0)], record_samples=False)
+        assert result.samples == ()
+
+    def test_per_pool_busy_matches_total(self):
+        cluster = make_cluster([("p0", 1), ("p1", 1)])
+        result = run_tiny(
+            [make_job(i, runtime=20.0) for i in range(3)], cluster=cluster
+        )
+        for sample in result.samples:
+            assert sum(sample.per_pool_busy) == sample.busy_cores

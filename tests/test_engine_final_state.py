@@ -1,0 +1,87 @@
+"""Post-run conservation: after every job finishes, the site is empty.
+
+These tests drive mid-size stochastic workloads through the engine with
+deep invariant checking enabled and then inspect the engine's final
+state directly: every machine must have all cores and memory free, all
+queues empty, and no suspended residents — under every policy family,
+including the ones that move jobs mid-flight.
+"""
+
+import pytest
+
+import repro
+from repro.core.policies import DuplicateSuspended, MigrateSuspended
+from repro.core.selectors import LowestUtilizationSelector
+from repro.core.overheads import RestartOverhead
+from repro.simulator.config import SimulationConfig
+from repro.simulator.engine import SimulationEngine
+
+POLICIES = {
+    "NoRes": repro.no_res,
+    "ResSusUtil": repro.res_sus_util,
+    "ResSusWaitRand": repro.res_sus_wait_rand,
+    "DupSusUtil": lambda: DuplicateSuspended(LowestUtilizationSelector()),
+    "MigSusUtil": lambda: MigrateSuspended(LowestUtilizationSelector()),
+}
+
+
+def assert_site_empty(engine: SimulationEngine) -> None:
+    for pool in engine.pools.values():
+        assert pool.busy_cores == 0, pool.pool_id
+        assert pool.running_jobs == 0, pool.pool_id
+        assert len(pool.wait_queue) == 0, pool.pool_id
+        assert pool.suspended == {}, pool.pool_id
+        for machine in pool.machines:
+            assert machine.free_cores == machine.spec.cores, machine.machine_id
+            assert machine.free_memory_gb == pytest.approx(
+                machine.spec.memory_gb
+            ), machine.machine_id
+            assert not machine.running
+            assert not machine.suspended
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+def test_site_drains_completely(policy_name, smoke_scenario):
+    engine = SimulationEngine(
+        smoke_scenario.trace,
+        smoke_scenario.cluster,
+        policy=POLICIES[policy_name](),
+        config=SimulationConfig(
+            strict=False, record_samples=False, check_invariants=True
+        ),
+    )
+    result = engine.run()
+    assert len(result.records) == len(smoke_scenario.trace)
+    assert_site_empty(engine)
+
+
+def test_site_drains_with_overheads(smoke_scenario):
+    engine = SimulationEngine(
+        smoke_scenario.trace,
+        smoke_scenario.cluster,
+        policy=repro.res_sus_wait_util(),
+        config=SimulationConfig(
+            strict=False,
+            record_samples=False,
+            check_invariants=True,
+            restart_overhead=RestartOverhead(fixed_minutes=7.0, per_gb_minutes=0.5),
+        ),
+    )
+    engine.run()
+    assert_site_empty(engine)
+
+
+def test_site_drains_with_migration_dilation(smoke_scenario):
+    engine = SimulationEngine(
+        smoke_scenario.trace,
+        smoke_scenario.cluster,
+        policy=MigrateSuspended(LowestUtilizationSelector()),
+        config=SimulationConfig(
+            strict=False,
+            record_samples=False,
+            check_invariants=True,
+            migration_dilation=0.25,
+        ),
+    )
+    engine.run()
+    assert_site_empty(engine)

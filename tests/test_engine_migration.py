@@ -1,0 +1,126 @@
+"""Engine tests for the checkpoint-migration extension (MIGRATE action)."""
+
+import pytest
+
+import repro
+from repro.core.policies import MigrateSuspended
+from repro.core.selectors import LowestUtilizationSelector
+from repro.core.overheads import RestartOverhead
+from repro.simulator.config import SimulationConfig
+from repro.workload.cluster import ClusterSpec
+
+from conftest import make_job, make_pool, run_tiny
+
+
+def two_pools():
+    return ClusterSpec([make_pool("p0", 1, cores=1), make_pool("p1", 1, cores=1)])
+
+
+def mig_policy():
+    return MigrateSuspended(LowestUtilizationSelector())
+
+
+BASE_JOBS = [
+    # victim: runs 4 minutes before being suspended at t=4
+    dict(job_id=0, submit=0.0, runtime=10.0, priority=0, candidate_pools=("p0", "p1")),
+    dict(job_id=1, submit=4.0, runtime=60.0, priority=100, candidate_pools=("p0",)),
+]
+
+
+def base_jobs():
+    return [make_job(**{**spec, "job_id": spec["job_id"]}) for spec in BASE_JOBS]
+
+
+class TestMigration:
+    def test_migration_preserves_progress(self):
+        result = run_tiny(base_jobs(), cluster=two_pools(), policy=mig_policy())
+        victim = result.record_by_id(0)
+        # suspended at 4 with 4 minutes done; migrates to p1 and runs
+        # only the remaining 6 -> finishes at 10, nothing wasted.
+        assert victim.finish_minute == 10.0
+        assert victim.wasted_restart_time == 0.0
+        assert victim.migration_count == 1
+        assert victim.restart_count == 0
+        assert victim.pools_visited == ("p0", "p1")
+
+    def test_migration_beats_restart_on_completion(self):
+        migrated = run_tiny(base_jobs(), cluster=two_pools(), policy=mig_policy())
+        restarted = run_tiny(
+            base_jobs(), cluster=two_pools(), policy=repro.res_sus_util()
+        )
+        # restart redoes the 4 minutes: 4 + 10 = 14 vs migration's 10
+        assert migrated.record_by_id(0).finish_minute == 10.0
+        assert restarted.record_by_id(0).finish_minute == 14.0
+
+    def test_migration_dilation_inflates_remaining_work(self):
+        result = run_tiny(
+            base_jobs(),
+            cluster=two_pools(),
+            policy=mig_policy(),
+            migration_dilation=0.5,
+        )
+        victim = result.record_by_id(0)
+        # remaining 6 minutes dilated by 50% -> 9 minutes at p1,
+        # finishing at 13; the 3 extra minutes count as waste.
+        assert victim.finish_minute == pytest.approx(13.0)
+        assert victim.wasted_restart_time == pytest.approx(3.0)
+
+    def test_migration_overhead_delays_arrival(self):
+        result = run_tiny(
+            base_jobs(),
+            cluster=two_pools(),
+            policy=mig_policy(),
+            migration_overhead=RestartOverhead(fixed_minutes=5.0),
+        )
+        victim = result.record_by_id(0)
+        # suspended at 4, 5 minutes in transit, 6 remaining -> 15
+        assert victim.finish_minute == pytest.approx(15.0)
+        assert victim.migration_count == 1
+
+    def test_migration_guard_stays_when_no_better_pool(self):
+        cluster = two_pools()
+        jobs = [
+            make_job(2, submit=0.0, runtime=50.0, candidate_pools=("p1",)),
+            *base_jobs(),
+        ]
+        result = run_tiny(jobs, cluster=cluster, policy=mig_policy())
+        victim = result.record_by_id(0)
+        assert victim.migration_count == 0
+        assert victim.suspend_time > 0.0
+
+    def test_dilation_validation(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(migration_dilation=-0.1)
+
+    def test_migration_frees_origin_memory(self):
+        cluster = ClusterSpec(
+            [
+                make_pool("p0", 1, cores=2, memory_gb=4.0),
+                make_pool("p1", 1, cores=2, memory_gb=4.0),
+            ]
+        )
+        jobs = [
+            make_job(0, submit=0.0, runtime=30.0, priority=0, cores=2, memory_gb=3.0,
+                     candidate_pools=("p0", "p1")),
+            make_job(1, submit=2.0, runtime=30.0, priority=100, memory_gb=1.0,
+                     candidate_pools=("p0",)),
+            make_job(2, submit=3.0, runtime=5.0, priority=100, memory_gb=3.0,
+                     candidate_pools=("p0",)),
+        ]
+        result = run_tiny(jobs, cluster=cluster, policy=mig_policy())
+        # victim migrated away, releasing its 3GB for job 2
+        assert result.record_by_id(0).migration_count == 1
+        assert result.record_by_id(2).wait_time == 0.0
+
+
+class TestMigrationAblation:
+    def test_ablation_orders_by_dilation(self):
+        from repro.experiments.ablations import migration_ablation
+
+        summaries = migration_ablation(dilations=(0.0, 0.4), scale=0.06)
+        free = summaries[0.0]
+        costly = summaries[0.4]
+        # dilation only adds work, so waste cannot shrink
+        assert costly.waste.resched_time >= free.waste.resched_time

@@ -1,0 +1,89 @@
+"""Unit tests for the event queue and simulation config."""
+
+import pytest
+
+from repro.core.overheads import RestartOverhead
+from repro.errors import ConfigurationError, SimulationError
+from repro.simulator.config import SimulationConfig
+from repro.simulator.events import (
+    EVENT_FINISH,
+    EVENT_SAMPLE,
+    EVENT_SUBMIT,
+    EventQueue,
+)
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        q = EventQueue()
+        q.push(5.0, EVENT_SUBMIT, "b")
+        q.push(1.0, EVENT_SUBMIT, "a")
+        q.push(9.0, EVENT_SUBMIT, "c")
+        assert [q.pop()[3] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_at_equal_times(self):
+        q = EventQueue()
+        for i in range(5):
+            q.push(1.0, EVENT_SUBMIT, i)
+        assert [q.pop()[3] for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_clock_advances(self):
+        q = EventQueue()
+        q.push(4.0, EVENT_SUBMIT, None)
+        assert q.now == 0.0
+        q.pop()
+        assert q.now == 4.0
+
+    def test_cannot_schedule_in_past(self):
+        q = EventQueue()
+        q.push(5.0, EVENT_SUBMIT, None)
+        q.pop()
+        with pytest.raises(SimulationError):
+            q.push(4.0, EVENT_SUBMIT, None)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(3.0, EVENT_SAMPLE, None)
+        assert q.peek_time() == 3.0
+
+    def test_bulk_load(self):
+        q = EventQueue()
+        q.push_many_unsorted([(3.0, EVENT_SUBMIT, "c"), (1.0, EVENT_SUBMIT, "a")])
+        assert len(q) == 2
+        assert q.pop()[3] == "a"
+
+    def test_bulk_load_only_when_pristine(self):
+        q = EventQueue()
+        q.push(1.0, EVENT_SUBMIT, None)
+        with pytest.raises(SimulationError):
+            q.push_many_unsorted([(2.0, EVENT_FINISH, None)])
+
+    def test_bulk_load_preserves_input_order_on_ties(self):
+        q = EventQueue()
+        q.push_many_unsorted([(1.0, EVENT_SUBMIT, "first"), (1.0, EVENT_SUBMIT, "second")])
+        assert q.pop()[3] == "first"
+
+
+class TestSimulationConfig:
+    def test_defaults_are_paper_faithful(self):
+        config = SimulationConfig()
+        assert config.sample_interval == 1.0
+        assert config.restart_overhead.is_free
+        assert config.strict
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(sample_interval=0.0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(vpm_count=0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(max_minutes=0.0)
+
+    def test_custom_overhead(self):
+        config = SimulationConfig(restart_overhead=RestartOverhead(fixed_minutes=5.0))
+        assert not config.restart_overhead.is_free

@@ -1,0 +1,144 @@
+"""Integration tests on the smoke scenario: global invariants that must
+hold for every policy, and the paper's qualitative orderings at small
+scale.
+"""
+
+import pytest
+
+import repro
+from repro.core.policies import DuplicateSuspended, RescheduleWaitingOnly
+from repro.core.selectors import LowestUtilizationSelector
+from repro.simulator.config import SimulationConfig
+
+ALL_POLICIES = [
+    repro.no_res,
+    repro.res_sus_util,
+    repro.res_sus_rand,
+    repro.res_sus_wait_util,
+    repro.res_sus_wait_rand,
+    lambda: DuplicateSuspended(LowestUtilizationSelector()),
+    lambda: RescheduleWaitingOnly(LowestUtilizationSelector()),
+]
+
+
+@pytest.fixture(scope="module", params=range(len(ALL_POLICIES)))
+def policy_result(request, smoke_scenario):
+    policy = ALL_POLICIES[request.param]()
+    result = repro.run_simulation(
+        smoke_scenario.trace,
+        smoke_scenario.cluster,
+        policy=policy,
+        config=SimulationConfig(check_invariants=True, strict=False),
+    )
+    return smoke_scenario, result
+
+
+class TestConservation:
+    def test_every_job_accounted_for(self, policy_result):
+        scenario, result = policy_result
+        assert len(result.records) == len(scenario.trace)
+        assert sorted(r.job_id for r in result.records) == sorted(
+            j.job_id for j in scenario.trace
+        )
+
+    def test_all_jobs_finish(self, policy_result):
+        _, result = policy_result
+        for record in result.records:
+            if not record.rejected:
+                assert record.finish_minute is not None
+                assert record.finish_minute >= record.submit_minute
+
+    def test_accounting_is_non_negative(self, policy_result):
+        _, result = policy_result
+        for record in result.completed_records():
+            assert record.wait_time >= -1e-9
+            assert record.suspend_time >= -1e-9
+            assert record.wasted_restart_time >= -1e-9
+
+    def test_waste_bounded_by_completion_time(self, policy_result):
+        _, result = policy_result
+        for record in result.completed_records():
+            # wait and suspend are real elapsed intervals of the job's
+            # life; restart waste re-executes work, so it is bounded by
+            # elapsed time too (progress accrues in real time).
+            assert (
+                record.wait_time + record.suspend_time
+                <= record.completion_time + 1e-6
+            )
+
+    def test_suspension_flag_consistent(self, policy_result):
+        _, result = policy_result
+        for record in result.completed_records():
+            if record.suspend_time > 0:
+                assert record.suspension_count > 0
+
+    def test_minimum_runtime_respected(self, policy_result):
+        _, result = policy_result
+        for record in result.completed_records():
+            # a job cannot finish faster than its demand on the fastest
+            # machine (speed factors are <= 1.3)
+            assert record.completion_time >= record.runtime_minutes / 1.31 - 1e-6
+
+    def test_samples_monotone_time(self, policy_result):
+        _, result = policy_result
+        minutes = [s.minute for s in result.samples]
+        assert minutes == sorted(minutes)
+
+    def test_utilization_bounded(self, policy_result):
+        _, result = policy_result
+        for s in result.samples:
+            assert 0.0 <= s.utilization <= 1.0
+            assert s.busy_cores <= s.total_cores
+
+
+class TestQualitativeOrderings:
+    """The paper's headline effects, checked at smoke scale."""
+
+    @pytest.fixture(scope="class")
+    def summaries(self, smoke_scenario):
+        out = {}
+        for factory in (repro.no_res, repro.res_sus_util, repro.res_sus_wait_util):
+            policy = factory()
+            result = repro.run_simulation(
+                smoke_scenario.trace,
+                smoke_scenario.cluster,
+                policy=policy,
+                config=SimulationConfig(strict=False, record_samples=False),
+            )
+            out[policy.name] = repro.summarize(result)
+        return out
+
+    def test_rescheduling_reduces_suspended_completion_time(self, summaries):
+        assert (
+            summaries["ResSusUtil"].avg_ct_suspended
+            < summaries["NoRes"].avg_ct_suspended
+        )
+
+    def test_combined_rescheduling_reduces_waste(self, summaries):
+        # At smoke scale (a few hundred jobs, ~10 suspended) the
+        # suspended-only policy's AvgWCT is noisy; the combined policy's
+        # waste reduction is the robust signal.
+        assert summaries["ResSusWaitUtil"].avg_wct < summaries["NoRes"].avg_wct
+
+    def test_waiting_rescheduling_reduces_waste(self, summaries):
+        # the combined policy's headline effect is on waste; at smoke
+        # scale (bursts hit half the 4-pool cluster) raw completion
+        # time can fluctuate, so allow modest slack on AvgCT.
+        assert summaries["ResSusWaitUtil"].avg_wct < summaries["NoRes"].avg_wct
+        assert (
+            summaries["ResSusWaitUtil"].avg_ct_all
+            <= summaries["NoRes"].avg_ct_all * 1.15
+        )
+
+    def test_rescheduling_slashes_suspend_time(self, summaries):
+        # rescheduled suspended jobs leave their hosts, so time spent
+        # suspended collapses (paper: AvgST 1189 -> ~82)
+        if summaries["NoRes"].avg_st:
+            assert (
+                summaries["ResSusUtil"].waste.suspend_time
+                < summaries["NoRes"].waste.suspend_time
+            )
+
+    def test_no_res_has_zero_resched_waste(self, summaries):
+        assert summaries["NoRes"].waste.resched_time == 0.0
+        assert summaries["ResSusUtil"].waste.resched_time > 0.0

@@ -1,0 +1,227 @@
+"""Unit tests for repro.metrics (summary, cdf, timeseries, report)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.cdf import EmpiricalCDF
+from repro.metrics.report import format_minutes, render_table, render_waste_components
+from repro.metrics.summary import PerformanceSummary, WasteBreakdown, summarize
+from repro.metrics.timeseries import (
+    aggregate_samples,
+    suspension_series,
+    utilization_series,
+)
+from repro.simulator.results import JobRecord, SimulationResult, StateSample
+
+
+def record(
+    job_id=0,
+    submit=0.0,
+    finish=100.0,
+    wait=0.0,
+    suspend=0.0,
+    resched=0.0,
+    suspensions=0,
+    rejected=False,
+    priority=0,
+):
+    return JobRecord(
+        job_id=job_id,
+        priority=priority,
+        submit_minute=submit,
+        finish_minute=None if rejected else finish,
+        runtime_minutes=50.0,
+        cores=1,
+        memory_gb=1.0,
+        wait_time=wait,
+        suspend_time=suspend,
+        wasted_restart_time=resched,
+        suspension_count=suspensions,
+        restart_count=0,
+        migration_count=0,
+        waiting_move_count=0,
+        pools_visited=("p0",),
+        rejected=rejected,
+        task_id=None,
+        user="u",
+    )
+
+
+def result(records, samples=()):
+    return SimulationResult(
+        records=records,
+        samples=samples,
+        pool_ids=("p0",),
+        policy_name="NoRes",
+        scheduler_name="RoundRobin",
+        total_cores=10,
+    )
+
+
+def sample(minute, busy=5, suspended=0, waiting=0, running=5):
+    return StateSample(
+        minute=minute,
+        busy_cores=busy,
+        total_cores=10,
+        running_jobs=running,
+        suspended_jobs=suspended,
+        waiting_jobs=waiting,
+        per_pool_busy=(busy,),
+    )
+
+
+class TestJobRecord:
+    def test_derived_properties(self):
+        r = record(submit=10.0, finish=60.0, wait=5.0, suspend=3.0, resched=2.0)
+        assert r.completion_time == 50.0
+        assert r.wasted_completion_time == 10.0
+        assert not r.was_suspended
+
+    def test_rejected_record(self):
+        r = record(rejected=True)
+        assert r.completion_time is None
+
+
+class TestSummarize:
+    def test_paper_metric_definitions(self):
+        records = [
+            record(0, finish=100.0, wait=10.0),  # not suspended
+            record(1, finish=200.0, suspend=40.0, suspensions=1),
+            record(2, finish=300.0, suspend=20.0, suspensions=2, resched=5.0),
+        ]
+        summary = summarize(result(records))
+        assert summary.job_count == 3
+        assert summary.suspend_rate == pytest.approx(2 / 3)
+        assert summary.avg_ct_all == pytest.approx((100 + 200 + 300) / 3)
+        assert summary.avg_ct_suspended == pytest.approx(250.0)
+        assert summary.avg_st == pytest.approx(30.0)
+        # AvgWCT averages over ALL jobs
+        assert summary.avg_wct == pytest.approx((10 + 40 + 25) / 3)
+        assert summary.waste.wait_time == pytest.approx(10 / 3)
+        assert summary.waste.suspend_time == pytest.approx(60 / 3)
+        assert summary.waste.resched_time == pytest.approx(5 / 3)
+
+    def test_no_suspended_jobs(self):
+        summary = summarize(result([record(0)]))
+        assert summary.avg_ct_suspended is None
+        assert summary.avg_st is None
+        assert summary.suspend_rate == 0.0
+
+    def test_rejected_jobs_excluded_from_averages(self):
+        records = [record(0, finish=100.0), record(1, rejected=True)]
+        summary = summarize(result(records))
+        assert summary.job_count == 2
+        assert summary.completed_count == 1
+        assert summary.rejected_count == 1
+        assert summary.avg_ct_all == 100.0
+
+    def test_empty_result(self):
+        summary = summarize(result([]))
+        assert summary.job_count == 0
+        assert summary.avg_ct_all == 0.0
+
+    def test_waste_total_is_avg_wct(self):
+        breakdown = WasteBreakdown(wait_time=1.0, suspend_time=2.0, resched_time=3.0)
+        assert breakdown.total == 6.0
+
+
+class TestEmpiricalCDF:
+    def test_percentiles(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf.median == 2.5
+        assert cdf.percentile(0) == 1.0
+        assert cdf.percentile(100) == 4.0
+
+    def test_fractions(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf.fraction_at_most(2.0) == 0.5
+        assert cdf.fraction_above(3.0) == 0.25
+        assert cdf.fraction_at_most(0.5) == 0.0
+        assert cdf.fraction_above(99.0) == 0.0
+
+    def test_stats(self):
+        cdf = EmpiricalCDF([5.0, 1.0, 3.0])
+        assert cdf.minimum == 1.0
+        assert cdf.maximum == 5.0
+        assert cdf.mean == 3.0
+        assert len(cdf) == 3
+
+    def test_points_monotone(self):
+        cdf = EmpiricalCDF(list(range(100)))
+        points = cdf.points(count=10)
+        assert len(points) == 10
+        values = [v for v, _ in points]
+        fractions = [f for _, f in points]
+        assert values == sorted(values)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EmpiricalCDF([])
+        with pytest.raises(ConfigurationError):
+            EmpiricalCDF([1.0]).points(count=1)
+
+
+class TestTimeseries:
+    def test_aggregation_windows(self):
+        samples = [sample(float(m), busy=m % 10) for m in range(250)]
+        points = aggregate_samples(samples, window_minutes=100.0)
+        assert len(points) == 3
+        assert points[0].window_start == 0.0
+        assert points[1].window_start == 100.0
+        assert points[0].sample_count == 100
+        assert points[2].sample_count == 50
+
+    def test_window_means(self):
+        samples = [sample(0.0, busy=2, suspended=4), sample(1.0, busy=4, suspended=6)]
+        (point,) = aggregate_samples(samples, window_minutes=100.0)
+        assert point.utilization == pytest.approx(0.3)
+        assert point.suspended_jobs == pytest.approx(5.0)
+
+    def test_empty_samples(self):
+        assert aggregate_samples([]) == []
+
+    def test_series_helpers(self):
+        samples = [sample(float(m), busy=5, suspended=2) for m in range(100)]
+        assert utilization_series(samples) == [pytest.approx(50.0)]
+        assert suspension_series(samples) == [pytest.approx(2.0)]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_samples([sample(0.0)], window_minutes=0.0)
+
+
+class TestReport:
+    def make_summary(self, name="NoRes"):
+        return PerformanceSummary(
+            policy_name=name,
+            scheduler_name="RoundRobin",
+            job_count=100,
+            completed_count=100,
+            rejected_count=0,
+            suspend_rate=0.0114,
+            avg_ct_suspended=2498.7,
+            avg_ct_all=569.8,
+            avg_st=1189.1,
+            waste=WasteBreakdown(10.0, 20.0, 1.0),
+            avg_restarts=0.1,
+            avg_waiting_moves=0.0,
+        )
+
+    def test_render_table_contains_paper_columns(self):
+        text = render_table([self.make_summary()], "Table 1")
+        assert "Table 1" in text
+        assert "1.14%" in text
+        assert "2498.7" in text
+        assert "569.8" in text
+        assert "1189.1" in text
+        assert "31.0" in text  # waste total
+
+    def test_render_waste_components(self):
+        text = render_waste_components([self.make_summary()])
+        assert "10.0" in text and "20.0" in text and "31.0" in text
+
+    def test_format_minutes_none(self):
+        assert format_minutes(None) == "-"
+        assert format_minutes(12.34) == "12.3"

@@ -1,0 +1,86 @@
+"""Tests for the paper reference data and the SVG renderers."""
+
+import pytest
+
+import repro
+from repro.analysis.svg import cdf_svg, stacked_bars_svg, timeseries_svg, write_svg
+from repro.analysis.utilization import analyze_utilization
+from repro.analysis.suspension import suspension_time_cdf
+from repro.errors import ConfigurationError
+from repro.paper import (
+    PAPER_EVALUATION_SETUP,
+    PAPER_FIGURE2,
+    PAPER_TABLES,
+    paper_row,
+)
+
+
+class TestPaperData:
+    def test_all_tables_present(self):
+        assert sorted(PAPER_TABLES) == [1, 2, 3, 4, 5]
+
+    def test_row_lookup(self):
+        row = paper_row(1, "NoRes")
+        assert row.avg_ct_suspended == 2498.7
+        assert row.avg_wct == 31.0
+        assert paper_row(1, "Nope") is None
+        assert paper_row(9, "NoRes") is None
+
+    def test_tables_2_and_4_share_baseline(self):
+        # both tables run the same NoRes condition in the paper
+        assert PAPER_TABLES[2]["NoRes"] == PAPER_TABLES[4]["NoRes"]
+        assert PAPER_TABLES[3]["NoRes"] == PAPER_TABLES[5]["NoRes"]
+
+    def test_headline_claims_derivable_from_rows(self):
+        t1 = PAPER_TABLES[1]
+        reduction = 1 - t1["ResSusUtil"].avg_ct_suspended / t1["NoRes"].avg_ct_suspended
+        assert 0.45 < reduction < 0.55  # "around 50%"
+        waste_cut = 1 - t1["ResSusUtil"].avg_wct / t1["NoRes"].avg_wct
+        assert 0.30 < waste_cut < 0.36  # "more than 33%" (32.9 rounded)
+        t2 = PAPER_TABLES[2]
+        high_load_cut = 1 - t2["ResSusUtil"].avg_ct_suspended / t2["NoRes"].avg_ct_suspended
+        assert 0.72 < high_load_cut < 0.78  # "75%"
+
+    def test_figure2_and_setup_constants(self):
+        assert PAPER_FIGURE2["median_minutes"] == 437.0
+        assert PAPER_EVALUATION_SETUP["pools"] == 20
+        assert PAPER_EVALUATION_SETUP["wait_threshold_minutes"] == 30.0
+
+
+class TestSvgRenderers:
+    def test_cdf_svg_structure(self, smoke_result):
+        cdf = suspension_time_cdf(smoke_result)
+        svg = cdf_svg(cdf.points(count=30))
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "polyline" in svg
+
+    def test_cdf_svg_validation(self):
+        with pytest.raises(ConfigurationError):
+            cdf_svg([(1.0, 1.0)])
+
+    def test_stacked_bars_svg(self, smoke_result, smoke_resched_result):
+        summaries = [
+            repro.summarize(smoke_result),
+            repro.summarize(smoke_resched_result),
+        ]
+        svg = stacked_bars_svg(summaries)
+        assert svg.count("<rect") >= 1 + 2 * 3  # background + 3 segments per bar
+        assert "NoRes" in svg
+        assert "ResSusWaitUtil" in svg
+
+    def test_stacked_bars_validation(self):
+        with pytest.raises(ConfigurationError):
+            stacked_bars_svg([])
+
+    def test_timeseries_svg(self, smoke_result):
+        analysis = analyze_utilization(smoke_result, window_minutes=50.0)
+        svg = timeseries_svg(analysis.points)
+        assert svg.count("polyline") >= 2  # two series + frame
+
+    def test_write_svg(self, tmp_path, smoke_result):
+        analysis = analyze_utilization(smoke_result, window_minutes=50.0)
+        path = tmp_path / "fig4.svg"
+        write_svg(timeseries_svg(analysis.points), path)
+        content = path.read_text()
+        assert content.startswith("<svg")

@@ -1,0 +1,117 @@
+"""Tests for per-pool usage analysis (repro.analysis.pools)."""
+
+import pytest
+
+import repro
+from repro.analysis.pools import analyze_pools
+from repro.errors import ConfigurationError
+from repro.simulator.results import SimulationResult, StateSample
+from repro.workload.cluster import ClusterSpec
+
+from conftest import make_job, make_pool, run_tiny
+
+
+def sample(minute, busy_by_pool, waiting_by_pool=None, total=8):
+    waiting_by_pool = waiting_by_pool or [0] * len(busy_by_pool)
+    return StateSample(
+        minute=minute,
+        busy_cores=sum(busy_by_pool),
+        total_cores=total,
+        running_jobs=sum(busy_by_pool),
+        suspended_jobs=0,
+        waiting_jobs=sum(waiting_by_pool),
+        per_pool_busy=tuple(busy_by_pool),
+        per_pool_waiting=tuple(waiting_by_pool),
+        per_pool_suspended=tuple(0 for _ in busy_by_pool),
+    )
+
+
+def result_with(samples, pool_ids=("a", "b")):
+    return SimulationResult(
+        records=[],
+        samples=samples,
+        pool_ids=pool_ids,
+        policy_name="NoRes",
+        scheduler_name="RoundRobin",
+        total_cores=8,
+    )
+
+
+class TestAnalyzePools:
+    def test_mean_and_peak_utilization(self):
+        samples = [sample(float(m), [2, 4]) for m in range(10)]
+        analysis = analyze_pools(result_with(samples), pool_cores=[4, 4])
+        pool_a = analysis.pool("a")
+        assert pool_a.mean_utilization == pytest.approx(0.5)
+        assert analysis.pool("b").peak_utilization == pytest.approx(1.0)
+        assert analysis.hottest().pool_id == "b"
+        assert analysis.coldest().pool_id == "a"
+
+    def test_spread(self):
+        samples = [sample(float(m), [0, 4]) for m in range(5)]
+        analysis = analyze_pools(result_with(samples), pool_cores=[4, 4])
+        assert analysis.mean_spread == pytest.approx(1.0)
+
+    def test_saturation_episode_detection(self):
+        # pool b saturated for minutes 10..60, cluster util stays 0.5
+        samples = []
+        for m in range(100):
+            busy_b = 4 if 10 <= m <= 60 else 0
+            samples.append(sample(float(m), [4, busy_b]))
+        analysis = analyze_pools(
+            result_with(samples), pool_cores=[8, 4], min_episode=30.0
+        )
+        episodes = [e for e in analysis.episodes if e.pool_id == "b"]
+        assert len(episodes) == 1
+        episode = episodes[0]
+        assert episode.start_minute == 10.0
+        assert episode.duration == pytest.approx(51.0, abs=1.5)
+
+    def test_short_blips_not_reported(self):
+        samples = []
+        for m in range(100):
+            busy_b = 4 if m in (10, 50) else 0
+            samples.append(sample(float(m), [0, busy_b]))
+        analysis = analyze_pools(
+            result_with(samples), pool_cores=[8, 4], min_episode=10.0
+        )
+        assert analysis.episodes == ()
+
+    def test_hot_while_idle_fraction(self):
+        # pool b (4 cores) saturated; pool a (8 cores) empty -> cluster 33%
+        samples = [sample(float(m), [0, 4], total=12) for m in range(10)]
+        analysis = analyze_pools(result_with(samples), pool_cores=[8, 4])
+        assert analysis.hot_while_idle_fraction == pytest.approx(1.0)
+
+    def test_waiting_statistics(self):
+        samples = [sample(float(m), [1, 1], waiting_by_pool=[m, 0]) for m in range(5)]
+        analysis = analyze_pools(result_with(samples), pool_cores=[4, 4])
+        assert analysis.pool("a").peak_waiting == 4
+        assert analysis.pool("a").mean_waiting == pytest.approx(2.0)
+
+    def test_inferred_pool_cores(self):
+        samples = [sample(float(m), [2, 4]) for m in range(5)]
+        analysis = analyze_pools(result_with(samples))
+        # inferred from peak busy: a=2, b=4 -> both appear fully busy
+        assert analysis.pool("a").peak_utilization == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            analyze_pools(result_with([]))
+        samples = [sample(0.0, [1, 1])]
+        with pytest.raises(ConfigurationError):
+            analyze_pools(result_with(samples), pool_cores=[4])
+        with pytest.raises(ConfigurationError):
+            analyze_pools(result_with(samples), pool_cores=[4, 4]).pool("zzz")
+
+    def test_on_real_simulation(self, smoke_scenario, smoke_result):
+        pool_cores = [p.total_cores for p in smoke_scenario.cluster]
+        analysis = analyze_pools(
+            smoke_result,
+            pool_cores=pool_cores,
+            up_to_minute=smoke_scenario.trace.horizon(),
+        )
+        assert len(analysis.pools) == len(smoke_scenario.cluster)
+        assert 0.0 <= analysis.mean_spread <= 1.0
+        # the burst saturates the target pools while others idle
+        assert analysis.hottest().mean_utilization > analysis.coldest().mean_utilization

@@ -1,0 +1,172 @@
+"""Additional property-based tests covering the extension subsystems."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.metrics.summary import summarize
+from repro.simulator.config import SimulationConfig
+from repro.simulator.observer import EventLog
+from repro.simulator.results import JobRecord, SimulationResult
+from repro.sites import SiteSpec, SiteTopology
+from repro.workload.arrivals import DiurnalPoissonProcess
+
+from conftest import make_cluster, make_job, make_pool, make_trace
+
+
+# -- site topology -----------------------------------------------------------------
+
+
+@given(
+    site_sizes=st.lists(st.integers(1, 4), min_size=2, max_size=5),
+    transfer=st.floats(0.0, 500.0),
+)
+def test_topology_transfer_symmetric_and_zero_locally(site_sizes, transfer):
+    sites = []
+    for s, size in enumerate(site_sizes):
+        pools = tuple(make_pool(f"s{s}/p{i}", 1) for i in range(size))
+        sites.append(SiteSpec(f"s{s}", pools))
+    topo = SiteTopology(sites, transfer_minutes=transfer)
+    pool_ids = [p for site in sites for p in site.pool_ids]
+    for a in pool_ids:
+        for b in pool_ids:
+            forward = topo.transfer_minutes(a, b)
+            backward = topo.transfer_minutes(b, a)
+            assert forward == backward
+            if topo.same_site(a, b):
+                assert forward == 0.0
+            else:
+                assert forward == transfer
+
+
+# -- diurnal process -----------------------------------------------------------------
+
+
+@given(
+    base=st.floats(0.01, 5.0),
+    amplitude=st.floats(0.0, 0.99),
+    weekend=st.floats(0.01, 1.0),
+    minute=st.floats(0.0, 1440.0 * 21),
+)
+def test_diurnal_rate_within_envelope(base, amplitude, weekend, minute):
+    process = DiurnalPoissonProcess(
+        base_rate=base, daily_amplitude=amplitude, weekend_factor=weekend
+    )
+    rate = process.rate_at(minute)
+    assert 0.0 <= rate <= base * (1.0 + amplitude) + 1e-9
+    assert rate >= base * (1.0 - amplitude) * weekend - 1e-9
+
+
+# -- event-log lifecycle grammar -------------------------------------------------------
+
+
+_NEXT_ALLOWED = {
+    "submit": {"start", "queue", "reject"},
+    "queue": {"start", "dequeue"},
+    "dequeue": {"start", "queue"},
+    "start": {"suspend", "finish"},
+    "suspend": {"resume", "restart", "migrate", "duplicate"},
+    "duplicate": {"resume", "restart", "migrate", "finish"},
+    "resume": {"suspend", "finish"},
+    "restart": {"start", "queue"},
+    "migrate": {"start", "queue"},
+}
+
+
+@given(
+    runtimes=st.lists(st.floats(1.0, 40.0), min_size=2, max_size=12),
+    priorities=st.lists(st.sampled_from([0, 50, 100]), min_size=12, max_size=12),
+    policy_index=st.integers(0, 2),
+)
+@settings(max_examples=40, deadline=None)
+def test_event_sequences_follow_lifecycle_grammar(runtimes, priorities, policy_index):
+    """Every job's event sequence is a valid lifecycle path."""
+    policies = [repro.no_res, repro.res_sus_util, repro.res_sus_wait_util]
+    jobs = [
+        make_job(i, submit=i * 2.0, runtime=runtime, priority=priorities[i])
+        for i, runtime in enumerate(runtimes)
+    ]
+    log = EventLog()
+    repro.run_simulation(
+        make_trace(jobs),
+        make_cluster([("p0", 1), ("p1", 1)]),
+        policy=policies[policy_index](),
+        config=SimulationConfig(
+            strict=False, record_samples=False, observer=log, check_invariants=False
+        ),
+    )
+    for job in jobs:
+        sequence = [e.event for e in log.for_job(job.job_id)]
+        assert sequence, f"job {job.job_id} produced no events"
+        assert sequence[0] == "submit"
+        assert sequence[-1] in {"finish", "reject"}
+        for current, following in zip(sequence, sequence[1:]):
+            assert following in _NEXT_ALLOWED[current], (
+                f"job {job.job_id}: illegal transition {current} -> {following} "
+                f"in {sequence}"
+            )
+
+
+# -- summarize consistency ---------------------------------------------------------------
+
+
+@st.composite
+def job_records(draw):
+    job_id = draw(st.integers(0, 10_000))
+    rejected = draw(st.booleans())
+    submit = draw(st.floats(0.0, 1000.0))
+    wait = draw(st.floats(0.0, 500.0))
+    suspend = draw(st.floats(0.0, 500.0))
+    resched = draw(st.floats(0.0, 500.0))
+    suspensions = draw(st.integers(0, 5)) if suspend == 0.0 else draw(st.integers(1, 5))
+    return JobRecord(
+        job_id=job_id,
+        priority=draw(st.sampled_from([0, 50, 100])),
+        submit_minute=submit,
+        finish_minute=None if rejected else submit + draw(st.floats(1.0, 2000.0)),
+        runtime_minutes=draw(st.floats(0.5, 1000.0)),
+        cores=1,
+        memory_gb=1.0,
+        wait_time=wait,
+        suspend_time=suspend,
+        wasted_restart_time=resched,
+        suspension_count=suspensions,
+        restart_count=0,
+        migration_count=0,
+        waiting_move_count=0,
+        pools_visited=("p0",),
+        rejected=rejected,
+        task_id=None,
+        user="u",
+    )
+
+
+@given(records=st.lists(job_records(), min_size=0, max_size=40))
+def test_summarize_matches_direct_computation(records):
+    # deduplicate ids (SimulationResult does not require it, but realism)
+    seen = set()
+    unique = []
+    for record in records:
+        if record.job_id not in seen:
+            seen.add(record.job_id)
+            unique.append(record)
+    result = SimulationResult(
+        records=unique,
+        samples=[],
+        pool_ids=("p0",),
+        policy_name="x",
+        scheduler_name="y",
+        total_cores=1,
+    )
+    summary = summarize(result)
+    completed = [r for r in unique if not r.rejected]
+    assert summary.completed_count == len(completed)
+    if completed:
+        expected_wct = sum(r.wasted_completion_time for r in completed) / len(completed)
+        assert abs(summary.avg_wct - expected_wct) < 1e-6
+        suspended = [r for r in completed if r.was_suspended]
+        assert summary.suspend_rate == len(suspended) / len(completed)
+    else:
+        assert summary.avg_wct == 0.0

@@ -1,0 +1,118 @@
+"""Unit tests for the priority wait queue."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.simulator.job import Job
+from repro.simulator.queues import PriorityWaitQueue
+
+from conftest import make_job
+
+
+def job(job_id, priority=0):
+    return Job(make_job(job_id, priority=priority))
+
+
+class TestOrdering:
+    def test_pop_highest_priority_first(self):
+        q = PriorityWaitQueue()
+        q.push(job(1, priority=0))
+        q.push(job(2, priority=100))
+        q.push(job(3, priority=50))
+        assert q.pop().job_id == 2
+        assert q.pop().job_id == 3
+        assert q.pop().job_id == 1
+
+    def test_fifo_within_priority(self):
+        q = PriorityWaitQueue()
+        for i in range(5):
+            q.push(job(i, priority=10))
+        assert [q.pop().job_id for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_peek_does_not_remove(self):
+        q = PriorityWaitQueue()
+        q.push(job(1))
+        assert q.peek().job_id == 1
+        assert len(q) == 1
+
+    def test_peek_empty(self):
+        assert PriorityWaitQueue().peek() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SchedulingError):
+            PriorityWaitQueue().pop()
+
+
+class TestRemoval:
+    def test_remove_middle_entry(self):
+        q = PriorityWaitQueue()
+        jobs = [job(i) for i in range(3)]
+        for j in jobs:
+            q.push(j)
+        q.remove(jobs[1])
+        assert len(q) == 2
+        assert [q.pop().job_id, q.pop().job_id] == [0, 2]
+
+    def test_remove_absent_raises(self):
+        q = PriorityWaitQueue()
+        with pytest.raises(SchedulingError):
+            q.remove(job(1))
+
+    def test_push_duplicate_raises(self):
+        q = PriorityWaitQueue()
+        j = job(1)
+        q.push(j)
+        with pytest.raises(SchedulingError):
+            q.push(j)
+
+    def test_contains(self):
+        q = PriorityWaitQueue()
+        j = job(1)
+        assert j not in q
+        q.push(j)
+        assert j in q
+
+    def test_compaction_after_many_removals(self):
+        q = PriorityWaitQueue()
+        jobs = [job(i) for i in range(100)]
+        for j in jobs:
+            q.push(j)
+        for j in jobs[:90]:
+            q.remove(j)
+        assert len(q) == 10
+        assert len(q._heap) < 50  # lazily compacted
+        assert [j.job_id for j in q.iter_jobs()] == list(range(90, 100))
+
+
+class TestBestMatch:
+    def test_best_match_respects_priority_and_fifo(self):
+        q = PriorityWaitQueue()
+        q.push(job(1, priority=0))
+        q.push(job(2, priority=100))
+        q.push(job(3, priority=100))
+        assert q.best_match(lambda j: True).job_id == 2
+
+    def test_best_match_filters(self):
+        q = PriorityWaitQueue()
+        q.push(job(1, priority=100))
+        q.push(job(2, priority=0))
+        assert q.best_match(lambda j: j.priority < 50).job_id == 2
+
+    def test_best_match_none(self):
+        q = PriorityWaitQueue()
+        q.push(job(1))
+        assert q.best_match(lambda j: False) is None
+
+    def test_best_match_skips_removed(self):
+        q = PriorityWaitQueue()
+        a, b = job(1, priority=100), job(2, priority=0)
+        q.push(a)
+        q.push(b)
+        q.remove(a)
+        assert q.best_match(lambda j: True).job_id == 2
+
+    def test_iter_jobs_priority_order(self):
+        q = PriorityWaitQueue()
+        q.push(job(1, priority=0))
+        q.push(job(2, priority=100))
+        assert [j.job_id for j in q.iter_jobs()] == [2, 1]

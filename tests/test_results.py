@@ -1,0 +1,119 @@
+"""Tests for SimulationResult accessors and the virtual pool manager."""
+
+import pytest
+
+from repro.core.context import StaticSystemView, PoolSnapshot
+from repro.schedulers.initial import RoundRobinScheduler
+from repro.simulator.job import Job
+from repro.simulator.pool import PhysicalPool, SubmitOutcome
+from repro.simulator.results import JobRecord, SimulationResult
+from repro.simulator.virtual_pool import VirtualPoolManager
+
+from conftest import make_job, make_pool
+
+
+def record(job_id, suspended=False, rejected=False, user="u"):
+    return JobRecord(
+        job_id=job_id,
+        priority=0,
+        submit_minute=0.0,
+        finish_minute=None if rejected else 10.0,
+        runtime_minutes=5.0,
+        cores=1,
+        memory_gb=1.0,
+        wait_time=0.0,
+        suspend_time=1.0 if suspended else 0.0,
+        wasted_restart_time=0.0,
+        suspension_count=1 if suspended else 0,
+        restart_count=0,
+        migration_count=0,
+        waiting_move_count=0,
+        pools_visited=("p0",),
+        rejected=rejected,
+        task_id=None,
+        user=user,
+    )
+
+
+class TestSimulationResult:
+    def make(self):
+        return SimulationResult(
+            records=[record(0), record(1, suspended=True), record(2, rejected=True)],
+            samples=[],
+            pool_ids=("p0",),
+            policy_name="NoRes",
+            scheduler_name="RoundRobin",
+            total_cores=4,
+        )
+
+    def test_filters(self):
+        result = self.make()
+        assert len(result) == 3
+        assert len(list(result.completed_records())) == 2
+        assert len(list(result.suspended_records())) == 1
+        assert result.rejected_count() == 1
+
+    def test_record_by_id(self):
+        result = self.make()
+        assert result.record_by_id(1).suspension_count == 1
+        with pytest.raises(KeyError):
+            result.record_by_id(99)
+
+    def test_records_by_user(self):
+        result = SimulationResult(
+            records=[record(0, user="a"), record(1, user="b"), record(2, user="a")],
+            samples=[],
+            pool_ids=("p0",),
+            policy_name="NoRes",
+            scheduler_name="RoundRobin",
+            total_cores=4,
+        )
+        grouped = result.records_by_user()
+        assert len(grouped["a"]) == 2
+        assert len(grouped["b"]) == 1
+
+
+class TestVirtualPoolManager:
+    def make_vpm(self, pool_count=2, machine_count=1):
+        pools = {
+            f"p{i}": PhysicalPool(make_pool(f"p{i}", machine_count, cores=1))
+            for i in range(pool_count)
+        }
+        vpm = VirtualPoolManager("vpm-0", RoundRobinScheduler(), pools)
+        snapshots = [p.snapshot() for p in pools.values()]
+        view = StaticSystemView(now=0.0, snapshots=snapshots)
+        return vpm, pools, view
+
+    def test_places_at_first_candidate(self):
+        vpm, pools, view = self.make_vpm()
+        job = Job(make_job(0))
+        result, pool_id = vpm.submit(job, ("p0", "p1"), view, 0.0)
+        assert result.outcome is SubmitOutcome.STARTED
+        assert pool_id == "p0"
+
+    def test_round_robin_rotates(self):
+        vpm, pools, view = self.make_vpm()
+        _, first = vpm.submit(Job(make_job(0)), ("p0", "p1"), view, 0.0)
+        _, second = vpm.submit(Job(make_job(1)), ("p0", "p1"), view, 0.0)
+        assert {first, second} == {"p0", "p1"}
+
+    def test_skips_ineligible_pool(self):
+        vpm, pools, view = self.make_vpm()
+        # job needs windows; neither pool has it
+        job = Job(make_job(0, os_family="windows"))
+        result, pool_id = vpm.submit(job, ("p0", "p1"), view, 0.0)
+        assert result.outcome is SubmitOutcome.INELIGIBLE
+        assert pool_id is None
+
+    def test_empty_candidates(self):
+        vpm, pools, view = self.make_vpm()
+        result, pool_id = vpm.submit(Job(make_job(0)), (), view, 0.0)
+        assert result.outcome is SubmitOutcome.INELIGIBLE
+        assert pool_id is None
+
+    def test_busy_pool_queues_rather_than_skips(self):
+        vpm, pools, view = self.make_vpm(pool_count=1)
+        vpm.submit(Job(make_job(0, runtime=100.0)), ("p0",), view, 0.0)
+        result, pool_id = vpm.submit(Job(make_job(1)), ("p0",), view, 0.0)
+        assert result.outcome is SubmitOutcome.QUEUED
+        assert pool_id == "p0"

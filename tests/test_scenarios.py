@@ -1,0 +1,101 @@
+"""Unit tests for repro.workload.scenarios."""
+
+import pytest
+
+from repro.workload.scenarios import (
+    DEFAULT_WAIT_THRESHOLD,
+    WEEK_MINUTES,
+    busy_week,
+    high_load,
+    high_suspension,
+    smoke,
+    year,
+)
+from repro.workload.trace import PRIORITY_HIGH
+
+
+TINY = 0.06  # scale used across these tests to keep generation fast
+
+
+class TestBusyWeek:
+    def test_contains_a_burst(self):
+        scenario = busy_week(scale=TINY)
+        high = [j for j in scenario.trace if j.priority == PRIORITY_HIGH]
+        assert high, "the busy week must contain its burst"
+        assert min(j.submit_minute for j in high) >= 1800.0
+
+    def test_horizon_is_one_week(self):
+        scenario = busy_week(scale=TINY)
+        assert scenario.trace.horizon() <= WEEK_MINUTES
+
+    def test_deterministic(self):
+        assert busy_week(scale=TINY).trace == busy_week(scale=TINY).trace
+
+    def test_seed_changes_trace(self):
+        assert busy_week(scale=TINY, seed=1).trace != busy_week(scale=TINY, seed=2).trace
+
+    def test_offered_load_near_target(self):
+        scenario = busy_week(scale=0.15)
+        base = scenario.trace.filter(lambda j: j.priority != PRIORITY_HIGH)
+        load = base.offered_load(scenario.cluster.total_cores)
+        assert 0.2 < load < 0.5
+
+    def test_default_wait_threshold(self):
+        assert busy_week(scale=TINY).wait_threshold == DEFAULT_WAIT_THRESHOLD == 30.0
+
+    def test_burst_targets_large_pools(self):
+        scenario = busy_week(scale=TINY)
+        large = {"pool-00", "pool-01", "pool-02", "pool-03"}
+        for job in scenario.trace:
+            if job.priority == PRIORITY_HIGH:
+                assert set(job.candidate_pools) <= large
+
+
+class TestHighLoad:
+    def test_same_trace_half_cores(self):
+        normal = busy_week(scale=TINY)
+        high = high_load(scale=TINY)
+        assert high.trace == normal.trace
+        assert high.cluster.total_cores < normal.cluster.total_cores
+        assert high.cluster.total_machines == normal.cluster.total_machines
+
+    def test_name_marks_high_load(self):
+        assert "high-load" in high_load(scale=TINY).name
+
+
+class TestHighSuspension:
+    def test_more_burst_exposure_than_busy_week(self):
+        hs = high_suspension(scale=TINY)
+        bw = busy_week(scale=TINY)
+        hs_high = sum(1 for j in hs.trace if j.priority == PRIORITY_HIGH)
+        bw_high = sum(1 for j in bw.trace if j.priority == PRIORITY_HIGH)
+        assert hs_high / max(len(hs.trace), 1) > bw_high / max(len(bw.trace), 1)
+
+
+class TestYear:
+    def test_long_horizon(self):
+        scenario = year(scale=0.03, horizon=20000.0)
+        assert scenario.trace.horizon() <= 20000.0
+        assert scenario.trace.horizon() > 15000.0
+
+    def test_contains_multiple_bursts(self):
+        scenario = year(scale=0.03, horizon=60000.0)
+        high_times = sorted(
+            j.submit_minute for j in scenario.trace if j.priority == PRIORITY_HIGH
+        )
+        assert high_times
+        # multiple bursts -> large gaps between clusters of high submissions
+        gaps = [b - a for a, b in zip(high_times, high_times[1:])]
+        assert max(gaps) > 1000.0
+
+
+class TestSmoke:
+    def test_small_and_fast(self):
+        scenario = smoke()
+        assert len(scenario.trace) < 2000
+        assert scenario.cluster.total_machines < 30
+
+    def test_contains_priorities(self):
+        scenario = smoke()
+        priorities = {j.priority for j in scenario.trace}
+        assert len(priorities) >= 2

@@ -1,0 +1,103 @@
+"""Edge-case coverage for selectors and views not hit elsewhere."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.context import PoolSnapshot, StaticSystemView
+from repro.core.selectors import (
+    LowestUtilizationSelector,
+    PredictedWaitSelector,
+    ShortestQueueSelector,
+    WeightedSelector,
+)
+from repro.sites import LocalFirstSelector, SiteSpec, SiteTopology, TransferAwareSelector
+
+from conftest import make_pool
+
+
+def snap(pool_id, busy, total=10, waiting=0, suspended=0):
+    return PoolSnapshot(pool_id, total, busy, waiting, suspended)
+
+
+def view(*snapshots):
+    return StaticSystemView(now=0.0, snapshots=list(snapshots))
+
+
+class TestUnplacedJobSelection:
+    """current_pool=None: selection for a job not yet placed anywhere."""
+
+    def test_lowest_utilization_picks_globally(self):
+        v = view(snap("a", 9), snap("b", 1))
+        assert LowestUtilizationSelector().select(("a", "b"), None, v) == "b"
+
+    def test_shortest_queue_unguarded_by_current(self):
+        v = view(snap("a", 0, waiting=9), snap("b", 0, waiting=1))
+        assert ShortestQueueSelector().select(("a", "b"), None, v) == "b"
+
+    def test_weighted_without_current(self):
+        v = view(snap("a", 9, waiting=5), snap("b", 1))
+        assert WeightedSelector().select(("a", "b"), None, v) == "b"
+
+    def test_predicted_without_current(self):
+        v = view(snap("a", 10, waiting=9), snap("b", 1))
+        assert PredictedWaitSelector().select(("a", "b"), None, v) == "b"
+
+    def test_transfer_aware_without_current(self):
+        topo = SiteTopology(
+            [
+                SiteSpec("A", (make_pool("A/p0", 1),)),
+                SiteSpec("B", (make_pool("B/p0", 1),)),
+            ],
+            transfer_minutes=100.0,
+        )
+        v = view(snap("A/p0", 10, waiting=9), snap("B/p0", 0))
+        # with no current pool there is no transfer to pay and no guard
+        selector = TransferAwareSelector(topo, mean_runtime=100.0)
+        assert selector.select(("A/p0", "B/p0"), None, v) == "B/p0"
+
+    def test_local_first_without_current_delegates(self):
+        topo = SiteTopology(
+            [
+                SiteSpec("A", (make_pool("A/p0", 1),)),
+                SiteSpec("B", (make_pool("B/p0", 1),)),
+            ]
+        )
+        v = view(snap("A/p0", 9), snap("B/p0", 1))
+        selector = LocalFirstSelector(topo)
+        assert selector.select(("A/p0", "B/p0"), None, v) == "B/p0"
+
+
+class TestEmptyCandidates:
+    def test_every_selector_handles_empty(self):
+        v = view(snap("a", 1))
+        for selector in (
+            LowestUtilizationSelector(),
+            ShortestQueueSelector(),
+            WeightedSelector(),
+            PredictedWaitSelector(),
+        ):
+            assert selector.select((), "a", v) is None
+            assert selector.select(("a",), "a", v) is None
+
+
+class TestMainEntryPoint:
+    def test_python_dash_m_repro(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "run", "--scenario", "smoke"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0
+        assert "SuspRate" in completed.stdout
+
+    def test_python_dash_m_repro_bad_args(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "table", "99"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert completed.returncode != 0

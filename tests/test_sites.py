@@ -1,0 +1,222 @@
+"""Tests for the multi-site layer (topology, overheads, selectors)."""
+
+import pytest
+
+from repro.core.context import PoolSnapshot, StaticSystemView
+from repro.core.overheads import RestartOverhead
+from repro.core.selectors import LowestUtilizationSelector
+from repro.errors import ClusterError, ConfigurationError
+from repro.sites import (
+    InterSiteOverhead,
+    LocalFirstSelector,
+    SiteSpec,
+    SiteTopology,
+    TransferAwareSelector,
+    multi_site_scenario,
+    rename_pools,
+)
+from repro.workload.cluster import ClusterSpec
+
+from conftest import make_job, make_pool
+
+
+def two_site_topology(transfer=30.0):
+    site_a = SiteSpec("A", (make_pool("A/p0", 1), make_pool("A/p1", 1)))
+    site_b = SiteSpec("B", (make_pool("B/p0", 1),))
+    return SiteTopology([site_a, site_b], transfer_minutes=transfer)
+
+
+def snap(pool_id, busy, total=10, waiting=0, suspended=0):
+    return PoolSnapshot(pool_id, total, busy, waiting, suspended)
+
+
+class TestSiteTopology:
+    def test_site_of_and_local_pools(self):
+        topo = two_site_topology()
+        assert topo.site_of("A/p1") == "A"
+        assert topo.local_pools("A/p0") == ("A/p0", "A/p1")
+        assert topo.same_site("A/p0", "A/p1")
+        assert not topo.same_site("A/p0", "B/p0")
+
+    def test_transfer_minutes(self):
+        topo = two_site_topology(transfer=25.0)
+        assert topo.transfer_minutes("A/p0", "A/p1") == 0.0
+        assert topo.transfer_minutes("A/p0", "B/p0") == 25.0
+
+    def test_pairwise_latency_map(self):
+        site_a = SiteSpec("A", (make_pool("A/p0", 1),))
+        site_b = SiteSpec("B", (make_pool("B/p0", 1),))
+        site_c = SiteSpec("C", (make_pool("C/p0", 1),))
+        topo = SiteTopology(
+            [site_a, site_b, site_c],
+            transfer_minutes={("A", "B"): 10.0, ("A", "C"): 50.0, ("B", "C"): 20.0},
+        )
+        assert topo.transfer_minutes("A/p0", "B/p0") == 10.0
+        assert topo.transfer_minutes("B/p0", "A/p0") == 10.0
+        assert topo.transfer_minutes("C/p0", "B/p0") == 20.0
+
+    def test_missing_pair_latency_raises(self):
+        site_a = SiteSpec("A", (make_pool("A/p0", 1),))
+        site_b = SiteSpec("B", (make_pool("B/p0", 1),))
+        topo = SiteTopology([site_a, site_b], transfer_minutes={})
+        with pytest.raises(ConfigurationError):
+            topo.transfer_minutes("A/p0", "B/p0")
+
+    def test_flattened_cluster(self):
+        topo = two_site_topology()
+        cluster = topo.cluster()
+        assert cluster.pool_ids == ("A/p0", "A/p1", "B/p0")
+
+    def test_validation(self):
+        with pytest.raises(ClusterError):
+            SiteTopology([])
+        pool = make_pool("p0", 1)
+        with pytest.raises(ClusterError):
+            SiteTopology(
+                [SiteSpec("A", (pool,)), SiteSpec("B", (pool,))]
+            )  # pool in two sites
+        with pytest.raises(ClusterError):
+            two_site_topology().site_of("nope")
+        with pytest.raises(ClusterError):
+            two_site_topology().pools_in_site("nope")
+        with pytest.raises(ConfigurationError):
+            two_site_topology(transfer=-1.0)
+
+
+class TestRenamePools:
+    def test_prefixes_everything(self):
+        cluster = ClusterSpec([make_pool("p0", 2)])
+        renamed = rename_pools(cluster, "siteX")
+        assert renamed.pool_ids == ("siteX/p0",)
+        machine = renamed.pool("siteX/p0").machines[0]
+        assert machine.pool_id == "siteX/p0"
+        assert machine.machine_id.startswith("siteX/")
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rename_pools(ClusterSpec([make_pool("p0", 1)]), "")
+
+
+class TestInterSiteOverhead:
+    def test_local_move_costs_local_only(self):
+        topo = two_site_topology(transfer=30.0)
+        overhead = InterSiteOverhead(
+            topology=topo, local=RestartOverhead(fixed_minutes=2.0)
+        )
+        job = make_job(1, memory_gb=4.0)
+        assert overhead.delay_between(job, "A/p0", "A/p1") == 2.0
+
+    def test_cross_site_adds_transfer_and_data(self):
+        topo = two_site_topology(transfer=30.0)
+        overhead = InterSiteOverhead(topology=topo, per_gb_minutes=1.5)
+        job = make_job(1, memory_gb=4.0)
+        assert overhead.delay_between(job, "A/p0", "B/p0") == 30.0 + 6.0
+
+    def test_delay_for_fallback(self):
+        topo = two_site_topology()
+        overhead = InterSiteOverhead(
+            topology=topo, local=RestartOverhead(fixed_minutes=3.0)
+        )
+        assert overhead.delay_for(make_job(1)) == 3.0
+
+    def test_is_free(self):
+        free = InterSiteOverhead(topology=two_site_topology(transfer=0.0))
+        assert free.is_free
+        costly = InterSiteOverhead(topology=two_site_topology(transfer=1.0))
+        assert not costly.is_free
+
+
+class TestLocalFirstSelector:
+    def view(self):
+        return StaticSystemView(
+            now=0.0,
+            snapshots=[snap("A/p0", 9), snap("A/p1", 5), snap("B/p0", 0)],
+        )
+
+    def test_prefers_local(self):
+        selector = LocalFirstSelector(two_site_topology())
+        # B/p0 is emptier, but A/p1 is an acceptable local choice
+        choice = selector.select(("A/p0", "A/p1", "B/p0"), "A/p0", self.view())
+        assert choice == "A/p1"
+
+    def test_falls_back_to_remote(self):
+        view = StaticSystemView(
+            now=0.0,
+            snapshots=[snap("A/p0", 5), snap("A/p1", 9), snap("B/p0", 0)],
+        )
+        selector = LocalFirstSelector(two_site_topology())
+        # the only local alternative is busier (guard declines) -> remote
+        assert selector.select(("A/p0", "A/p1", "B/p0"), "A/p0", view) == "B/p0"
+
+    def test_strictly_local(self):
+        view = StaticSystemView(
+            now=0.0,
+            snapshots=[snap("A/p0", 5), snap("A/p1", 9), snap("B/p0", 0)],
+        )
+        selector = LocalFirstSelector(two_site_topology(), allow_remote=False)
+        assert selector.select(("A/p0", "A/p1", "B/p0"), "A/p0", view) is None
+
+
+class TestTransferAwareSelector:
+    def test_transfer_latency_taxes_remote_pools(self):
+        topo = two_site_topology(transfer=1000.0)
+        selector = TransferAwareSelector(topo, mean_runtime=100.0)
+        view = StaticSystemView(
+            now=0.0,
+            snapshots=[
+                snap("A/p0", 10, waiting=50),  # current: heavy backlog
+                snap("A/p1", 10, waiting=20),  # local: some backlog
+                snap("B/p0", 0),  # remote: empty but 1000 min away
+            ],
+        )
+        choice = selector.select(("A/p0", "A/p1", "B/p0"), "A/p0", view)
+        assert choice == "A/p1"
+
+    def test_remote_wins_when_transfer_cheap(self):
+        topo = two_site_topology(transfer=10.0)
+        selector = TransferAwareSelector(topo, mean_runtime=100.0)
+        view = StaticSystemView(
+            now=0.0,
+            snapshots=[
+                snap("A/p0", 10, waiting=50),
+                snap("A/p1", 10, waiting=40),
+                snap("B/p0", 0),
+            ],
+        )
+        assert selector.select(("A/p0", "A/p1", "B/p0"), "A/p0", view) == "B/p0"
+
+    def test_min_gain_guard(self):
+        topo = two_site_topology(transfer=0.0)
+        selector = TransferAwareSelector(topo, mean_runtime=100.0, min_gain_minutes=1e9)
+        view = StaticSystemView(
+            now=0.0, snapshots=[snap("A/p0", 10, waiting=50), snap("B/p0", 0)]
+        )
+        assert selector.select(("A/p0", "B/p0"), "A/p0", view) is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TransferAwareSelector(two_site_topology(), mean_runtime=0.0)
+        with pytest.raises(ConfigurationError):
+            TransferAwareSelector(two_site_topology(), min_gain_minutes=-1.0)
+
+
+class TestMultiSiteScenario:
+    def test_structure(self):
+        scenario = multi_site_scenario(site_count=2, scale=0.05)
+        assert scenario.topology.site_ids == ("site-0", "site-1")
+        assert scenario.burst_site == "site-0"
+        assert len(scenario.trace) > 100
+        # burst jobs pinned to site-0's large pools
+        for job in scenario.trace:
+            if job.priority == 100:
+                assert all(p.startswith("site-0/") for p in job.candidate_pools)
+
+    def test_site_count_validation(self):
+        with pytest.raises(ConfigurationError):
+            multi_site_scenario(site_count=1)
+
+    def test_deterministic(self):
+        a = multi_site_scenario(scale=0.05)
+        b = multi_site_scenario(scale=0.05)
+        assert a.trace == b.trace
+        assert a.cluster == b.cluster

@@ -1,0 +1,71 @@
+"""End-to-end tests for the inter-site experiment and engine caching."""
+
+import pytest
+
+import repro
+from repro.sites import inter_site_ablation, multi_site_scenario
+from repro.simulator.engine import SimulationEngine
+
+from conftest import make_cluster, make_job, make_trace
+
+
+class TestInterSiteAblation:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return inter_site_ablation(scale=0.06, transfer_minutes=30.0)
+
+    def test_four_strategies(self, outcome):
+        _, rows = outcome
+        assert [r.policy_name for r in rows] == [
+            "NoRes",
+            "LocalOnly",
+            "LocalFirst",
+            "TransferAware",
+        ]
+
+    def test_all_jobs_complete_under_every_strategy(self, outcome):
+        scenario, rows = outcome
+        for row in rows:
+            assert row.job_count == len(scenario.trace)
+            assert row.rejected_count == 0
+
+    def test_rescheduling_strategies_beat_baseline(self, outcome):
+        _, rows = outcome
+        baseline = rows[0]
+        for row in rows[1:]:
+            assert row.avg_wct < baseline.avg_wct
+
+    def test_prebuilt_scenario_reused(self):
+        scenario = multi_site_scenario(scale=0.05)
+        returned, rows = inter_site_ablation(scenario=scenario)
+        assert returned is scenario
+        assert len(rows) == 4
+
+
+class TestEligibilityCache:
+    def test_signature_sharing(self):
+        engine = SimulationEngine(
+            make_trace([make_job(0), make_job(1, submit=1.0)]),
+            make_cluster(),
+        )
+        a = engine.eligible_candidates(make_job(5, cores=2, memory_gb=4.0))
+        b = engine.eligible_candidates(make_job(6, cores=2, memory_gb=4.0))
+        # same requirement signature -> same cached tuple object
+        assert a is b
+
+    def test_whitelist_applied_after_cache(self):
+        engine = SimulationEngine(
+            make_trace([make_job(0)]),
+            make_cluster([("p0", 1), ("p1", 1)]),
+        )
+        unrestricted = engine.eligible_candidates(make_job(5))
+        restricted = engine.eligible_candidates(make_job(6, candidate_pools=("p1",)))
+        assert unrestricted == ("p0", "p1")
+        assert restricted == ("p1",)
+
+    def test_ineligible_everywhere_empty(self):
+        engine = SimulationEngine(
+            make_trace([make_job(0)]),
+            make_cluster(),
+        )
+        assert engine.eligible_candidates(make_job(5, os_family="solaris")) == ()

@@ -1,0 +1,117 @@
+"""Tests for task-level analysis (repro.analysis.tasks)."""
+
+import pytest
+
+from repro.analysis.tasks import TaskAnalysis, analyze_tasks
+from repro.errors import ConfigurationError
+from repro.simulator.results import JobRecord, SimulationResult
+
+
+def record(job_id, task_id, submit, finish, suspended=False):
+    return JobRecord(
+        job_id=job_id,
+        priority=0,
+        submit_minute=submit,
+        finish_minute=finish,
+        runtime_minutes=finish - submit,
+        cores=1,
+        memory_gb=1.0,
+        wait_time=0.0,
+        suspend_time=10.0 if suspended else 0.0,
+        wasted_restart_time=0.0,
+        suspension_count=1 if suspended else 0,
+        restart_count=0,
+        migration_count=0,
+        waiting_move_count=0,
+        pools_visited=("p0",),
+        rejected=False,
+        task_id=task_id,
+        user="u",
+    )
+
+
+def result(records):
+    return SimulationResult(
+        records=records,
+        samples=[],
+        pool_ids=("p0",),
+        policy_name="NoRes",
+        scheduler_name="RoundRobin",
+        total_cores=4,
+    )
+
+
+class TestAnalyzeTasks:
+    def test_task_completion_is_last_job(self):
+        records = [
+            record(0, task_id=1, submit=0.0, finish=10.0),
+            record(1, task_id=1, submit=0.0, finish=50.0),
+            record(2, task_id=1, submit=5.0, finish=30.0),
+        ]
+        analysis = analyze_tasks(result(records))
+        (task,) = analysis.tasks
+        assert task.job_count == 3
+        assert task.completion_minute == 50.0
+        assert task.completion_time == 50.0
+        assert analysis.avg_task_completion == 50.0
+
+    def test_amplification_over_member_jobs(self):
+        records = [
+            record(0, task_id=1, submit=0.0, finish=10.0),
+            record(1, task_id=1, submit=0.0, finish=50.0),
+        ]
+        analysis = analyze_tasks(result(records))
+        assert analysis.avg_member_job_completion == 30.0
+        assert analysis.amplification == pytest.approx(50.0 / 30.0)
+
+    def test_partial_completion_fraction(self):
+        records = [
+            record(0, task_id=1, submit=0.0, finish=10.0),
+            record(1, task_id=1, submit=0.0, finish=20.0),
+            record(2, task_id=1, submit=0.0, finish=1000.0),  # straggler
+            record(3, task_id=1, submit=0.0, finish=30.0),
+        ]
+        full = analyze_tasks(result(records), completion_fraction=1.0)
+        partial = analyze_tasks(result(records), completion_fraction=0.75)
+        assert full.avg_task_completion == 1000.0
+        assert partial.avg_task_completion == 30.0
+
+    def test_straggler_suspension_flag(self):
+        records = [
+            record(0, task_id=1, submit=0.0, finish=10.0),
+            record(1, task_id=1, submit=0.0, finish=99.0, suspended=True),
+            record(2, task_id=2, submit=0.0, finish=10.0),
+            record(3, task_id=2, submit=0.0, finish=20.0),
+        ]
+        analysis = analyze_tasks(result(records))
+        assert analysis.tasks_delayed_by_suspension == 0.5
+        by_id = {t.task_id: t for t in analysis.tasks}
+        assert by_id[1].straggler_was_suspended
+        assert not by_id[2].straggler_was_suspended
+        assert by_id[1].suspended_jobs == 1
+
+    def test_jobs_without_tasks_ignored(self):
+        records = [
+            record(0, task_id=None, submit=0.0, finish=10.0),
+            record(1, task_id=3, submit=0.0, finish=20.0),
+        ]
+        analysis = analyze_tasks(result(records))
+        assert len(analysis) == 1
+
+    def test_no_tasks_raises(self):
+        with pytest.raises(ConfigurationError):
+            analyze_tasks(result([record(0, task_id=None, submit=0.0, finish=1.0)]))
+
+    def test_fraction_validation(self):
+        records = [record(0, task_id=1, submit=0.0, finish=1.0)]
+        with pytest.raises(ConfigurationError):
+            analyze_tasks(result(records), completion_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            analyze_tasks(result(records), completion_fraction=1.5)
+
+    def test_on_real_simulation(self, smoke_result):
+        analysis = analyze_tasks(smoke_result)
+        assert len(analysis) > 10
+        # waiting for all members can only take longer than the average member
+        assert analysis.amplification >= 1.0
+        assert 0.0 <= analysis.tasks_delayed_by_suspension <= 1.0

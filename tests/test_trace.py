@@ -1,0 +1,166 @@
+"""Unit tests for repro.workload.trace."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.workload.trace import Trace, TraceJob, jobs_by_task
+
+from conftest import make_job
+
+
+class TestTraceJob:
+    def test_defaults(self):
+        job = TraceJob(job_id=1, submit_minute=0.0, runtime_minutes=5.0)
+        assert job.priority == 0
+        assert job.cores == 1
+        assert job.candidate_pools is None
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            TraceJob(job_id=-1, submit_minute=0.0, runtime_minutes=1.0)
+        with pytest.raises(TraceError):
+            TraceJob(job_id=1, submit_minute=-1.0, runtime_minutes=1.0)
+        with pytest.raises(TraceError):
+            TraceJob(job_id=1, submit_minute=0.0, runtime_minutes=0.0)
+        with pytest.raises(TraceError):
+            TraceJob(job_id=1, submit_minute=0.0, runtime_minutes=1.0, cores=0)
+        with pytest.raises(TraceError):
+            TraceJob(job_id=1, submit_minute=0.0, runtime_minutes=1.0, memory_gb=0.0)
+        with pytest.raises(TraceError):
+            TraceJob(
+                job_id=1, submit_minute=0.0, runtime_minutes=1.0, candidate_pools=()
+            )
+
+    def test_is_allowed_in(self):
+        unrestricted = make_job(1)
+        assert unrestricted.is_allowed_in("anything")
+        restricted = make_job(2, candidate_pools=("a", "b"))
+        assert restricted.is_allowed_in("a")
+        assert not restricted.is_allowed_in("c")
+
+    def test_restricted_to(self):
+        job = make_job(1).restricted_to(["x", "y"])
+        assert job.candidate_pools == ("x", "y")
+
+
+class TestTrace:
+    def test_sorts_by_submit_time(self):
+        trace = Trace([make_job(1, submit=5.0), make_job(2, submit=1.0)])
+        assert [j.job_id for j in trace] == [2, 1]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(TraceError):
+            Trace([make_job(1), make_job(1, submit=2.0)])
+
+    def test_window_selects_half_open_interval(self):
+        trace = Trace([make_job(i, submit=float(i)) for i in range(10)])
+        window = trace.window(3.0, 6.0)
+        assert [j.job_id for j in window] == [3, 4, 5]
+
+    def test_window_preserves_submit_times(self):
+        trace = Trace([make_job(i, submit=float(i) + 10) for i in range(5)])
+        window = trace.window(11.0, 14.0)
+        assert window[0].submit_minute == 11.0
+
+    def test_window_validation(self):
+        with pytest.raises(TraceError):
+            Trace([]).window(5.0, 1.0)
+
+    def test_rebased_shifts_to_zero(self):
+        trace = Trace([make_job(1, submit=100.0), make_job(2, submit=150.0)])
+        rebased = trace.rebased()
+        assert rebased[0].submit_minute == 0.0
+        assert rebased[1].submit_minute == 50.0
+
+    def test_rebased_empty_is_noop(self):
+        trace = Trace.empty()
+        assert trace.rebased() is trace
+
+    def test_filter(self):
+        trace = Trace([make_job(i, priority=i % 2) for i in range(6)])
+        high = trace.filter(lambda j: j.priority == 1)
+        assert len(high) == 3
+
+    def test_merged_with(self):
+        a = Trace([make_job(1, submit=1.0)])
+        b = Trace([make_job(2, submit=0.5)])
+        merged = a.merged_with(b)
+        assert [j.job_id for j in merged] == [2, 1]
+
+    def test_merged_with_id_collision_rejected(self):
+        with pytest.raises(TraceError):
+            Trace([make_job(1)]).merged_with(Trace([make_job(1)]))
+
+    def test_head(self):
+        trace = Trace([make_job(i, submit=float(i)) for i in range(5)])
+        assert len(trace.head(2)) == 2
+        with pytest.raises(TraceError):
+            trace.head(-1)
+
+    def test_horizon(self):
+        assert Trace.empty().horizon() == 0.0
+        trace = Trace([make_job(1, submit=3.0), make_job(2, submit=9.0)])
+        assert trace.horizon() == 9.0
+
+    def test_job_by_id(self):
+        trace = Trace([make_job(7, submit=1.0)])
+        assert trace.job_by_id(7).job_id == 7
+        with pytest.raises(TraceError):
+            trace.job_by_id(8)
+
+    def test_equality(self):
+        a = Trace([make_job(1)])
+        b = Trace([make_job(1)])
+        assert a == b
+        assert a != Trace([])
+
+
+class TestTraceStats:
+    def test_empty_trace_stats(self):
+        stats = Trace.empty().stats()
+        assert stats.job_count == 0
+        assert stats.mean_runtime == 0.0
+
+    def test_basic_stats(self):
+        trace = Trace(
+            [
+                make_job(1, submit=0.0, runtime=10.0, cores=2),
+                make_job(2, submit=10.0, runtime=30.0, cores=1),
+            ]
+        )
+        stats = trace.stats()
+        assert stats.job_count == 2
+        assert stats.horizon_minutes == 10.0
+        assert stats.mean_runtime == 20.0
+        assert stats.total_core_minutes == 50.0
+        assert stats.mean_interarrival == 10.0
+
+    def test_priority_fraction(self):
+        trace = Trace([make_job(i, priority=100 if i < 2 else 0) for i in range(8)])
+        stats = trace.stats()
+        assert stats.fraction_with_priority_at_least(100) == 0.25
+        assert stats.fraction_with_priority_at_least(0) == 1.0
+
+    def test_offered_load(self):
+        trace = Trace(
+            [make_job(1, submit=0.0, runtime=50.0), make_job(2, submit=100.0, runtime=50.0)]
+        )
+        # 100 core-minutes over 100 minutes on 10 cores -> 0.1
+        assert trace.offered_load(10) == pytest.approx(0.1)
+        with pytest.raises(TraceError):
+            trace.offered_load(0)
+
+
+class TestJobsByTask:
+    def test_groups_by_task(self):
+        trace = Trace(
+            [
+                TraceJob(job_id=0, submit_minute=0.0, runtime_minutes=1.0, task_id=1),
+                TraceJob(job_id=1, submit_minute=1.0, runtime_minutes=1.0, task_id=1),
+                TraceJob(job_id=2, submit_minute=2.0, runtime_minutes=1.0, task_id=2),
+                TraceJob(job_id=3, submit_minute=3.0, runtime_minutes=1.0),
+            ]
+        )
+        grouped = jobs_by_task(trace)
+        assert sorted(grouped) == [1, 2]
+        assert len(grouped[1]) == 2

@@ -1,0 +1,116 @@
+"""Tests for the claims-validation module and CSV export."""
+
+import csv
+
+import pytest
+
+import repro
+from repro.analysis.export import (
+    write_cdf_csv,
+    write_job_records_csv,
+    write_summaries_csv,
+    write_utilization_csv,
+)
+from repro.analysis.utilization import analyze_utilization
+from repro.validation import ClaimResult, ValidationReport
+
+
+class TestValidationReport:
+    def make(self, passes):
+        return ValidationReport(
+            results=[
+                ClaimResult(
+                    claim=f"claim-{i}", paper="x", measured="y", passed=ok
+                )
+                for i, ok in enumerate(passes)
+            ]
+        )
+
+    def test_passed_aggregation(self):
+        assert self.make([True, True]).passed
+        assert not self.make([True, False]).passed
+
+    def test_failures_list(self):
+        report = self.make([True, False, False])
+        assert len(report.failures) == 2
+
+    def test_render_contains_verdict(self):
+        good = self.make([True]).render()
+        assert "ALL CLAIMS HOLD" in good
+        bad = self.make([False]).render()
+        assert "1 CLAIM(S) FAILED" in bad
+        assert "!!" in bad
+
+
+class TestValidatePaperClaims:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.validation import validate_paper_claims
+
+        # tiny scale: we check the report's *structure*, not that every
+        # claim holds at a scale far below the calibrated one.
+        return validate_paper_claims(scale=0.06, year_horizon=15000.0)
+
+    def test_all_claims_evaluated(self, report):
+        assert len(report.results) == 10
+        assert all(isinstance(r, ClaimResult) for r in report.results)
+
+    def test_core_claims_hold_even_at_tiny_scale(self, report):
+        by_claim = {r.claim: r for r in report.results}
+        assert by_claim["suspensions long and right-skewed (Fig 2)"].passed
+        assert by_claim["ResSusUtil cuts suspended jobs' AvgCT (T1)"].passed
+
+    def test_render(self, report):
+        text = report.render()
+        assert "claim" in text
+        assert "paper" in text
+
+
+class TestExport:
+    def test_summaries_csv_round_trips(self, tmp_path, smoke_result):
+        path = tmp_path / "summary.csv"
+        write_summaries_csv([repro.summarize(smoke_result)], path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 1
+        assert rows[0]["strategy"] == "NoRes"
+        assert float(rows[0]["avg_ct_all"]) > 0
+
+    def test_cdf_csv_monotone(self, tmp_path, smoke_result):
+        path = tmp_path / "cdf.csv"
+        write_cdf_csv(smoke_result, path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        fractions = [float(r["cumulative_fraction"]) for r in rows]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_utilization_csv(self, tmp_path, smoke_result):
+        path = tmp_path / "util.csv"
+        write_utilization_csv(analyze_utilization(smoke_result), path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) > 10
+        assert all(0.0 <= float(r["utilization_pct"]) <= 100.0 for r in rows)
+
+    def test_job_records_csv_complete(self, tmp_path, smoke_result):
+        path = tmp_path / "jobs.csv"
+        write_job_records_csv(smoke_result, path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(smoke_result.records)
+        first = rows[0]
+        assert "suspension_count" in first
+        assert "pools_visited" in first
+
+
+class TestCliValidateExport:
+    def test_cli_export(self, tmp_path, capsys):
+        from repro.cli import main
+
+        outdir = tmp_path / "out"
+        code = main(["export", str(outdir), "--scenario", "smoke"])
+        assert code == 0
+        assert (outdir / "job_records.csv").exists()
+        assert (outdir / "summary.csv").exists()
+        assert (outdir / "utilization.csv").exists()

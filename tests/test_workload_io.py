@@ -1,0 +1,94 @@
+"""Unit tests for repro.workload.io (trace/cluster serialisation)."""
+
+import pytest
+
+from repro.errors import ClusterError, TraceError
+from repro.workload.cluster import ClusterTemplate
+from repro.workload.distributions import RandomStreams
+from repro.workload.io import (
+    cluster_from_json,
+    cluster_to_json,
+    trace_from_csv,
+    trace_from_jsonl,
+    trace_to_csv,
+    trace_to_jsonl,
+)
+from repro.workload.trace import Trace, TraceJob
+
+from conftest import make_job
+
+
+@pytest.fixture
+def sample_trace():
+    return Trace(
+        [
+            make_job(0, submit=0.0, runtime=10.0),
+            make_job(1, submit=1.5, runtime=20.0, priority=100, cores=2,
+                     memory_gb=4.0, candidate_pools=("a", "b")),
+            TraceJob(job_id=2, submit_minute=3.0, runtime_minutes=5.0,
+                     os_family="windows", task_id=7, user="someone"),
+        ]
+    )
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_exact(self, sample_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        trace_to_jsonl(sample_trace, path)
+        assert trace_from_jsonl(path) == sample_trace
+
+    def test_blank_lines_skipped(self, sample_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        trace_to_jsonl(sample_trace, path)
+        content = path.read_text() + "\n\n"
+        path.write_text(content)
+        assert trace_from_jsonl(path) == sample_trace
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(TraceError):
+            trace_from_jsonl(path)
+
+    def test_missing_field_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"job_id": 1}\n')
+        with pytest.raises(TraceError):
+            trace_from_jsonl(path)
+
+    def test_empty_file_is_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert len(trace_from_jsonl(path)) == 0
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_exact(self, sample_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        trace_to_csv(sample_trace, path)
+        assert trace_from_csv(path) == sample_trace
+
+    def test_candidate_pools_pipe_joined(self, sample_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        trace_to_csv(sample_trace, path)
+        assert "a|b" in path.read_text()
+
+
+class TestClusterRoundTrip:
+    def test_round_trip_exact(self, tmp_path):
+        cluster = ClusterTemplate(scale=0.05).build(RandomStreams(3))
+        path = tmp_path / "cluster.json"
+        cluster_to_json(cluster, path)
+        assert cluster_from_json(path) == cluster
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        with pytest.raises(ClusterError):
+            cluster_from_json(path)
+
+    def test_malformed_document_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"pools": [{"pool_id": "a"}]}')
+        with pytest.raises(ClusterError):
+            cluster_from_json(path)
