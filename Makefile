@@ -1,0 +1,18 @@
+.PHONY: ci test lint smoke bench
+
+# Everything CI runs, in one command (tests + lint + smoke).
+ci:
+	scripts/ci.sh all
+
+test:
+	scripts/ci.sh tests
+
+lint:
+	scripts/ci.sh lint
+
+smoke:
+	scripts/ci.sh smoke
+
+# Full reproduction log: every table/figure benchmark at current scale.
+bench:
+	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only -s

@@ -7,13 +7,20 @@ reproduction log.  Scales are controlled by the ``REPRO_SCALE`` /
 ``REPRO_YEAR_SCALE`` / ``REPRO_YEAR_HORIZON`` / ``REPRO_SEED``
 environment variables (see :mod:`repro.experiments.presets`).
 
+Execution is controlled the same way: ``REPRO_WORKERS`` selects the
+process-pool width for every table/figure entry point, and
+``REPRO_CACHE_DIR`` points at an on-disk result cache so repeated
+benchmark runs (CI re-runs, bisects) skip identical simulation cells;
+``REPRO_NO_CACHE=1`` force-disables the cache even when a directory is
+configured.  ``benchmarks/bench_ci_smoke.py`` asserts the two
+invariants CI relies on: parallel == serial bit-for-bit, and a warm
+cache beats a cold run by a wide margin.
+
 pytest-benchmark is configured for single-shot measurements: each
 experiment is a multi-second simulation campaign, not a microbenchmark.
 """
 
 from __future__ import annotations
-
-import pytest
 
 
 def run_once(benchmark, fn, *args, **kwargs):

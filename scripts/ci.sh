@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# CI entry point — the same commands run locally (`make ci`) and in
+# .github/workflows/ci.yml, so a green local run means a green pipeline.
+#
+# Usage: scripts/ci.sh [tests|lint|smoke|all]
+#
+# Subcommands:
+#   tests   tier-1 test suite (the gate every PR must keep green)
+#   lint    ruff over src/ tests/ benchmarks/ (skipped with a notice
+#           when ruff is not installed, unless $CI is set)
+#   smoke   benchmarks/bench_ci_smoke.py at reduced scale: asserts
+#           parallel == serial bit-for-bit and warm cache >= 5x cold
+#   all     tests + lint + smoke (default)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:}${PYTHONPATH:-}"
+
+run_tests() {
+    echo "== tier-1 tests =="
+    python -m pytest tests/ -q
+}
+
+run_lint() {
+    echo "== lint (ruff) =="
+    if command -v ruff >/dev/null 2>&1; then
+        ruff check src tests benchmarks
+    elif [ -n "${CI:-}" ]; then
+        echo "error: ruff is required in CI but is not installed" >&2
+        exit 1
+    else
+        echo "ruff not installed locally; skipping lint (CI runs it)"
+    fi
+}
+
+run_smoke() {
+    echo "== CI smoke: serial-vs-parallel equivalence + cache speedup =="
+    REPRO_SCALE="${REPRO_SCALE:-0.08}" \
+        python -m pytest benchmarks/bench_ci_smoke.py -q -s
+}
+
+case "${1:-all}" in
+    tests) run_tests ;;
+    lint)  run_lint ;;
+    smoke) run_smoke ;;
+    all)   run_tests; run_lint; run_smoke ;;
+    *)
+        echo "usage: scripts/ci.sh [tests|lint|smoke|all]" >&2
+        exit 2
+        ;;
+esac

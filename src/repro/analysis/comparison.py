@@ -8,15 +8,14 @@ jobs dropped by 50%" that the paper quotes in prose.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Tuple
 
 from ..core.policy import ReschedulingPolicy
 from ..errors import ConfigurationError
-from ..metrics.summary import PerformanceSummary, summarize
+from ..metrics.summary import PerformanceSummary
 from ..schedulers.initial import InitialScheduler
 from ..simulator.config import SimulationConfig
-from ..simulator.simulation import run_simulation
 from ..workload.scenarios import Scenario
 
 __all__ = ["StrategyComparison", "compare_strategies", "reduction_pct"]
@@ -35,10 +34,18 @@ def reduction_pct(baseline: Optional[float], value: Optional[float]) -> Optional
 
 @dataclass(frozen=True)
 class StrategyComparison:
-    """Summaries for one scenario, first row being the baseline."""
+    """Summaries for one scenario, first row being the baseline.
+
+    ``cells`` carries the per-strategy execution records
+    (:class:`~repro.experiments.parallel.CellOutcome`: wall-clock
+    seconds, cache provenance, derived seed) when the comparison came
+    from :func:`compare_strategies`; it is empty for hand-built
+    instances and never affects equality-relevant table content.
+    """
 
     scenario_name: str
     summaries: Tuple[PerformanceSummary, ...]
+    cells: Tuple = field(default=(), compare=False)
 
     def baseline(self) -> PerformanceSummary:
         """The first strategy's summary (by convention, NoRes)."""
@@ -76,8 +83,15 @@ def compare_strategies(
     policies: Sequence[ReschedulingPolicy],
     scheduler_factory: Optional[Callable[[], InitialScheduler]] = None,
     config: Optional[SimulationConfig] = None,
+    n_workers: int = 1,
+    cache=None,
+    keep_results: bool = False,
 ) -> StrategyComparison:
     """Run every policy on the scenario and summarise each run.
+
+    Each (scenario, policy, scheduler) cell gets a child seed derived
+    from its identity (spawn-key style), so results are identical for
+    serial and parallel execution and for any ``policies`` ordering.
 
     Args:
         scenario: workload + cluster to evaluate on.
@@ -86,20 +100,34 @@ def compare_strategies(
             (fresh, because round-robin keeps cursors); defaults to the
             engine's round-robin.
         config: simulation config shared across runs.
+        n_workers: process-pool width; ``1`` runs serially in-process.
+        cache: optional :class:`~repro.experiments.cache.ResultCache`
+            serving previously computed cells.
+        keep_results: also keep (and cache) each run's full
+            :class:`~repro.simulator.results.SimulationResult`,
+            reachable through ``comparison.cells``.
     """
+    # Imported here: repro.analysis must stay importable without pulling
+    # the experiments package in at module-import time (and vice versa).
+    from ..experiments.parallel import execute_cells, make_cell_task
+
     if not policies:
         raise ConfigurationError("compare_strategies needs at least one policy")
-    summaries: List[PerformanceSummary] = []
-    for policy in policies:
-        scheduler = scheduler_factory() if scheduler_factory is not None else None
-        result = run_simulation(
-            scenario.trace,
-            scenario.cluster,
-            policy=policy,
-            initial_scheduler=scheduler,
-            config=config,
+    resolved_config = config or SimulationConfig(strict=False)
+    tasks = [
+        make_cell_task(
+            index,
+            scenario,
+            policy,
+            scheduler_factory() if scheduler_factory is not None else None,
+            resolved_config,
+            keep_result=keep_results,
         )
-        summaries.append(summarize(result))
+        for index, policy in enumerate(policies)
+    ]
+    outcomes = execute_cells(tasks, n_workers=n_workers, cache=cache)
     return StrategyComparison(
-        scenario_name=scenario.name, summaries=tuple(summaries)
+        scenario_name=scenario.name,
+        summaries=tuple(outcome.summary for outcome in outcomes),
+        cells=tuple(outcomes),
     )

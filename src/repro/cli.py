@@ -8,9 +8,14 @@ Usage (installed as ``repro``, or ``python -m repro``)::
     repro run --policy ResSusUtil --scenario high-load --scale 0.1
     repro generate-trace out.jsonl --scenario busy-week --scale 0.1
     repro analyze-trace out.jsonl
+    repro table all --workers 4 --cache-dir ~/.cache/repro
 
 All experiment commands honour ``--scale`` and ``--seed`` (and the
-``REPRO_SCALE`` / ``REPRO_SEED`` environment variables).
+``REPRO_SCALE`` / ``REPRO_SEED`` environment variables).  The ``table``
+and ``figure`` commands additionally honour ``--workers`` (process-pool
+fan-out; results are bit-identical to serial runs), ``--cache-dir``
+(content-addressed on-disk result cache; defaults to
+``REPRO_CACHE_DIR``) and ``--no-cache``; see ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -67,10 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
     table = sub.add_parser("table", help="reproduce one of the paper's tables")
     table.add_argument("which", choices=list(_TABLES) + ["all"])
     _add_scale_seed(table)
+    _add_execution_opts(table)
 
     figure = sub.add_parser("figure", help="reproduce one of the paper's figures")
     figure.add_argument("which", choices=["2", "3", "4"])
     _add_scale_seed(figure)
+    _add_execution_opts(figure)
     figure.add_argument(
         "--horizon", type=float, default=None, help="horizon minutes (figures 2/4)"
     )
@@ -124,21 +131,71 @@ def _add_scale_seed(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=None, help="workload seed")
 
 
+def _add_execution_opts(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the experiment grid (default: REPRO_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="on-disk result cache directory (default: REPRO_CACHE_DIR; unset = off)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache even when a cache directory is configured",
+    )
+
+
+def _execution_kwargs(args: argparse.Namespace) -> dict:
+    """The workers/cache kwargs every experiment entry point accepts."""
+    return {
+        "workers": args.workers,
+        "cache_dir": args.cache_dir,
+        "use_cache": False if args.no_cache else None,
+    }
+
+
+def _print_cell_stats(cells) -> None:
+    """Per-cell wall-time / cache-provenance lines (the observable speedup)."""
+    if not cells:
+        return
+    for cell in cells:
+        source = "cache" if cell.from_cache else "simulated"
+        print(
+            f"  [{cell.policy_name} @ {cell.scenario_name}] "
+            f"{cell.wall_seconds:.2f}s {source}"
+        )
+    hits = sum(1 for c in cells if c.from_cache)
+    saved = sum(c.wall_seconds for c in cells if c.from_cache)
+    print(
+        f"  cells: {len(cells)}, cache hits: {hits}, "
+        f"simulation seconds saved: {saved:.2f}"
+    )
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     names = list(_TABLES) if args.which == "all" else [args.which]
     for name in names:
         build, title = _TABLES[name]
-        comparison = build(scale=args.scale, seed=args.seed)
+        comparison = build(scale=args.scale, seed=args.seed, **_execution_kwargs(args))
         print(render_table(list(comparison.summaries), title))
+        _print_cell_stats(comparison.cells)
         print()
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     svg_document = None
+    execution = _execution_kwargs(args)
     if args.which == "2":
         figure = figures.figure2(
-            scale=args.scale, seed=args.seed, horizon=args.horizon
+            scale=args.scale, seed=args.seed, horizon=args.horizon, **execution
         )
         print(figure.render())
         if args.svg:
@@ -146,7 +203,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
             svg_document = cdf_svg(list(figure.cdf_points))
     elif args.which == "3":
-        figure = figures.figure3(scale=args.scale, seed=args.seed)
+        figure = figures.figure3(scale=args.scale, seed=args.seed, **execution)
         print(figures.render_figure3(figure))
         if args.svg:
             from .analysis.svg import stacked_bars_svg
@@ -154,7 +211,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             svg_document = stacked_bars_svg(figure.summaries)
     else:
         figure = figures.figure4(
-            scale=args.scale, seed=args.seed, horizon=args.horizon
+            scale=args.scale, seed=args.seed, horizon=args.horizon, **execution
         )
         print(figure.render())
         if args.svg:

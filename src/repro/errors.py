@@ -98,3 +98,42 @@ class UnknownPolicyError(ReproError):
         self.name = name
         hint = f" (known: {', '.join(sorted(known))})" if known else ""
         super().__init__(f"unknown rescheduling policy: {name!r}{hint}")
+
+
+class ExperimentExecutionError(ReproError):
+    """One cell of an experiment grid failed.
+
+    Raised by the experiment execution backend when building or running
+    a single (scenario, policy, scheduler) cell fails.  The error names
+    the failing cell and keeps every cell that had already completed, so
+    a long sweep does not lose its finished work.
+
+    Attributes:
+        scenario_name: scenario of the failing cell.
+        policy_name: policy of the failing cell (the factory's name when
+            the policy could not even be constructed).
+        scheduler_name: initial scheduler of the failing cell.
+        completed_cells: cells that finished before the failure, in grid
+            order.
+    """
+
+    def __init__(
+        self,
+        scenario_name: str,
+        policy_name: str,
+        scheduler_name: str,
+        cause: BaseException,
+        completed_cells: tuple = (),
+    ) -> None:
+        self.scenario_name = scenario_name
+        self.policy_name = policy_name
+        self.scheduler_name = scheduler_name
+        self.completed_cells = tuple(completed_cells)
+        super().__init__(
+            f"experiment cell (scenario={scenario_name!r}, policy={policy_name!r}, "
+            f"scheduler={scheduler_name!r}) failed: {type(cause).__name__}: {cause}"
+        )
+
+
+class CacheError(ReproError):
+    """The on-disk experiment result cache is misconfigured."""

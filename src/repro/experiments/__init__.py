@@ -1,4 +1,11 @@
-"""Paper experiments: one entry point per table and figure, plus ablations."""
+"""Paper experiments: one entry point per table and figure, plus ablations.
+
+Grid execution runs through a shared backend supporting process-pool
+parallelism (:mod:`repro.experiments.parallel`) and a content-addressed
+on-disk result cache (:mod:`repro.experiments.cache`); every entry
+point honours ``REPRO_WORKERS`` / ``REPRO_CACHE_DIR`` /
+``REPRO_NO_CACHE`` (see ``docs/performance.md``).
+"""
 
 from .ablations import (
     duplication_ablation,
@@ -7,7 +14,9 @@ from .ablations import (
     selector_ablation,
     threshold_sweep,
 )
+from .cache import CacheStats, ResultCache, derive_cell_seed, open_cache
 from .figures import Figure2, Figure4, figure2, figure3, figure4, render_figure3
+from .parallel import CellOutcome, CellTask, execute_cells, make_cell_task
 from .replication import MetricEstimate, ReplicatedComparison, replicate
 from .runner import ExperimentCell, ExperimentRunner
 from .tables import (
@@ -32,6 +41,14 @@ __all__ = [
     "figure3",
     "figure4",
     "render_figure3",
+    "CacheStats",
+    "ResultCache",
+    "derive_cell_seed",
+    "open_cache",
+    "CellOutcome",
+    "CellTask",
+    "execute_cells",
+    "make_cell_task",
     "MetricEstimate",
     "ReplicatedComparison",
     "replicate",

@@ -1,0 +1,375 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Sweeping the paper's (scenario x policy x scheduler) grids recomputes
+identical multi-second simulations on every invocation.  This module
+memoizes those runs: a cell's output (its
+:class:`~repro.metrics.summary.PerformanceSummary`, optionally the full
+:class:`~repro.simulator.results.SimulationResult`) is stored under a
+key derived purely from the cell's *content* —
+
+* the scenario (name, seed, and a structural fingerprint of its cluster
+  and every trace job),
+* the policy (class, selector, wait threshold, name),
+* the initial scheduler,
+* the :class:`~repro.simulator.config.SimulationConfig` (every field
+  except the observer; configs with an observer attached are never
+  cached because observers have side effects),
+* an engine-version salt (:func:`engine_salt`), so upgrading the
+  simulator invalidates every stale entry at once.
+
+Because the key is content-addressed, any change to any input — one
+extra trace job, a different wait threshold, a new package version —
+misses the cache and recomputes; identical reruns hit it and return in
+milliseconds.
+
+Entries are self-verifying: each file carries a magic header and a
+SHA-256 digest of its payload.  A corrupt, truncated, or undeserializable
+entry is detected on load, evicted from disk, and reported as a miss so
+the caller transparently recomputes (see ``tests/test_cache.py`` for
+the hygiene contract).
+
+The same hashing machinery also provides :func:`derive_cell_seed`:
+spawn-key-style child seeds derived from (base seed, cell identity), so
+every grid cell gets an independent random stream no matter which
+worker runs it, or in which order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import weakref
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from .._version import __version__
+from ..errors import CacheError
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "ResultCache",
+    "cell_cache_key",
+    "derive_cell_seed",
+    "engine_salt",
+    "open_cache",
+    "resolve_cache_dir",
+    "stable_hash",
+]
+
+#: Bump when the on-disk entry layout changes (entries with another
+#: schema are evicted on load).
+CACHE_SCHEMA_VERSION = 1
+
+#: File magic identifying a repro cache entry.
+_MAGIC = b"repro-cache\x00"
+
+#: Environment variable naming the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def engine_salt() -> str:
+    """Version salt mixed into every cache key.
+
+    Keyed on the package version: releasing a new version (which is how
+    engine-semantics changes ship) invalidates all previously cached
+    results, so a cache can never serve summaries produced by an older
+    simulator.
+    """
+    return f"repro/{__version__}/schema{CACHE_SCHEMA_VERSION}"
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serializable canonical form.
+
+    Dataclasses become ``[qualified-class-name, {field: value}]`` so two
+    different classes with identical fields never collide; floats use
+    ``repr`` for bit-exactness; unknown objects fall back to their class
+    name plus ``repr``.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: _canonical(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        }
+        return [f"{type(obj).__module__}.{type(obj).__qualname__}", fields]
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items(), key=lambda i: str(i[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, float):
+        return f"f:{obj!r}"
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    if isinstance(obj, type):
+        return f"{obj.__module__}.{obj.__qualname__}"
+    return [f"{type(obj).__module__}.{type(obj).__qualname__}", repr(obj)]
+
+
+def stable_hash(obj: Any) -> str:
+    """SHA-256 hex digest of ``obj``'s canonical form.
+
+    Stable across processes and Python versions (never uses the salted
+    builtin ``hash``).
+    """
+    payload = json.dumps(_canonical(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+#: Per-Trace fingerprint memo, keyed by object id (Trace is immutable
+#: but defines value equality without hashability).  Hashing one
+#: 10k-job trace once per process — instead of once per grid cell —
+#: keeps cache-hit latency in the milliseconds; weakref callbacks drop
+#: entries as soon as the trace itself is garbage.
+_TRACE_FP_MEMO: Dict[int, tuple] = {}
+
+
+def _trace_fingerprint(trace) -> str:
+    """SHA-256 over every field of every job, memoized per trace object."""
+    memo_key = id(trace)
+    entry = _TRACE_FP_MEMO.get(memo_key)
+    if entry is not None and entry[0]() is trace:
+        return entry[1]
+    hasher = hashlib.sha256()
+    for j in trace.jobs:
+        hasher.update(
+            (
+                f"{j.job_id}|{j.submit_minute!r}|{j.runtime_minutes!r}|{j.priority}"
+                f"|{j.cores}|{j.memory_gb!r}|{j.os_family}|{j.candidate_pools}"
+                f"|{j.task_id}|{j.user}\n"
+            ).encode()
+        )
+    digest = hasher.hexdigest()
+    try:
+        ref = weakref.ref(trace, lambda _: _TRACE_FP_MEMO.pop(memo_key, None))
+        _TRACE_FP_MEMO[memo_key] = (ref, digest)
+    except TypeError:
+        pass
+    return digest
+
+
+def _scenario_fingerprint(scenario) -> Dict[str, Any]:
+    """Content fingerprint of a scenario: identity plus cluster + trace."""
+    return {
+        "name": scenario.name,
+        "seed": scenario.seed,
+        "wait_threshold": scenario.wait_threshold,
+        "cluster": stable_hash(tuple(scenario.cluster)),
+        "trace": _trace_fingerprint(scenario.trace),
+    }
+
+
+def _policy_fingerprint(policy) -> Dict[str, Any]:
+    """Fingerprint of a policy: class, name, selector, threshold."""
+    fp: Dict[str, Any] = {
+        "class": f"{type(policy).__module__}.{type(policy).__qualname__}",
+        "name": policy.name,
+    }
+    selector = getattr(policy, "selector", None) or getattr(policy, "_selector", None)
+    if selector is not None:
+        fp["selector"] = _canonical(selector)
+    threshold = getattr(policy, "wait_threshold", None)
+    if threshold is not None:
+        fp["wait_threshold"] = f"f:{threshold!r}"
+    return fp
+
+
+def _scheduler_fingerprint(scheduler) -> Dict[str, Any]:
+    """Fingerprint of an initial scheduler (``None`` = engine default)."""
+    if scheduler is None:
+        return {"class": "default", "name": "RoundRobin"}
+    return {
+        "class": f"{type(scheduler).__module__}.{type(scheduler).__qualname__}",
+        "name": scheduler.name,
+    }
+
+
+def _config_fingerprint(config) -> Optional[Dict[str, Any]]:
+    """Fingerprint of a SimulationConfig; ``None`` = not cacheable."""
+    if config.observer is not None:
+        return None  # observers stream events out: caching would silence them
+    fields = {
+        f.name: _canonical(getattr(config, f.name))
+        for f in dataclasses.fields(config)
+        if f.name != "observer"
+    }
+    return fields
+
+
+def cell_cache_key(scenario, policy, scheduler, config) -> Optional[str]:
+    """Content-addressed key for one (scenario, policy, scheduler) cell.
+
+    Returns ``None`` when the cell must not be cached (currently: the
+    config carries an observer, whose event stream a cache hit would
+    silently swallow).
+    """
+    config_fp = _config_fingerprint(config)
+    if config_fp is None:
+        return None
+    return stable_hash(
+        {
+            "salt": engine_salt(),
+            "scenario": _scenario_fingerprint(scenario),
+            "policy": _policy_fingerprint(policy),
+            "scheduler": _scheduler_fingerprint(scheduler),
+            "config": config_fp,
+        }
+    )
+
+
+def derive_cell_seed(base_seed: int, cell_id: str) -> int:
+    """Spawn-key-style child seed for one grid cell.
+
+    The seed depends only on (base seed, cell identity) — never on call
+    order or worker scheduling — so a cell's random streams are the same
+    whether the grid runs serially, in any parallel interleaving, or as
+    a single re-run of that one cell.  Two cells sharing a scenario but
+    differing in policy or scheduler get distinct, independent streams.
+    """
+    digest = hashlib.sha256(f"{base_seed}|cell|{cell_id}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def resolve_cache_dir(cache_dir: Optional[object] = None) -> Optional[Path]:
+    """Resolve the cache directory: explicit argument, else ``REPRO_CACHE_DIR``."""
+    if cache_dir is not None:
+        return Path(cache_dir)
+    env = os.environ.get(CACHE_DIR_ENV)
+    return Path(env) if env else None
+
+
+def open_cache(
+    cache_dir: Optional[object] = None, use_cache: Optional[bool] = None
+) -> Optional["ResultCache"]:
+    """Open the result cache per the standard resolution rules.
+
+    ``use_cache=False`` always returns ``None``; ``use_cache=True``
+    requires a directory (argument or ``REPRO_CACHE_DIR``) and raises
+    otherwise; ``use_cache=None`` enables caching exactly when a
+    directory is configured and ``REPRO_NO_CACHE`` is not set.
+    """
+    from . import presets
+
+    if use_cache is False:
+        return None
+    resolved = resolve_cache_dir(cache_dir)
+    if use_cache is None:
+        if resolved is None or presets.no_cache():
+            return None
+        return ResultCache(resolved)
+    if resolved is None:
+        raise CacheError(
+            "use_cache=True needs a cache directory (cache_dir argument or "
+            f"the {CACHE_DIR_ENV} environment variable)"
+        )
+    return ResultCache(resolved)
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Counters for one cache instance (observable speedup evidence)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    def as_line(self) -> str:
+        """One-line human-readable rendering for CLI/benchmark logs."""
+        return (
+            f"cache: {self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.stores} store(s), {self.evictions} eviction(s)"
+        )
+
+
+class ResultCache:
+    """A directory of self-verifying pickled experiment results.
+
+    Layout: ``<root>/<key[:2]>/<key>.bin`` where ``key`` is the 64-char
+    hex cell key.  Each file is ``MAGIC + sha256(payload) + payload``
+    with the payload a pickle of ``{"schema": .., "salt": ..,
+    "value": ..}``.  Writes are atomic (temp file + ``os.replace``) so a
+    crashed or concurrent writer can never publish a torn entry.
+    """
+
+    def __init__(self, root) -> None:
+        if root is None:
+            raise CacheError("ResultCache needs a directory; got None")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        """On-disk path of the entry for ``key``."""
+        return self.root / key[:2] / f"{key}.bin"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Load the value for ``key``; ``None`` (and a miss) if absent.
+
+        A present-but-invalid entry — bad magic, checksum mismatch,
+        wrong schema, stale engine salt, or an unpicklable payload — is
+        evicted from disk and reported as a miss, so callers always fall
+        through to recomputation instead of crashing or returning
+        garbage.
+        """
+        path = self.path_for(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        value = self._decode(blob)
+        if value is None:
+            self._evict(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` atomically."""
+        payload = pickle.dumps(
+            {"schema": CACHE_SCHEMA_VERSION, "salt": engine_salt(), "value": value},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        blob = _MAGIC + hashlib.sha256(payload).digest() + payload
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink(missing_ok=True)
+        self.stats.stores += 1
+
+    def _decode(self, blob: bytes) -> Optional[Any]:
+        """Verify and unpickle one entry; ``None`` on any defect."""
+        header_len = len(_MAGIC) + 32
+        if len(blob) <= header_len or not blob.startswith(_MAGIC):
+            return None
+        digest = blob[len(_MAGIC) : header_len]
+        payload = blob[header_len:]
+        if hashlib.sha256(payload).digest() != digest:
+            return None
+        try:
+            envelope = pickle.loads(payload)
+        except Exception:
+            return None
+        if not isinstance(envelope, dict):
+            return None
+        if envelope.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        if envelope.get("salt") != engine_salt():
+            return None
+        return envelope.get("value")
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink(missing_ok=True)
+            self.stats.evictions += 1
+        except OSError:
+            pass

@@ -5,12 +5,20 @@ a fresh simulation and returns both the analysis object and a plain-text
 rendering, so the benchmark harness can print the same series the paper
 plots.  (The figures are data products — no plotting dependency is
 needed to compare shapes.)
+
+Like the tables, every figure accepts ``workers`` / ``cache_dir`` /
+``use_cache`` (defaulting to ``REPRO_WORKERS`` / ``REPRO_CACHE_DIR`` /
+``REPRO_NO_CACHE``) and runs through the shared execution backend, so
+long-horizon figure runs are memoized on disk and Figure 3's three
+simulations can run in parallel.  Figure caching stores the full
+simulation result (records *and* samples): the first run of a given
+configuration pays the simulation, later ones only unpickle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..analysis.suspension import SuspensionAnalysis, analyze_suspension, suspension_time_cdf
 from ..analysis.utilization import UtilizationAnalysis, analyze_utilization
@@ -19,9 +27,10 @@ from ..core.policies import no_res, res_sus_rand, res_sus_util
 from ..metrics.report import render_waste_components
 from ..schedulers.initial import RoundRobinScheduler
 from ..simulator.config import SimulationConfig
-from ..simulator.simulation import run_simulation
 from ..workload.scenarios import busy_week, year
 from . import presets
+from .cache import open_cache
+from .parallel import execute_cells, make_cell_task
 
 __all__ = [
     "Figure2",
@@ -30,6 +39,30 @@ __all__ = [
     "figure3",
     "figure4",
 ]
+
+
+def _run_figure_cells(scenario, policies, workers, cache_dir, use_cache):
+    """Run one figure's simulations through the shared backend.
+
+    Returns the full simulation results, in ``policies`` order.
+    """
+    tasks = [
+        make_cell_task(
+            index,
+            scenario,
+            policy,
+            RoundRobinScheduler(),
+            SimulationConfig(strict=False),
+            keep_result=True,
+        )
+        for index, policy in enumerate(policies)
+    ]
+    outcomes = execute_cells(
+        tasks,
+        n_workers=workers if workers is not None else presets.workers(),
+        cache=open_cache(cache_dir, use_cache),
+    )
+    return [outcome.result for outcome in outcomes]
 
 
 @dataclass(frozen=True)
@@ -54,6 +87,9 @@ def figure2(
     scale: Optional[float] = None,
     seed: Optional[int] = None,
     horizon: Optional[float] = None,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    use_cache: Optional[bool] = None,
 ) -> Figure2:
     """Figure 2: suspension-time CDF from a long-horizon NoRes run."""
     scenario = year(
@@ -61,12 +97,7 @@ def figure2(
         seed=seed or presets.seed(),
         horizon=horizon or presets.year_horizon(),
     )
-    result = run_simulation(
-        scenario.trace,
-        scenario.cluster,
-        policy=no_res(),
-        config=SimulationConfig(strict=False),
-    )
+    (result,) = _run_figure_cells(scenario, [no_res()], workers, cache_dir, use_cache)
     cdf = suspension_time_cdf(result)
     return Figure2(
         analysis=analyze_suspension(result),
@@ -77,6 +108,9 @@ def figure2(
 def figure3(
     scale: Optional[float] = None,
     seed: Optional[int] = None,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    use_cache: Optional[bool] = None,
 ) -> WasteFigure:
     """Figure 3: waste decomposition under normal load (busy week, RR).
 
@@ -84,17 +118,13 @@ def figure3(
     suspend, and rescheduling waste.
     """
     scenario = busy_week(scale or presets.table_scale(), seed or presets.seed())
-    results = []
-    for factory in (no_res, res_sus_util, res_sus_rand):
-        results.append(
-            run_simulation(
-                scenario.trace,
-                scenario.cluster,
-                policy=factory(),
-                initial_scheduler=RoundRobinScheduler(),
-                config=SimulationConfig(strict=False),
-            )
-        )
+    results = _run_figure_cells(
+        scenario,
+        [no_res(), res_sus_util(), res_sus_rand()],
+        workers,
+        cache_dir,
+        use_cache,
+    )
     return waste_decomposition(results)
 
 
@@ -138,6 +168,9 @@ def figure4(
     seed: Optional[int] = None,
     horizon: Optional[float] = None,
     window_minutes: float = 100.0,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    use_cache: Optional[bool] = None,
 ) -> Figure4:
     """Figure 4: utilization & suspension over a long-horizon NoRes run.
 
@@ -151,12 +184,7 @@ def figure4(
         seed=seed or presets.seed(),
         horizon=resolved_horizon,
     )
-    result = run_simulation(
-        scenario.trace,
-        scenario.cluster,
-        policy=no_res(),
-        config=SimulationConfig(strict=False),
-    )
+    (result,) = _run_figure_cells(scenario, [no_res()], workers, cache_dir, use_cache)
     return Figure4(
         analysis=analyze_utilization(
             result, window_minutes, up_to_minute=resolved_horizon

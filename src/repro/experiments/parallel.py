@@ -1,0 +1,282 @@
+"""Process-pool execution backend for experiment grids.
+
+Every sweep in this repository — the paper's tables, the ablations, any
+user grid through :class:`~repro.experiments.runner.ExperimentRunner` —
+reduces to the same unit of work: simulate one
+(scenario, policy, scheduler) *cell* and summarize it.  This module
+owns that unit:
+
+* :func:`make_cell_task` freezes a cell into a :class:`CellTask`,
+  deriving a spawn-key-style child seed from the cell's identity (see
+  :func:`~repro.experiments.cache.derive_cell_seed`) so results are
+  bit-identical no matter which worker runs the cell or in what order;
+* :func:`execute_cells` runs a batch of tasks — serially for
+  ``n_workers=1``, else on a :class:`~concurrent.futures.ProcessPoolExecutor`
+  — consulting an optional
+  :class:`~repro.experiments.cache.ResultCache` first, and storing every
+  fresh computation back.
+
+Tasks whose payload cannot be pickled (a user policy capturing a
+lambda, an open file, ...) transparently fall back to serial in-process
+execution, so exotic policies cost speed, never correctness.  Each
+outcome reports its wall-clock seconds and whether it was served from
+cache, making the speedup observable in benchmark logs and the CLI.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, ExperimentExecutionError
+from ..metrics.summary import PerformanceSummary, summarize
+from ..simulator.config import SimulationConfig
+from ..simulator.results import SimulationResult
+from ..simulator.simulation import run_simulation
+from .cache import ResultCache, cell_cache_key, derive_cell_seed
+
+__all__ = ["CellTask", "CellOutcome", "make_cell_task", "execute_cells"]
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One fully specified simulation cell, ready to run anywhere.
+
+    Attributes:
+        index: position in the grid (outcomes are returned in this
+            order regardless of completion order).
+        scenario: the workload + cluster to simulate.
+        policy: the rescheduling policy instance.
+        scheduler: the initial scheduler instance (``None`` = engine
+            default round-robin).
+        config: simulation config whose ``seed`` is already the derived
+            per-cell child seed.
+        cell_id: stable human-readable identity used for seed
+            derivation and error messages.
+        cache_key: content-addressed cache key, or ``None`` when the
+            cell must not be cached.
+        keep_result: ship the full :class:`SimulationResult` back (not
+            just the summary).
+    """
+
+    index: int
+    scenario: object
+    policy: object
+    scheduler: Optional[object]
+    config: SimulationConfig
+    cell_id: str
+    cache_key: Optional[str]
+    keep_result: bool = False
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """The observable output of one executed (or cache-served) cell.
+
+    ``wall_seconds`` is always the cell's *simulation* cost — for a
+    cache hit, the cost recorded when the entry was computed — so logs
+    can show how much time the cache saved; ``from_cache`` says whether
+    this invocation actually paid it.
+    """
+
+    index: int
+    scenario_name: str
+    policy_name: str
+    scheduler_name: str
+    summary: PerformanceSummary
+    result: Optional[SimulationResult]
+    wall_seconds: float
+    from_cache: bool
+    seed: int
+
+
+def make_cell_task(
+    index: int,
+    scenario,
+    policy,
+    scheduler,
+    config: SimulationConfig,
+    keep_result: bool = False,
+) -> CellTask:
+    """Freeze one grid cell into a :class:`CellTask`.
+
+    The cell's child seed is derived from ``config.seed`` and the cell
+    identity (scenario name + seed, policy name, scheduler name) — not
+    from call order — so two cells sharing a scenario but differing in
+    policy never share a random stream, and re-running one cell alone
+    reproduces its grid result exactly.
+    """
+    scheduler_name = scheduler.name if scheduler is not None else "RoundRobin"
+    cell_id = f"{scenario.name}#{scenario.seed}|{policy.name}|{scheduler_name}"
+    cell_config = replace(config, seed=derive_cell_seed(config.seed, cell_id))
+    return CellTask(
+        index=index,
+        scenario=scenario,
+        policy=policy,
+        scheduler=scheduler,
+        config=cell_config,
+        cell_id=cell_id,
+        cache_key=cell_cache_key(scenario, policy, scheduler, cell_config),
+        keep_result=keep_result,
+    )
+
+
+def _simulate_task(task: CellTask) -> Tuple[int, PerformanceSummary, Optional[SimulationResult], float]:
+    """Worker entry point: run one cell and time it.
+
+    Module-level (not a closure) so it pickles into pool workers.
+    """
+    start = time.perf_counter()
+    result = run_simulation(
+        task.scenario.trace,
+        task.scenario.cluster,
+        policy=task.policy,
+        initial_scheduler=task.scheduler,
+        config=task.config,
+    )
+    wall = time.perf_counter() - start
+    summary = summarize(result)
+    return task.index, summary, result if task.keep_result else None, wall
+
+
+def _outcome(task: CellTask, summary, result, wall: float, from_cache: bool) -> CellOutcome:
+    return CellOutcome(
+        index=task.index,
+        scenario_name=task.scenario.name,
+        policy_name=task.policy.name,
+        scheduler_name=summary.scheduler_name,
+        summary=summary,
+        result=result,
+        wall_seconds=wall,
+        from_cache=from_cache,
+        seed=task.config.seed,
+    )
+
+
+def _is_picklable(task: CellTask) -> bool:
+    try:
+        pickle.dumps(task)
+        return True
+    except Exception:
+        return False
+
+
+def _cell_error(
+    task: CellTask, exc: BaseException, completed: Sequence[CellOutcome]
+) -> ExperimentExecutionError:
+    scheduler_name = task.scheduler.name if task.scheduler is not None else "RoundRobin"
+    return ExperimentExecutionError(
+        task.scenario.name,
+        task.policy.name,
+        scheduler_name,
+        exc,
+        completed_cells=tuple(sorted(completed, key=lambda o: o.index)),
+    )
+
+
+def execute_cells(
+    tasks: Sequence[CellTask],
+    n_workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    timeout: Optional[float] = None,
+) -> List[CellOutcome]:
+    """Execute a batch of cells and return outcomes in grid order.
+
+    Args:
+        tasks: the cells, as built by :func:`make_cell_task`.
+        n_workers: process-pool width; ``1`` runs everything serially
+            in-process (no pool, no pickling).
+        cache: optional result cache consulted before any simulation and
+            updated after every fresh one.
+        timeout: optional overall wait bound for the parallel pool.
+
+    Raises:
+        ExperimentExecutionError: when any cell fails; carries every
+            cell completed before the failure.
+        ConfigurationError: for a non-positive ``n_workers``.
+    """
+    if n_workers < 1:
+        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    outcomes: Dict[int, CellOutcome] = {}
+    pending: List[CellTask] = []
+
+    for task in tasks:
+        entry = cache.get(task.cache_key) if cache and task.cache_key else None
+        if entry is not None and (not task.keep_result or entry.get("result") is not None):
+            load_wall = entry.get("wall_seconds", 0.0)
+            outcomes[task.index] = _outcome(
+                task,
+                entry["summary"],
+                entry.get("result") if task.keep_result else None,
+                load_wall,
+                from_cache=True,
+            )
+            continue
+        if entry is not None:
+            # present but missing the raw result this caller needs:
+            # recompute (and overwrite below); keep the stats honest.
+            cache.stats.hits -= 1
+            cache.stats.misses += 1
+        pending.append(task)
+
+    def finish(task: CellTask, summary, result, wall: float) -> None:
+        if cache is not None and task.cache_key:
+            cache.put(
+                task.cache_key,
+                {"summary": summary, "result": result, "wall_seconds": wall},
+            )
+        outcomes[task.index] = _outcome(task, summary, result, wall, from_cache=False)
+
+    if n_workers == 1 or len(pending) <= 1:
+        for task in pending:
+            try:
+                _, summary, result, wall = _simulate_task(task)
+            except Exception as exc:
+                raise _cell_error(task, exc, list(outcomes.values())) from exc
+            finish(task, summary, result, wall)
+        return [outcomes[t.index] for t in tasks]
+
+    poolable = [t for t in pending if _is_picklable(t)]
+    hostile = [t for t in pending if t.index not in {p.index for p in poolable}]
+
+    if poolable:
+        with ProcessPoolExecutor(max_workers=min(n_workers, len(poolable))) as pool:
+            future_tasks = {pool.submit(_simulate_task, t): t for t in poolable}
+            done, not_done = wait(
+                future_tasks, timeout=timeout, return_when=FIRST_EXCEPTION
+            )
+            failed = None
+            for future in done:
+                task = future_tasks[future]
+                exc = future.exception()
+                if exc is not None:
+                    failed = (task, exc)
+                    continue
+                _, summary, result, wall = future.result()
+                finish(task, summary, result, wall)
+            if failed is not None or not_done:
+                for future in not_done:
+                    future.cancel()
+                if failed is not None:
+                    task, exc = failed
+                    raise _cell_error(task, exc, list(outcomes.values())) from exc
+                stuck = next(iter(not_done))
+                raise _cell_error(
+                    future_tasks[stuck],
+                    TimeoutError(f"cell did not finish within {timeout}s"),
+                    list(outcomes.values()),
+                )
+
+    # pickling-hostile cells run serially in this process, after the
+    # pool batch so a pool failure cannot lose their results.
+    for task in hostile:
+        try:
+            _, summary, result, wall = _simulate_task(task)
+        except Exception as exc:
+            raise _cell_error(task, exc, list(outcomes.values())) from exc
+        finish(task, summary, result, wall)
+
+    return [outcomes[t.index] for t in tasks]

@@ -7,11 +7,21 @@ benchmark suite can be scaled without editing code:
   table experiments).  Larger values approach the paper's deployment
   size at the cost of runtime.
 * ``REPRO_SEED`` — workload seed (default 2010, the publication year).
+
+The execution backend honours three more (see ``docs/performance.md``):
+
+* ``REPRO_WORKERS`` — process-pool width for experiment grids
+  (default 1 = serial; parallel results are bit-identical to serial).
+* ``REPRO_CACHE_DIR`` — directory for the content-addressed on-disk
+  result cache; unset disables caching.
+* ``REPRO_NO_CACHE`` — set to ``1``/``true``/``yes`` to bypass the
+  cache even when a cache directory is configured.
 """
 
 from __future__ import annotations
 
 import os
+from typing import Optional
 
 from ..errors import ConfigurationError
 
@@ -20,16 +30,21 @@ __all__ = [
     "DEFAULT_YEAR_SCALE",
     "DEFAULT_YEAR_HORIZON",
     "DEFAULT_SEED",
+    "DEFAULT_WORKERS",
     "table_scale",
     "year_scale",
     "year_horizon",
     "seed",
+    "workers",
+    "cache_dir",
+    "no_cache",
 ]
 
 DEFAULT_TABLE_SCALE = 0.25
 DEFAULT_YEAR_SCALE = 0.08
 DEFAULT_YEAR_HORIZON = 200_000.0
 DEFAULT_SEED = 2010
+DEFAULT_WORKERS = 1
 
 
 def _float_env(name: str, default: float) -> float:
@@ -69,3 +84,27 @@ def seed() -> int:
         return int(raw)
     except ValueError:
         raise ConfigurationError(f"REPRO_SEED must be an int, got {raw!r}") from None
+
+
+def workers() -> int:
+    """Worker-process count for experiment grids (``REPRO_WORKERS``)."""
+    raw = os.environ.get("REPRO_WORKERS")
+    if raw is None:
+        return DEFAULT_WORKERS
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(f"REPRO_WORKERS must be an int, got {raw!r}") from None
+    if value < 1:
+        raise ConfigurationError(f"REPRO_WORKERS must be >= 1, got {value}")
+    return value
+
+
+def cache_dir() -> Optional[str]:
+    """Result-cache directory (``REPRO_CACHE_DIR``); ``None`` disables caching."""
+    return os.environ.get("REPRO_CACHE_DIR") or None
+
+
+def no_cache() -> bool:
+    """Whether ``REPRO_NO_CACHE`` asks to bypass the result cache."""
+    return os.environ.get("REPRO_NO_CACHE", "").strip().lower() in {"1", "true", "yes"}

@@ -1,23 +1,30 @@
-"""A small grid runner for custom experiment matrices.
+"""A grid runner for custom experiment matrices.
 
 The table/figure functions cover the paper; :class:`ExperimentRunner`
 is for users who want their own (scenario x policy x scheduler) grids
-with consistent configuration and labelled results.
+with consistent configuration and labelled results.  The runner is the
+thin policy-facing layer over the shared execution backend
+(:mod:`repro.experiments.parallel`): it supports process-pool parallel
+execution (``n_workers``), content-addressed on-disk result caching
+(``cache_dir`` / :mod:`repro.experiments.cache`), and per-cell derived
+seeds, so a grid's results are bit-identical whether it runs serially,
+in parallel, or from cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.policy import ReschedulingPolicy
-from ..errors import ConfigurationError
-from ..metrics.summary import PerformanceSummary, summarize
+from ..errors import ConfigurationError, ExperimentExecutionError
+from ..metrics.summary import PerformanceSummary
 from ..schedulers.initial import InitialScheduler, RoundRobinScheduler
 from ..simulator.config import SimulationConfig
 from ..simulator.results import SimulationResult
-from ..simulator.simulation import run_simulation
 from ..workload.scenarios import Scenario
+from .cache import CacheStats, ResultCache, open_cache
+from .parallel import execute_cells, make_cell_task
 
 __all__ = ["ExperimentCell", "ExperimentRunner"]
 
@@ -33,6 +40,13 @@ class ExperimentCell:
         summary: the run's performance summary.
         result: the full simulation result (``None`` unless the runner
             was asked to keep raw results).
+        wall_seconds: wall-clock seconds this cell took in this
+            invocation (the original simulation time when served from
+            cache, so speedups stay observable).
+        from_cache: True when the cell was served from the on-disk
+            result cache instead of being simulated.
+        seed: the derived per-cell simulation seed (stable across runs
+            and worker orderings).
     """
 
     scenario_name: str
@@ -40,6 +54,13 @@ class ExperimentCell:
     scheduler_name: str
     summary: PerformanceSummary
     result: Optional[SimulationResult] = None
+    wall_seconds: float = 0.0
+    from_cache: bool = False
+    seed: Optional[int] = None
+
+
+def _factory_name(factory: Callable) -> str:
+    return getattr(factory, "__name__", None) or repr(factory)
 
 
 class ExperimentRunner:
@@ -47,20 +68,55 @@ class ExperimentRunner:
 
     Example:
         >>> from repro import busy_week, no_res, res_sus_util
-        >>> runner = ExperimentRunner(keep_results=False)   # doctest: +SKIP
+        >>> runner = ExperimentRunner(n_workers=4)          # doctest: +SKIP
         >>> cells = runner.run_grid(
         ...     scenarios=[busy_week(scale=0.05)],
         ...     policy_factories=[no_res, res_sus_util],
         ... )   # doctest: +SKIP
+
+    Args:
+        config: simulation config shared by every cell; each cell's
+            ``seed`` is re-derived from ``config.seed`` and the cell's
+            identity (never from call order), so cells are independent
+            and reproducible one-by-one.
+        keep_results: keep each cell's full
+            :class:`~repro.simulator.results.SimulationResult` (memory
+            heavy for big grids).
+        n_workers: number of worker processes; ``1`` (the default) runs
+            serially in-process.  Parallel results are bit-identical to
+            serial ones.  Cells whose policy cannot be pickled fall
+            back to serial execution automatically.
+        cache_dir: directory for the content-addressed result cache;
+            defaults to ``$REPRO_CACHE_DIR`` when set.  ``None`` (and no
+            environment override) disables caching.
+        use_cache: force caching on/off regardless of ``cache_dir``
+            resolution; ``use_cache=False`` never touches the disk.
     """
 
     def __init__(
         self,
         config: Optional[SimulationConfig] = None,
         keep_results: bool = False,
+        n_workers: int = 1,
+        cache_dir: Optional[object] = None,
+        use_cache: Optional[bool] = None,
     ) -> None:
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
         self._config = config or SimulationConfig(strict=False)
         self._keep_results = keep_results
+        self._n_workers = n_workers
+        self._cache = open_cache(cache_dir, use_cache)
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        """The result cache in use, if any."""
+        return self._cache
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/store/eviction counters (all zero when caching is off)."""
+        return self._cache.stats if self._cache is not None else CacheStats()
 
     def run_grid(
         self,
@@ -70,35 +126,83 @@ class ExperimentRunner:
             Sequence[Callable[[], InitialScheduler]]
         ] = None,
     ) -> List[ExperimentCell]:
-        """Run the full cross product and return one cell per run."""
+        """Run the full cross product and return one cell per run.
+
+        Raises:
+            ExperimentExecutionError: when building or running any cell
+                fails.  The error names the failing (scenario, policy,
+                scheduler) cell and carries every
+                :class:`ExperimentCell` completed before the failure in
+                ``completed_cells``, so a long sweep's finished work is
+                never lost.
+        """
         if not scenarios:
             raise ConfigurationError("run_grid needs at least one scenario")
         if not policy_factories:
             raise ConfigurationError("run_grid needs at least one policy factory")
         scheduler_factories = scheduler_factories or [RoundRobinScheduler]
+
+        serial = self._n_workers == 1
         cells: List[ExperimentCell] = []
+        tasks = []
+        index = 0
         for scenario in scenarios:
             for scheduler_factory in scheduler_factories:
                 for policy_factory in policy_factories:
-                    policy = policy_factory()
-                    scheduler = scheduler_factory()
-                    result = run_simulation(
-                        scenario.trace,
-                        scenario.cluster,
-                        policy=policy,
-                        initial_scheduler=scheduler,
-                        config=self._config,
+                    try:
+                        policy = policy_factory()
+                        scheduler = scheduler_factory()
+                    except Exception as exc:
+                        raise ExperimentExecutionError(
+                            scenario.name,
+                            _factory_name(policy_factory),
+                            _factory_name(scheduler_factory),
+                            exc,
+                            completed_cells=tuple(cells),
+                        ) from exc
+                    task = make_cell_task(
+                        index,
+                        scenario,
+                        policy,
+                        scheduler,
+                        self._config,
+                        keep_result=self._keep_results,
                     )
-                    cells.append(
-                        ExperimentCell(
-                            scenario_name=scenario.name,
-                            policy_name=policy.name,
-                            scheduler_name=scheduler.name,
-                            summary=summarize(result),
-                            result=result if self._keep_results else None,
-                        )
-                    )
+                    index += 1
+                    if serial:
+                        cells.extend(self._execute([task], n_workers=1, done=cells))
+                    else:
+                        tasks.append(task)
+        if tasks:
+            cells.extend(self._execute(tasks, n_workers=self._n_workers, done=cells))
         return cells
+
+    def _execute(self, tasks, n_workers: int, done: Sequence[ExperimentCell]):
+        """Run tasks via the shared backend, mapping outcomes to cells."""
+        try:
+            outcomes = execute_cells(tasks, n_workers=n_workers, cache=self._cache)
+        except ExperimentExecutionError as exc:
+            raise ExperimentExecutionError(
+                exc.scenario_name,
+                exc.policy_name,
+                exc.scheduler_name,
+                exc.__cause__ or exc,
+                completed_cells=tuple(done)
+                + tuple(self._to_cell(o) for o in exc.completed_cells),
+            ) from exc.__cause__
+        return [self._to_cell(outcome) for outcome in outcomes]
+
+    def _to_cell(self, outcome) -> ExperimentCell:
+        return ExperimentCell(
+            scenario_name=outcome.scenario_name,
+            policy_name=outcome.policy_name,
+            scheduler_name=outcome.scheduler_name,
+            summary=outcome.summary,
+            result=outcome.result if self._keep_results else None,
+            wall_seconds=outcome.wall_seconds,
+            from_cache=outcome.from_cache,
+            seed=outcome.seed,
+        )
 
     @staticmethod
     def by_scenario(cells: Sequence[ExperimentCell]) -> Dict[str, List[ExperimentCell]]:

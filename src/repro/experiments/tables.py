@@ -22,7 +22,7 @@ Table 5    high load, utilization-based initial, same as Table 4
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 from ..analysis.comparison import StrategyComparison, compare_strategies
 from ..core.policies import (
@@ -41,6 +41,7 @@ from ..schedulers.initial import (
 from ..simulator.config import SimulationConfig
 from ..workload.scenarios import Scenario, busy_week, high_load, high_suspension
 from . import presets
+from .cache import open_cache
 
 __all__ = [
     "table1",
@@ -62,13 +63,25 @@ def _run(
     policy_factories,
     scheduler_factory: Callable[[], InitialScheduler],
     config: Optional[SimulationConfig],
+    workers: Optional[int] = None,
+    cache_dir=None,
+    use_cache: Optional[bool] = None,
 ) -> StrategyComparison:
+    """Shared execution path for all tables.
+
+    ``workers``/``cache_dir``/``use_cache`` default to the environment
+    (``REPRO_WORKERS`` / ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE``), so
+    the benchmark suite and CI parallelize and memoize without touching
+    each call site.
+    """
     policies = [factory() for factory in policy_factories]
     return compare_strategies(
         scenario,
         policies,
         scheduler_factory=scheduler_factory,
         config=config or SimulationConfig(strict=False),
+        n_workers=workers if workers is not None else presets.workers(),
+        cache=open_cache(cache_dir, use_cache),
     )
 
 
@@ -76,56 +89,74 @@ def table1(
     scale: Optional[float] = None,
     seed: Optional[int] = None,
     config: Optional[SimulationConfig] = None,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    use_cache: Optional[bool] = None,
 ) -> StrategyComparison:
     """Table 1: rescheduling of suspended jobs under normal load (RR initial)."""
     scenario = busy_week(scale or presets.table_scale(), seed or presets.seed())
-    return _run(scenario, _SUSPENDED_ONLY, RoundRobinScheduler, config)
+    return _run(scenario, _SUSPENDED_ONLY, RoundRobinScheduler, config, workers, cache_dir, use_cache)
 
 
 def table2(
     scale: Optional[float] = None,
     seed: Optional[int] = None,
     config: Optional[SimulationConfig] = None,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    use_cache: Optional[bool] = None,
 ) -> StrategyComparison:
     """Table 2: the same strategies under high load (cores halved)."""
     scenario = high_load(scale or presets.table_scale(), seed or presets.seed())
-    return _run(scenario, _SUSPENDED_ONLY, RoundRobinScheduler, config)
+    return _run(scenario, _SUSPENDED_ONLY, RoundRobinScheduler, config, workers, cache_dir, use_cache)
 
 
 def table3(
     scale: Optional[float] = None,
     seed: Optional[int] = None,
     config: Optional[SimulationConfig] = None,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    use_cache: Optional[bool] = None,
 ) -> StrategyComparison:
     """Table 3: high load with the utilization-based initial scheduler."""
     scenario = high_load(scale or presets.table_scale(), seed or presets.seed())
-    return _run(scenario, _SUSPENDED_ONLY, UtilizationBasedScheduler, config)
+    return _run(scenario, _SUSPENDED_ONLY, UtilizationBasedScheduler, config, workers, cache_dir, use_cache)
 
 
 def table4(
     scale: Optional[float] = None,
     seed: Optional[int] = None,
     config: Optional[SimulationConfig] = None,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    use_cache: Optional[bool] = None,
 ) -> StrategyComparison:
     """Table 4: waiting-job + suspended-job rescheduling, RR initial, high load."""
     scenario = high_load(scale or presets.table_scale(), seed or presets.seed())
-    return _run(scenario, _WITH_WAITING, RoundRobinScheduler, config)
+    return _run(scenario, _WITH_WAITING, RoundRobinScheduler, config, workers, cache_dir, use_cache)
 
 
 def table5(
     scale: Optional[float] = None,
     seed: Optional[int] = None,
     config: Optional[SimulationConfig] = None,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    use_cache: Optional[bool] = None,
 ) -> StrategyComparison:
     """Table 5: waiting-job + suspended-job rescheduling, util-based initial."""
     scenario = high_load(scale or presets.table_scale(), seed or presets.seed())
-    return _run(scenario, _WITH_WAITING, UtilizationBasedScheduler, config)
+    return _run(scenario, _WITH_WAITING, UtilizationBasedScheduler, config, workers, cache_dir, use_cache)
 
 
 def high_suspension_experiment(
     scale: Optional[float] = None,
     seed: Optional[int] = None,
     config: Optional[SimulationConfig] = None,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    use_cache: Optional[bool] = None,
 ) -> StrategyComparison:
     """The in-text high-suspension experiment of Section 3.2.1.
 
@@ -134,7 +165,7 @@ def high_suspension_experiment(
     ResSusUtil; this runs {NoRes, ResSusUtil} on our heavy-burst trace.
     """
     scenario = high_suspension(scale or presets.table_scale(), seed or presets.seed())
-    return _run(scenario, (no_res, res_sus_util), RoundRobinScheduler, config)
+    return _run(scenario, (no_res, res_sus_util), RoundRobinScheduler, config, workers, cache_dir, use_cache)
 
 
 def render(comparison: StrategyComparison, title: str = "") -> str:

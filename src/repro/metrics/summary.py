@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
-from ..simulator.results import JobRecord, SimulationResult
+from ..simulator.results import SimulationResult
 
 __all__ = ["WasteBreakdown", "PerformanceSummary", "summarize"]
 

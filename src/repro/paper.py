@@ -13,7 +13,7 @@ track, Tables 1-5 and Sections 2.2/3.2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional
 
 __all__ = [
     "PaperRow",

@@ -23,7 +23,7 @@ paths report which machines freed up so the engine can re-fill them.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.context import PoolSnapshot

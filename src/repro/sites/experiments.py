@@ -24,7 +24,6 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from ..core.policies import NoRescheduling, RescheduleSuspendedAndWaiting
-from ..core.selectors import LowestUtilizationSelector
 from ..metrics.summary import PerformanceSummary, summarize
 from ..schedulers.initial import RoundRobinScheduler
 from ..simulator.config import SimulationConfig

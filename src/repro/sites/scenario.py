@@ -11,7 +11,6 @@ rescheduling experiments the paper's conclusion proposes.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Tuple
 
 from ..errors import ConfigurationError
 from ..workload.arrivals import BurstProcess

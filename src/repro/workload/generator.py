@@ -26,14 +26,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..errors import ConfigurationError
 from .arrivals import BurstProcess, BurstWindow, PoissonProcess
 from .distributions import (
     BoundedPareto,
     Categorical,
-    LogNormal,
     Mixture,
     RandomStreams,
     Sampler,

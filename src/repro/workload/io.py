@@ -12,7 +12,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Union
 
 from ..errors import ClusterError, TraceError
 from .cluster import ClusterSpec, MachineSpec, PoolSpec

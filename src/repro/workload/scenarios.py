@@ -28,7 +28,7 @@ average utilization around 40% and a NoRes suspend rate on the order of
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
+from typing import Tuple
 
 from ..errors import ConfigurationError
 from .arrivals import BurstProcess, DiurnalPoissonProcess

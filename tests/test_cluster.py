@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ClusterError
-from repro.workload.cluster import ClusterSpec, ClusterTemplate, MachineSpec, PoolSpec
+from repro.workload.cluster import ClusterSpec, ClusterTemplate, PoolSpec
 from repro.workload.distributions import RandomStreams
 
 from conftest import make_cluster, make_machine, make_pool

@@ -11,7 +11,6 @@ from repro.core.policies import (
     DuplicateSuspended,
     NoRescheduling,
     RescheduleSuspended,
-    RescheduleSuspendedAndWaiting,
     RescheduleWaitingOnly,
     no_res,
     policy_from_name,

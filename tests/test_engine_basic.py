@@ -5,9 +5,7 @@ All clusters here use speed_factor 1.0 so completion times are exact.
 
 import pytest
 
-import repro
 from repro.errors import SimulationError, UnschedulableJobError
-from repro.simulator.config import SimulationConfig
 from repro.simulator.engine import SimulationEngine
 from repro.workload.cluster import ClusterSpec, PoolSpec
 

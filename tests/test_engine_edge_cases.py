@@ -9,11 +9,10 @@ from repro.core.overheads import RestartOverhead
 from repro.core.policies import RescheduleSuspendedAndWaiting
 from repro.core.selectors import LowestUtilizationSelector
 from repro.errors import SimulationError
-from repro.simulator.config import SimulationConfig
 from repro.simulator.engine import SimulationEngine
-from repro.workload.cluster import ClusterSpec, PoolSpec
+from repro.workload.cluster import ClusterSpec
 
-from conftest import make_cluster, make_job, make_machine, make_pool, make_trace, run_tiny
+from conftest import make_cluster, make_job, make_pool, make_trace, run_tiny
 
 
 class TestMultipleVpms:

@@ -6,7 +6,6 @@ Cluster layout used throughout: two single-machine pools ``p0``/``p1``
 exact.
 """
 
-import pytest
 
 import repro
 from repro.core.overheads import RestartOverhead
@@ -18,10 +17,9 @@ from repro.core.policies import (
 from repro.core.selectors import LowestUtilizationSelector
 from repro.core.policy import ReschedulingPolicy
 from repro.core.decisions import STAY, restart
-from repro.simulator.job import JobState
 from repro.workload.cluster import ClusterSpec
 
-from conftest import make_cluster, make_job, make_pool, run_tiny
+from conftest import make_job, make_pool, run_tiny
 
 
 def two_pools(cores=1):

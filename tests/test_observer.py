@@ -1,6 +1,5 @@
 """Tests for the event-observation API (ASCA-style event logs)."""
 
-import pytest
 
 import repro
 from repro.simulator.observer import (

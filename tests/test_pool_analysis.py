@@ -2,13 +2,10 @@
 
 import pytest
 
-import repro
 from repro.analysis.pools import analyze_pools
 from repro.errors import ConfigurationError
 from repro.simulator.results import SimulationResult, StateSample
-from repro.workload.cluster import ClusterSpec
 
-from conftest import make_job, make_pool, run_tiny
 
 
 def sample(minute, busy_by_pool, waiting_by_pool=None, total=8):

@@ -9,7 +9,7 @@ from repro.metrics.cdf import EmpiricalCDF
 from repro.simulator.events import EVENT_SUBMIT, EventQueue
 from repro.simulator.job import Job
 from repro.simulator.queues import PriorityWaitQueue
-from repro.workload.distributions import BoundedPareto, LogNormal, Mixture, quantile
+from repro.workload.distributions import BoundedPareto, LogNormal, quantile
 from repro.workload.trace import Trace
 
 from conftest import make_cluster, make_job, run_tiny

@@ -1,6 +1,5 @@
 """Additional property-based tests covering the extension subsystems."""
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

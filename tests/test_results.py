@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.context import StaticSystemView, PoolSnapshot
+from repro.core.context import StaticSystemView
 from repro.schedulers.initial import RoundRobinScheduler
 from repro.simulator.job import Job
 from repro.simulator.pool import PhysicalPool, SubmitOutcome

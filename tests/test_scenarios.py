@@ -1,6 +1,5 @@
 """Unit tests for repro.workload.scenarios."""
 
-import pytest
 
 from repro.workload.scenarios import (
     DEFAULT_WAIT_THRESHOLD,

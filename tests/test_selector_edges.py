@@ -3,7 +3,6 @@
 import subprocess
 import sys
 
-import pytest
 
 from repro.core.context import PoolSnapshot, StaticSystemView
 from repro.core.selectors import (

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.context import PoolSnapshot, StaticSystemView
 from repro.core.overheads import RestartOverhead
-from repro.core.selectors import LowestUtilizationSelector
 from repro.errors import ClusterError, ConfigurationError
 from repro.sites import (
     InterSiteOverhead,

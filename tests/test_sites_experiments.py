@@ -2,7 +2,6 @@
 
 import pytest
 
-import repro
 from repro.sites import inter_site_ablation, multi_site_scenario
 from repro.simulator.engine import SimulationEngine
 

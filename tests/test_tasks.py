@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.tasks import TaskAnalysis, analyze_tasks
+from repro.analysis.tasks import analyze_tasks
 from repro.errors import ConfigurationError
 from repro.simulator.results import JobRecord, SimulationResult
 
