@@ -1,4 +1,4 @@
-"""CI smoke gate: the two invariants the execution backend promises.
+"""CI smoke gate: the invariants the execution backend promises.
 
 1. **Parallel == serial.** Table 1 run on a 2-process pool must be
    bit-identical to the serial run — per-cell seeds derive from cell
@@ -6,6 +6,9 @@
 2. **Warm cache >= 5x cold.** A second invocation against a populated
    result cache must be at least 5x faster than the cold run (measured
    ~14x at smoke scale; 5 leaves generous headroom for noisy CI boxes).
+3. **Telemetry is read-only.** The same simulation with a metrics
+   registry and profiler attached must return a bit-identical result,
+   while the registry actually fills with event counts.
 
 CI runs this file at ``REPRO_SCALE=0.08`` (see ``scripts/ci.sh smoke``)
 so the whole gate finishes in seconds; it holds at any scale.
@@ -15,7 +18,10 @@ from __future__ import annotations
 
 import time
 
-from repro.experiments import tables
+import repro
+from repro.experiments import presets, tables
+from repro.telemetry import Instrumentation, MetricsRegistry, to_prometheus
+from repro.workload.scenarios import busy_week
 
 from conftest import banner, run_once
 
@@ -57,3 +63,26 @@ def test_cached_rerun_is_faster(benchmark, tmp_path):
 
     # a third (still warm) pass feeds the benchmark table
     run_once(benchmark, tables.table1, workers=1, cache_dir=tmp_path)
+
+
+def test_telemetry_is_read_only(benchmark):
+    scenario = busy_week(presets.table_scale(), presets.seed())
+    plain = repro.simulate(scenario, "ResSusUtil")
+    registry = MetricsRegistry()
+    observed = run_once(
+        benchmark,
+        repro.simulate,
+        scenario,
+        "ResSusUtil",
+        instrumentation=Instrumentation(metrics=registry, profile=True),
+    )
+    assert observed.records == plain.records, (
+        "telemetry perturbed the simulation — records diverged"
+    )
+    assert observed.samples == plain.samples
+    events = registry.get("repro_sim_events_total")
+    total = sum(child.value for _, child in events.series())
+    print(banner("CI smoke: telemetry on vs off"))
+    print(f"records: {len(plain.records)}, events counted: {total:.0f}")
+    assert total > 0, "metrics registry stayed empty"
+    assert "repro_sim_events_total" in to_prometheus(registry)

@@ -21,6 +21,7 @@ import repro
 from repro.analysis import analyze_tasks
 from repro.simulator import EventLog
 from repro.simulator.config import SimulationConfig
+from repro.telemetry import Instrumentation
 
 
 def main() -> None:
@@ -38,7 +39,9 @@ def main() -> None:
             scenario.cluster,
             policy=policy,
             config=SimulationConfig(
-                strict=False, record_samples=False, observer=log
+                strict=False,
+                record_samples=False,
+                instrumentation=Instrumentation(observers=(log,)),
             ),
         )
         analyses[policy.name] = analyze_tasks(result)

@@ -9,7 +9,10 @@
 #   lint    ruff over src/ tests/ benchmarks/ (skipped with a notice
 #           when ruff is not installed, unless $CI is set)
 #   smoke   benchmarks/bench_ci_smoke.py at reduced scale: asserts
-#           parallel == serial bit-for-bit and warm cache >= 5x cold
+#           parallel == serial bit-for-bit, warm cache >= 5x cold, and
+#           telemetry-on == telemetry-off; then drives the CLI with
+#           --telemetry-dir and checks the exported snapshot parses
+#           with nonzero event counters
 #   all     tests + lint + smoke (default)
 
 set -euo pipefail
@@ -38,6 +41,38 @@ run_smoke() {
     echo "== CI smoke: serial-vs-parallel equivalence + cache speedup =="
     REPRO_SCALE="${REPRO_SCALE:-0.08}" \
         python -m pytest benchmarks/bench_ci_smoke.py -q -s
+
+    echo "== CI smoke: CLI telemetry export =="
+    local teldir
+    teldir="$(mktemp -d)"
+    trap 'rm -rf "$teldir"' RETURN
+    # same reduced-scale run with and without --telemetry-dir; the
+    # printed summary (everything but the final "wrote ..." line) must
+    # be identical, proving telemetry never touches the simulation.
+    python -m repro run --scenario smoke --policy ResSusUtil \
+        --telemetry-dir "$teldir/metrics" | grep -v '^wrote ' > "$teldir/on.txt"
+    python -m repro run --scenario smoke --policy ResSusUtil > "$teldir/off.txt"
+    if ! diff -u "$teldir/off.txt" "$teldir/on.txt"; then
+        echo "error: simulation output changed when telemetry was enabled" >&2
+        exit 1
+    fi
+    TELDIR="$teldir/metrics" python - <<'EOF'
+import os
+from repro.telemetry import load_telemetry_dir, parse_prometheus
+
+teldir = os.environ["TELDIR"]
+stats = load_telemetry_dir(teldir)
+events = stats.by_name("repro_sim_events_total")
+assert events, "snapshot is missing repro_sim_events_total"
+total = sum(s["value"] for s in events)
+assert total > 0, "event counters are all zero"
+with open(os.path.join(teldir, "metrics.prom"), encoding="utf-8") as handle:
+    samples = parse_prometheus(handle.read())
+assert samples, "prometheus export did not parse"
+print(f"telemetry snapshot OK: {total:.0f} events across {len(events)} counters")
+EOF
+    python -m repro stats "$teldir/metrics" > /dev/null
+    echo "CLI telemetry export OK"
 }
 
 case "${1:-all}" in

@@ -19,16 +19,24 @@ Quickstart::
     import repro
 
     scenario = repro.busy_week(scale=0.1)
-    baseline = repro.run_simulation(scenario.trace, scenario.cluster)
-    rescheduled = repro.run_simulation(
-        scenario.trace, scenario.cluster, policy=repro.res_sus_util()
-    )
+    baseline = repro.simulate(scenario)
+    rescheduled = repro.simulate(scenario, "ResSusUtil")
     print(repro.render_table([
         repro.summarize(baseline), repro.summarize(rescheduled)
     ]))
+
+To observe a run, attach typed instrumentation (see
+:mod:`repro.telemetry` and ``docs/observability.md``)::
+
+    registry = repro.MetricsRegistry()
+    repro.simulate(
+        scenario, "ResSusUtil",
+        instrumentation=repro.Instrumentation(metrics=registry),
+    )
 """
 
 from ._version import __version__
+from .api import run_experiment, simulate
 from .core import (
     DEFAULT_WAIT_THRESHOLD,
     NO_OVERHEAD,
@@ -82,6 +90,7 @@ from .schedulers import (
     UtilizationBasedScheduler,
     initial_scheduler_from_name,
 )
+from .experiments.runner import ExperimentCell, ExperimentRunner
 from .simulator import (
     JobRecord,
     SimulationConfig,
@@ -89,6 +98,11 @@ from .simulator import (
     SimulationResult,
     StateSample,
     run_simulation,
+)
+from .telemetry import (
+    Instrumentation,
+    MetricsRegistry,
+    ProgressReporter,
 )
 from .workload import (
     ClusterSpec,
@@ -109,6 +123,16 @@ from .workload import (
 
 __all__ = [
     "__version__",
+    # facade
+    "simulate",
+    "run_experiment",
+    # experiments
+    "ExperimentCell",
+    "ExperimentRunner",
+    # telemetry
+    "Instrumentation",
+    "MetricsRegistry",
+    "ProgressReporter",
     # core
     "DEFAULT_WAIT_THRESHOLD",
     "NO_OVERHEAD",

@@ -86,6 +86,7 @@ def compare_strategies(
     n_workers: int = 1,
     cache=None,
     keep_results: bool = False,
+    progress: Optional[Callable] = None,
 ) -> StrategyComparison:
     """Run every policy on the scenario and summarise each run.
 
@@ -106,6 +107,9 @@ def compare_strategies(
         keep_results: also keep (and cache) each run's full
             :class:`~repro.simulator.results.SimulationResult`,
             reachable through ``comparison.cells``.
+        progress: optional per-cell completion callback (e.g. a
+            :class:`~repro.telemetry.ProgressReporter`), forwarded to
+            the execution backend.
     """
     # Imported here: repro.analysis must stay importable without pulling
     # the experiments package in at module-import time (and vice versa).
@@ -125,7 +129,9 @@ def compare_strategies(
         )
         for index, policy in enumerate(policies)
     ]
-    outcomes = execute_cells(tasks, n_workers=n_workers, cache=cache)
+    outcomes = execute_cells(
+        tasks, n_workers=n_workers, cache=cache, progress=progress
+    )
     return StrategyComparison(
         scenario_name=scenario.name,
         summaries=tuple(outcome.summary for outcome in outcomes),

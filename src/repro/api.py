@@ -1,0 +1,175 @@
+"""The stable top-level facade.
+
+Two functions cover the two things users do with this package — run
+one simulation, run a grid of them — with scenario-first signatures
+and optional typed instrumentation::
+
+    import repro
+    from repro.telemetry import Instrumentation, MetricsRegistry
+
+    scenario = repro.busy_week(scale=0.1)
+    registry = MetricsRegistry()
+    result = repro.simulate(
+        scenario,
+        "ResSusUtil",
+        instrumentation=Instrumentation(metrics=registry),
+    )
+
+Both are re-exported from :mod:`repro`; the lower-level
+:func:`~repro.simulator.simulation.run_simulation` (trace + cluster
+signature) and :class:`~repro.experiments.runner.ExperimentRunner`
+remain available for callers that need the extra control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Optional, Sequence, Union
+
+from .core.policies import policy_from_name
+from .core.policy import ReschedulingPolicy
+from .errors import ConfigurationError
+from .experiments.runner import ExperimentCell, ExperimentRunner
+from .schedulers.initial import InitialScheduler, initial_scheduler_from_name
+from .simulator.config import SimulationConfig
+from .simulator.engine import SimulationEngine
+from .simulator.results import SimulationResult
+from .telemetry.instrumentation import Instrumentation
+from .workload.scenarios import Scenario
+
+__all__ = ["simulate", "run_experiment"]
+
+
+def _resolve_policy(
+    policy: Union[ReschedulingPolicy, str, None], scenario: Scenario
+) -> Optional[ReschedulingPolicy]:
+    if isinstance(policy, str):
+        return policy_from_name(policy, wait_threshold=scenario.wait_threshold)
+    return policy
+
+
+def _resolve_scheduler(
+    scheduler: Union[InitialScheduler, str, None],
+) -> Optional[InitialScheduler]:
+    if isinstance(scheduler, str):
+        return initial_scheduler_from_name(scheduler)
+    return scheduler
+
+
+def simulate(
+    scenario: Scenario,
+    policy: Union[ReschedulingPolicy, str, None] = None,
+    *,
+    initial_scheduler: Union[InitialScheduler, str, None] = None,
+    config: Optional[SimulationConfig] = None,
+    instrumentation: Optional[Instrumentation] = None,
+) -> SimulationResult:
+    """Simulate one scenario under one policy.
+
+    Args:
+        scenario: a :class:`~repro.workload.scenarios.Scenario` (e.g.
+            from :func:`repro.busy_week` or :func:`repro.smoke`).
+        policy: a rescheduling policy instance, one of the paper's
+            policy names (e.g. ``"ResSusUtil"`` — string thresholds
+            use the scenario's ``wait_threshold``), or ``None`` for the
+            *NoRes* baseline.
+        initial_scheduler: VPM initial scheduler instance or CLI name;
+            defaults to NetBatch's round-robin.
+        config: engine knobs; defaults to
+            ``SimulationConfig(strict=False)`` (rejections recorded,
+            not raised), the setting every experiment in this
+            repository uses.
+        instrumentation: optional typed
+            :class:`~repro.telemetry.Instrumentation`.  When given it
+            *replaces* the config's instrumentation (the common case is
+            a default config).  Telemetry is strictly read-only — the
+            returned result is bit-identical with or without it.
+
+    Returns:
+        The :class:`~repro.simulator.results.SimulationResult`.
+    """
+    config = config or SimulationConfig(strict=False)
+    if instrumentation is not None:
+        if config.instrumentation.enabled:
+            raise ConfigurationError(
+                "pass instrumentation either via the config or via the "
+                "instrumentation keyword, not both"
+            )
+        config = replace(config, instrumentation=instrumentation)
+    engine = SimulationEngine(
+        scenario.trace,
+        scenario.cluster,
+        policy=_resolve_policy(policy, scenario),
+        initial_scheduler=_resolve_scheduler(initial_scheduler),
+        config=config,
+    )
+    return engine.run()
+
+
+def run_experiment(
+    scenarios: Union[Scenario, Sequence[Scenario]],
+    policies: Sequence[Union[Callable[[], ReschedulingPolicy], str]],
+    *,
+    scheduler_factories: Optional[Sequence[Callable[[], InitialScheduler]]] = None,
+    config: Optional[SimulationConfig] = None,
+    n_workers: int = 1,
+    cache_dir: Optional[object] = None,
+    use_cache: Optional[bool] = None,
+    keep_results: bool = False,
+    progress: Optional[Callable] = None,
+) -> List[ExperimentCell]:
+    """Run a (scenario x policy x scheduler) grid and return its cells.
+
+    A convenience wrapper over
+    :class:`~repro.experiments.runner.ExperimentRunner` that also
+    accepts policy *names*: each string entry becomes a factory built
+    with the first scenario's ``wait_threshold``.
+
+    Args:
+        scenarios: one scenario or a sequence of them.
+        policies: policy factories (zero-arg callables) and/or paper
+            policy names.
+        scheduler_factories: initial-scheduler factories; defaults to
+            round-robin only.
+        config: simulation config shared by every cell.
+        n_workers: worker processes; 1 runs serially (results are
+            bit-identical either way).
+        cache_dir: on-disk result cache directory (``$REPRO_CACHE_DIR``
+            when unset); ``None`` with no override disables caching.
+        use_cache: force caching on/off regardless of ``cache_dir``.
+        keep_results: retain each cell's full simulation result.
+        progress: optional callable invoked with each completed
+            :class:`~repro.experiments.parallel.CellOutcome` (e.g. a
+            :class:`~repro.telemetry.ProgressReporter`).
+
+    Returns:
+        One :class:`~repro.experiments.runner.ExperimentCell` per run.
+    """
+    if isinstance(scenarios, Scenario):
+        scenarios = [scenarios]
+    if not scenarios:
+        raise ConfigurationError("run_experiment needs at least one scenario")
+    wait_threshold = scenarios[0].wait_threshold
+
+    def _named_factory(name: str) -> Callable[[], ReschedulingPolicy]:
+        def factory() -> ReschedulingPolicy:
+            return policy_from_name(name, wait_threshold=wait_threshold)
+
+        factory.__name__ = name
+        return factory
+
+    policy_factories = [
+        _named_factory(entry) if isinstance(entry, str) else entry
+        for entry in policies
+    ]
+    runner = ExperimentRunner(
+        config=config,
+        keep_results=keep_results,
+        n_workers=n_workers,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        progress=progress,
+    )
+    return runner.run_grid(
+        scenarios, policy_factories, scheduler_factories=scheduler_factories
+    )

@@ -6,16 +6,21 @@ Usage (installed as ``repro``, or ``python -m repro``)::
     repro table all               # all five tables + high-suspension
     repro figure 2                # reproduce paper Figure 2
     repro run --policy ResSusUtil --scenario high-load --scale 0.1
+    repro run --scenario smoke --telemetry-dir out/telemetry --profile
+    repro stats out/telemetry     # render the telemetry snapshot
     repro generate-trace out.jsonl --scenario busy-week --scale 0.1
     repro analyze-trace out.jsonl
-    repro table all --workers 4 --cache-dir ~/.cache/repro
+    repro table all --workers 4 --cache-dir ~/.cache/repro --progress
 
 All experiment commands honour ``--scale`` and ``--seed`` (and the
 ``REPRO_SCALE`` / ``REPRO_SEED`` environment variables).  The ``table``
 and ``figure`` commands additionally honour ``--workers`` (process-pool
 fan-out; results are bit-identical to serial runs), ``--cache-dir``
 (content-addressed on-disk result cache; defaults to
-``REPRO_CACHE_DIR``) and ``--no-cache``; see ``docs/performance.md``.
+``REPRO_CACHE_DIR``), ``--no-cache``, ``--progress`` (per-cell
+heartbeat on stderr) and ``--telemetry-dir`` (per-cell execution
+telemetry as ``cells.jsonl``); see ``docs/performance.md`` and
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -98,7 +103,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--events", default=None, metavar="PATH",
         help="write the simulation's event log to this JSONL file",
     )
+    run.add_argument(
+        "--telemetry-dir", default=None, metavar="DIR",
+        help="collect engine metrics and export them into DIR "
+        "(metrics.prom + metrics.jsonl; render with 'repro stats DIR')",
+    )
+    run.add_argument(
+        "--profile", action="store_true",
+        help="time each engine event handler and print the profile",
+    )
     _add_scale_seed(run)
+
+    stats = sub.add_parser(
+        "stats", help="render a telemetry directory written by --telemetry-dir"
+    )
+    stats.add_argument(
+        "directory",
+        help="directory holding metrics.jsonl / metrics.prom / cells.jsonl",
+    )
 
     gen = sub.add_parser("generate-trace", help="write a scenario's trace to JSONL")
     gen.add_argument("output", help="output path (.jsonl)")
@@ -150,14 +172,70 @@ def _add_execution_opts(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="bypass the result cache even when a cache directory is configured",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a per-cell heartbeat (done/total, ETA, cache hits) to stderr",
+    )
+    parser.add_argument(
+        "--telemetry-dir",
+        default=None,
+        metavar="DIR",
+        help="write per-cell execution telemetry (cells.jsonl) into DIR",
+    )
 
 
-def _execution_kwargs(args: argparse.Namespace) -> dict:
+class _CellFeed:
+    """Per-cell callback for the experiment backend.
+
+    Collects every completed cell (for ``cells.jsonl``) and forwards to
+    an optional :class:`~repro.telemetry.ProgressReporter` heartbeat.
+    """
+
+    def __init__(self, reporter=None) -> None:
+        self.cells: list = []
+        self._reporter = reporter
+
+    def add_total(self, count: int) -> None:
+        if self._reporter is not None:
+            self._reporter.add_total(count)
+
+    def __call__(self, outcome) -> None:
+        self.cells.append(outcome)
+        if self._reporter is not None:
+            self._reporter(outcome)
+
+
+def _make_cell_feed(args: argparse.Namespace) -> Optional[_CellFeed]:
+    """A :class:`_CellFeed` when --progress / --telemetry-dir ask for one."""
+    if not (args.progress or args.telemetry_dir):
+        return None
+    reporter = None
+    if args.progress:
+        from .telemetry import ProgressReporter
+
+        reporter = ProgressReporter()
+    return _CellFeed(reporter)
+
+
+def _write_cell_telemetry(feed: Optional[_CellFeed], args: argparse.Namespace) -> None:
+    if feed is None or not args.telemetry_dir:
+        return
+    from .telemetry import write_cells_jsonl
+
+    path = write_cells_jsonl(feed.cells, args.telemetry_dir)
+    print(f"wrote {len(feed.cells)} cell records to {path}")
+
+
+def _execution_kwargs(
+    args: argparse.Namespace, progress: Optional[Callable] = None
+) -> dict:
     """The workers/cache kwargs every experiment entry point accepts."""
     return {
         "workers": args.workers,
         "cache_dir": args.cache_dir,
         "use_cache": False if args.no_cache else None,
+        "progress": progress,
     }
 
 
@@ -181,18 +259,23 @@ def _print_cell_stats(cells) -> None:
 
 def _cmd_table(args: argparse.Namespace) -> int:
     names = list(_TABLES) if args.which == "all" else [args.which]
+    feed = _make_cell_feed(args)
     for name in names:
         build, title = _TABLES[name]
-        comparison = build(scale=args.scale, seed=args.seed, **_execution_kwargs(args))
+        comparison = build(
+            scale=args.scale, seed=args.seed, **_execution_kwargs(args, feed)
+        )
         print(render_table(list(comparison.summaries), title))
         _print_cell_stats(comparison.cells)
         print()
+    _write_cell_telemetry(feed, args)
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     svg_document = None
-    execution = _execution_kwargs(args)
+    feed = _make_cell_feed(args)
+    execution = _execution_kwargs(args, feed)
     if args.which == "2":
         figure = figures.figure2(
             scale=args.scale, seed=args.seed, horizon=args.horizon, **execution
@@ -223,6 +306,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
         write_svg(svg_document, args.svg)
         print(f"wrote {args.svg}")
+    _write_cell_telemetry(feed, args)
     return 0
 
 
@@ -237,27 +321,52 @@ def _build_scenario(args: argparse.Namespace):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from .simulator.engine import SimulationEngine
+    from .telemetry import Instrumentation, MetricsRegistry, write_telemetry_dir
+
     scenario = _build_scenario(args)
     policy = policy_from_name(args.policy, args.wait_threshold)
     scheduler = initial_scheduler_from_name(args.initial_scheduler)
     observer = None
+    observers = ()
     if args.events:
         from .simulator.observer import JsonlEventWriter
 
         observer = JsonlEventWriter(args.events)
-    result = run_simulation(
+        observers = (observer,)
+    registry = MetricsRegistry() if args.telemetry_dir else None
+    instrumentation = Instrumentation(
+        observers=observers, metrics=registry, profile=args.profile
+    )
+    engine = SimulationEngine(
         scenario.trace,
         scenario.cluster,
         policy=policy,
         initial_scheduler=scheduler,
-        config=SimulationConfig(strict=False, observer=observer),
+        config=SimulationConfig(strict=False, instrumentation=instrumentation),
     )
+    result = engine.run()
     summary = summarize(result)
     print(render_table([summary], f"scenario={scenario.name} ({len(scenario.trace)} jobs)"))
     print()
     print(render_waste_components([summary]))
     if observer is not None:
         print(f"\nwrote {observer.written} events to {args.events}")
+    if args.profile:
+        report = engine.profile_report()
+        if report is not None:
+            print()
+            print(report.render())
+    if registry is not None:
+        prom, jsonl = write_telemetry_dir(registry, args.telemetry_dir)
+        print(f"wrote {prom} and {jsonl} (render with 'repro stats {args.telemetry_dir}')")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .telemetry import load_telemetry_dir, render_stats
+
+    print(render_stats(load_telemetry_dir(args.directory)))
     return 0
 
 
@@ -335,6 +444,7 @@ _COMMANDS = {
     "table": _cmd_table,
     "figure": _cmd_figure,
     "run": _cmd_run,
+    "stats": _cmd_stats,
     "generate-trace": _cmd_generate_trace,
     "analyze-trace": _cmd_analyze_trace,
     "validate": _cmd_validate,

@@ -188,12 +188,17 @@ def _scheduler_fingerprint(scheduler) -> Dict[str, Any]:
 
 def _config_fingerprint(config) -> Optional[Dict[str, Any]]:
     """Fingerprint of a SimulationConfig; ``None`` = not cacheable."""
-    if config.observer is not None:
-        return None  # observers stream events out: caching would silence them
+    instrumentation = getattr(config, "instrumentation", None)
+    if config.observer is not None or (
+        instrumentation is not None and instrumentation.enabled
+    ):
+        # Observers and metrics registries consume a live event stream;
+        # a cache hit would silently swallow it.
+        return None
     fields = {
         f.name: _canonical(getattr(config, f.name))
         for f in dataclasses.fields(config)
-        if f.name != "observer"
+        if f.name not in ("observer", "instrumentation")
     }
     return fields
 
@@ -202,8 +207,8 @@ def cell_cache_key(scenario, policy, scheduler, config) -> Optional[str]:
     """Content-addressed key for one (scenario, policy, scheduler) cell.
 
     Returns ``None`` when the cell must not be cached (currently: the
-    config carries an observer, whose event stream a cache hit would
-    silently swallow).
+    config carries live instrumentation — observers or a metrics
+    registry — whose event stream a cache hit would silently swallow).
     """
     config_fp = _config_fingerprint(config)
     if config_fp is None:

@@ -18,7 +18,7 @@ configuration pays the simulation, later ones only unpickle.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from ..analysis.suspension import SuspensionAnalysis, analyze_suspension, suspension_time_cdf
 from ..analysis.utilization import UtilizationAnalysis, analyze_utilization
@@ -41,7 +41,7 @@ __all__ = [
 ]
 
 
-def _run_figure_cells(scenario, policies, workers, cache_dir, use_cache):
+def _run_figure_cells(scenario, policies, workers, cache_dir, use_cache, progress=None):
     """Run one figure's simulations through the shared backend.
 
     Returns the full simulation results, in ``policies`` order.
@@ -61,6 +61,7 @@ def _run_figure_cells(scenario, policies, workers, cache_dir, use_cache):
         tasks,
         n_workers=workers if workers is not None else presets.workers(),
         cache=open_cache(cache_dir, use_cache),
+        progress=progress,
     )
     return [outcome.result for outcome in outcomes]
 
@@ -90,6 +91,7 @@ def figure2(
     workers: Optional[int] = None,
     cache_dir=None,
     use_cache: Optional[bool] = None,
+    progress: Optional[Callable] = None,
 ) -> Figure2:
     """Figure 2: suspension-time CDF from a long-horizon NoRes run."""
     scenario = year(
@@ -97,7 +99,9 @@ def figure2(
         seed=seed or presets.seed(),
         horizon=horizon or presets.year_horizon(),
     )
-    (result,) = _run_figure_cells(scenario, [no_res()], workers, cache_dir, use_cache)
+    (result,) = _run_figure_cells(
+        scenario, [no_res()], workers, cache_dir, use_cache, progress
+    )
     cdf = suspension_time_cdf(result)
     return Figure2(
         analysis=analyze_suspension(result),
@@ -111,6 +115,7 @@ def figure3(
     workers: Optional[int] = None,
     cache_dir=None,
     use_cache: Optional[bool] = None,
+    progress: Optional[Callable] = None,
 ) -> WasteFigure:
     """Figure 3: waste decomposition under normal load (busy week, RR).
 
@@ -124,6 +129,7 @@ def figure3(
         workers,
         cache_dir,
         use_cache,
+        progress,
     )
     return waste_decomposition(results)
 
@@ -171,6 +177,7 @@ def figure4(
     workers: Optional[int] = None,
     cache_dir=None,
     use_cache: Optional[bool] = None,
+    progress: Optional[Callable] = None,
 ) -> Figure4:
     """Figure 4: utilization & suspension over a long-horizon NoRes run.
 
@@ -184,7 +191,9 @@ def figure4(
         seed=seed or presets.seed(),
         horizon=resolved_horizon,
     )
-    (result,) = _run_figure_cells(scenario, [no_res()], workers, cache_dir, use_cache)
+    (result,) = _run_figure_cells(
+        scenario, [no_res()], workers, cache_dir, use_cache, progress
+    )
     return Figure4(
         analysis=analyze_utilization(
             result, window_minutes, up_to_minute=resolved_horizon

@@ -27,9 +27,9 @@ from __future__ import annotations
 
 import pickle
 import time
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError, ExperimentExecutionError
 from ..metrics.summary import PerformanceSummary, summarize
@@ -182,6 +182,7 @@ def execute_cells(
     n_workers: int = 1,
     cache: Optional[ResultCache] = None,
     timeout: Optional[float] = None,
+    progress: Optional[Callable[[CellOutcome], None]] = None,
 ) -> List[CellOutcome]:
     """Execute a batch of cells and return outcomes in grid order.
 
@@ -192,6 +193,12 @@ def execute_cells(
         cache: optional result cache consulted before any simulation and
             updated after every fresh one.
         timeout: optional overall wait bound for the parallel pool.
+        progress: optional callable invoked with each
+            :class:`CellOutcome` as it completes — cache hits included,
+            parallel cells as their futures resolve (completion order,
+            not grid order).  If it has an ``add_total(count)`` method,
+            that is called first with this batch's size (so reporters
+            can show done/total across multiple batches).
 
     Raises:
         ExperimentExecutionError: when any cell fails; carries every
@@ -200,19 +207,30 @@ def execute_cells(
     """
     if n_workers < 1:
         raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    if progress is not None:
+        add_total = getattr(progress, "add_total", None)
+        if add_total is not None:
+            add_total(len(tasks))
     outcomes: Dict[int, CellOutcome] = {}
     pending: List[CellTask] = []
+
+    def record(outcome: CellOutcome) -> None:
+        outcomes[outcome.index] = outcome
+        if progress is not None:
+            progress(outcome)
 
     for task in tasks:
         entry = cache.get(task.cache_key) if cache and task.cache_key else None
         if entry is not None and (not task.keep_result or entry.get("result") is not None):
             load_wall = entry.get("wall_seconds", 0.0)
-            outcomes[task.index] = _outcome(
-                task,
-                entry["summary"],
-                entry.get("result") if task.keep_result else None,
-                load_wall,
-                from_cache=True,
+            record(
+                _outcome(
+                    task,
+                    entry["summary"],
+                    entry.get("result") if task.keep_result else None,
+                    load_wall,
+                    from_cache=True,
+                )
             )
             continue
         if entry is not None:
@@ -228,7 +246,7 @@ def execute_cells(
                 task.cache_key,
                 {"summary": summary, "result": result, "wall_seconds": wall},
             )
-        outcomes[task.index] = _outcome(task, summary, result, wall, from_cache=False)
+        record(_outcome(task, summary, result, wall, from_cache=False))
 
     if n_workers == 1 or len(pending) <= 1:
         for task in pending:
@@ -245,30 +263,32 @@ def execute_cells(
     if poolable:
         with ProcessPoolExecutor(max_workers=min(n_workers, len(poolable))) as pool:
             future_tasks = {pool.submit(_simulate_task, t): t for t in poolable}
-            done, not_done = wait(
-                future_tasks, timeout=timeout, return_when=FIRST_EXCEPTION
-            )
-            failed = None
-            for future in done:
-                task = future_tasks[future]
-                exc = future.exception()
-                if exc is not None:
-                    failed = (task, exc)
-                    continue
-                _, summary, result, wall = future.result()
-                finish(task, summary, result, wall)
-            if failed is not None or not_done:
-                for future in not_done:
-                    future.cancel()
-                if failed is not None:
-                    task, exc = failed
-                    raise _cell_error(task, exc, list(outcomes.values())) from exc
-                stuck = next(iter(not_done))
+            remaining = set(future_tasks)
+            try:
+                # as_completed (rather than a single wait()) surfaces
+                # each cell to the progress callback as soon as its
+                # future resolves, instead of in one burst at the end.
+                for future in as_completed(future_tasks, timeout=timeout):
+                    remaining.discard(future)
+                    task = future_tasks[future]
+                    exc = future.exception()
+                    if exc is not None:
+                        for unfinished in remaining:
+                            unfinished.cancel()
+                        raise _cell_error(
+                            task, exc, list(outcomes.values())
+                        ) from exc
+                    _, summary, result, wall = future.result()
+                    finish(task, summary, result, wall)
+            except TimeoutError:
+                for unfinished in remaining:
+                    unfinished.cancel()
+                stuck = next(iter(remaining))
                 raise _cell_error(
                     future_tasks[stuck],
                     TimeoutError(f"cell did not finish within {timeout}s"),
                     list(outcomes.values()),
-                )
+                ) from None
 
     # pickling-hostile cells run serially in this process, after the
     # pool batch so a pool failure cannot lose their results.

@@ -91,6 +91,10 @@ class ExperimentRunner:
             environment override) disables caching.
         use_cache: force caching on/off regardless of ``cache_dir``
             resolution; ``use_cache=False`` never touches the disk.
+        progress: optional callable invoked with each completed
+            :class:`~repro.experiments.parallel.CellOutcome` (cache
+            hits included) as the grid executes — e.g. a
+            :class:`~repro.telemetry.ProgressReporter` heartbeat.
     """
 
     def __init__(
@@ -100,6 +104,7 @@ class ExperimentRunner:
         n_workers: int = 1,
         cache_dir: Optional[object] = None,
         use_cache: Optional[bool] = None,
+        progress: Optional[Callable] = None,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
@@ -107,6 +112,7 @@ class ExperimentRunner:
         self._keep_results = keep_results
         self._n_workers = n_workers
         self._cache = open_cache(cache_dir, use_cache)
+        self._progress = progress
 
     @property
     def cache(self) -> Optional[ResultCache]:
@@ -142,6 +148,22 @@ class ExperimentRunner:
             raise ConfigurationError("run_grid needs at least one policy factory")
         scheduler_factories = scheduler_factories or [RoundRobinScheduler]
 
+        # Register the whole grid with the reporter here (the serial
+        # path below executes cell-by-cell, which would otherwise feed
+        # add_total one cell at a time and ruin the ETA); the callback
+        # handed to the backend deliberately hides add_total.
+        progress = self._progress
+        notify = None
+        if progress is not None:
+            add_total = getattr(progress, "add_total", None)
+            if add_total is not None:
+                add_total(
+                    len(scenarios) * len(scheduler_factories) * len(policy_factories)
+                )
+
+            def notify(outcome) -> None:
+                progress(outcome)
+
         serial = self._n_workers == 1
         cells: List[ExperimentCell] = []
         tasks = []
@@ -170,17 +192,29 @@ class ExperimentRunner:
                     )
                     index += 1
                     if serial:
-                        cells.extend(self._execute([task], n_workers=1, done=cells))
+                        cells.extend(
+                            self._execute(
+                                [task], n_workers=1, done=cells, progress=notify
+                            )
+                        )
                     else:
                         tasks.append(task)
         if tasks:
-            cells.extend(self._execute(tasks, n_workers=self._n_workers, done=cells))
+            cells.extend(
+                self._execute(
+                    tasks, n_workers=self._n_workers, done=cells, progress=notify
+                )
+            )
         return cells
 
-    def _execute(self, tasks, n_workers: int, done: Sequence[ExperimentCell]):
+    def _execute(
+        self, tasks, n_workers: int, done: Sequence[ExperimentCell], progress=None
+    ):
         """Run tasks via the shared backend, mapping outcomes to cells."""
         try:
-            outcomes = execute_cells(tasks, n_workers=n_workers, cache=self._cache)
+            outcomes = execute_cells(
+                tasks, n_workers=n_workers, cache=self._cache, progress=progress
+            )
         except ExperimentExecutionError as exc:
             raise ExperimentExecutionError(
                 exc.scenario_name,

@@ -66,6 +66,7 @@ def _run(
     workers: Optional[int] = None,
     cache_dir=None,
     use_cache: Optional[bool] = None,
+    progress: Optional[Callable] = None,
 ) -> StrategyComparison:
     """Shared execution path for all tables.
 
@@ -82,6 +83,7 @@ def _run(
         config=config or SimulationConfig(strict=False),
         n_workers=workers if workers is not None else presets.workers(),
         cache=open_cache(cache_dir, use_cache),
+        progress=progress,
     )
 
 
@@ -92,10 +94,14 @@ def table1(
     workers: Optional[int] = None,
     cache_dir=None,
     use_cache: Optional[bool] = None,
+    progress: Optional[Callable] = None,
 ) -> StrategyComparison:
     """Table 1: rescheduling of suspended jobs under normal load (RR initial)."""
     scenario = busy_week(scale or presets.table_scale(), seed or presets.seed())
-    return _run(scenario, _SUSPENDED_ONLY, RoundRobinScheduler, config, workers, cache_dir, use_cache)
+    return _run(
+        scenario, _SUSPENDED_ONLY, RoundRobinScheduler, config,
+        workers, cache_dir, use_cache, progress,
+    )
 
 
 def table2(
@@ -105,10 +111,14 @@ def table2(
     workers: Optional[int] = None,
     cache_dir=None,
     use_cache: Optional[bool] = None,
+    progress: Optional[Callable] = None,
 ) -> StrategyComparison:
     """Table 2: the same strategies under high load (cores halved)."""
     scenario = high_load(scale or presets.table_scale(), seed or presets.seed())
-    return _run(scenario, _SUSPENDED_ONLY, RoundRobinScheduler, config, workers, cache_dir, use_cache)
+    return _run(
+        scenario, _SUSPENDED_ONLY, RoundRobinScheduler, config,
+        workers, cache_dir, use_cache, progress,
+    )
 
 
 def table3(
@@ -118,10 +128,14 @@ def table3(
     workers: Optional[int] = None,
     cache_dir=None,
     use_cache: Optional[bool] = None,
+    progress: Optional[Callable] = None,
 ) -> StrategyComparison:
     """Table 3: high load with the utilization-based initial scheduler."""
     scenario = high_load(scale or presets.table_scale(), seed or presets.seed())
-    return _run(scenario, _SUSPENDED_ONLY, UtilizationBasedScheduler, config, workers, cache_dir, use_cache)
+    return _run(
+        scenario, _SUSPENDED_ONLY, UtilizationBasedScheduler, config,
+        workers, cache_dir, use_cache, progress,
+    )
 
 
 def table4(
@@ -131,10 +145,14 @@ def table4(
     workers: Optional[int] = None,
     cache_dir=None,
     use_cache: Optional[bool] = None,
+    progress: Optional[Callable] = None,
 ) -> StrategyComparison:
     """Table 4: waiting-job + suspended-job rescheduling, RR initial, high load."""
     scenario = high_load(scale or presets.table_scale(), seed or presets.seed())
-    return _run(scenario, _WITH_WAITING, RoundRobinScheduler, config, workers, cache_dir, use_cache)
+    return _run(
+        scenario, _WITH_WAITING, RoundRobinScheduler, config,
+        workers, cache_dir, use_cache, progress,
+    )
 
 
 def table5(
@@ -144,10 +162,14 @@ def table5(
     workers: Optional[int] = None,
     cache_dir=None,
     use_cache: Optional[bool] = None,
+    progress: Optional[Callable] = None,
 ) -> StrategyComparison:
     """Table 5: waiting-job + suspended-job rescheduling, util-based initial."""
     scenario = high_load(scale or presets.table_scale(), seed or presets.seed())
-    return _run(scenario, _WITH_WAITING, UtilizationBasedScheduler, config, workers, cache_dir, use_cache)
+    return _run(
+        scenario, _WITH_WAITING, UtilizationBasedScheduler, config,
+        workers, cache_dir, use_cache, progress,
+    )
 
 
 def high_suspension_experiment(
@@ -157,6 +179,7 @@ def high_suspension_experiment(
     workers: Optional[int] = None,
     cache_dir=None,
     use_cache: Optional[bool] = None,
+    progress: Optional[Callable] = None,
 ) -> StrategyComparison:
     """The in-text high-suspension experiment of Section 3.2.1.
 
@@ -165,7 +188,10 @@ def high_suspension_experiment(
     ResSusUtil; this runs {NoRes, ResSusUtil} on our heavy-burst trace.
     """
     scenario = high_suspension(scale or presets.table_scale(), seed or presets.seed())
-    return _run(scenario, (no_res, res_sus_util), RoundRobinScheduler, config, workers, cache_dir, use_cache)
+    return _run(
+        scenario, (no_res, res_sus_util), RoundRobinScheduler, config,
+        workers, cache_dir, use_cache, progress,
+    )
 
 
 def render(comparison: StrategyComparison, title: str = "") -> str:

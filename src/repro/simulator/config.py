@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.overheads import NO_OVERHEAD, RestartOverhead
 from ..errors import ConfigurationError
+from ..telemetry.instrumentation import NO_INSTRUMENTATION, Instrumentation
 
 __all__ = ["SimulationConfig"]
 
@@ -45,9 +47,22 @@ class SimulationConfig:
             memory in policy-search sweeps that only need job records).
         check_invariants: run deep state validation at every sample
             tick.  Very slow; meant for tests.
-        observer: optional :class:`~repro.simulator.observer.EventObserver`
-            receiving every simulation event (ASCA-style event log);
-            ``None`` disables event emission entirely.
+        instrumentation: the typed
+            :class:`~repro.telemetry.Instrumentation` aggregate — a
+            tuple of event observers that all receive every simulation
+            event, an optional
+            :class:`~repro.telemetry.MetricsRegistry` the engine
+            records metrics into, and a profiler switch.  Defaults to
+            the disabled :data:`~repro.telemetry.NO_INSTRUMENTATION`.
+            Telemetry is strictly read-only: enabling it never changes
+            a :class:`~repro.simulator.results.SimulationResult`.
+        observer: deprecated single-observer field, kept so existing
+            ``SimulationConfig(observer=...)`` call sites continue to
+            work.  A non-``None`` value raises a
+            :class:`DeprecationWarning` and is folded into
+            ``instrumentation.observers``; use
+            ``instrumentation=Instrumentation(observers=(obs,))``
+            instead.
     """
 
     sample_interval: float = 1.0
@@ -60,9 +75,30 @@ class SimulationConfig:
     max_minutes: Optional[float] = None
     record_samples: bool = True
     check_invariants: bool = False
+    instrumentation: Instrumentation = NO_INSTRUMENTATION
     observer: Optional[object] = None
 
     def __post_init__(self) -> None:
+        if not isinstance(self.instrumentation, Instrumentation):
+            raise ConfigurationError(
+                "instrumentation must be an Instrumentation instance, "
+                f"got {type(self.instrumentation).__name__}"
+            )
+        if self.observer is not None:
+            warnings.warn(
+                "SimulationConfig(observer=...) is deprecated; pass "
+                "instrumentation=Instrumentation(observers=(obs,)) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            # dataclasses.replace() re-runs __post_init__ on the already
+            # folded config, so only fold an observer we have not seen.
+            if self.observer not in self.instrumentation.observers:
+                object.__setattr__(
+                    self,
+                    "instrumentation",
+                    self.instrumentation.with_observer(self.observer),
+                )
         if self.sample_interval <= 0:
             raise ConfigurationError(
                 f"sample_interval must be > 0, got {self.sample_interval}"

@@ -22,6 +22,7 @@ import itertools
 import random
 from collections import deque
 from dataclasses import replace
+from time import perf_counter
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.context import PoolSnapshot, SystemView
@@ -36,12 +37,15 @@ from ..errors import (
 )
 from ..schedulers.eligibility import machine_eligible
 from ..schedulers.initial import InitialScheduler, RoundRobinScheduler
+from ..telemetry.hooks import EngineTelemetry
+from ..telemetry.profiler import EngineProfiler
 from ..workload.cluster import ClusterSpec
 from ..workload.distributions import RandomStreams
 from ..workload.trace import Trace, TraceJob
 from .config import SimulationConfig
 from .events import (
     EVENT_FINISH,
+    EVENT_NAMES,
     EVENT_POOL_ARRIVAL,
     EVENT_SAMPLE,
     EVENT_SUBMIT,
@@ -101,8 +105,20 @@ class SimulationEngine:
         self.config = config or SimulationConfig()
         self.policy = policy or NoRescheduling()
         self.scheduler = initial_scheduler or RoundRobinScheduler()
+        instrumentation = self.config.instrumentation
+        self._observers = instrumentation.observers
+        self._telemetry: Optional[EngineTelemetry] = (
+            EngineTelemetry(instrumentation.metrics, cluster.pool_ids)
+            if instrumentation.metrics is not None
+            else None
+        )
+        self._profiler: Optional[EngineProfiler] = (
+            EngineProfiler() if instrumentation.profile else None
+        )
+        self._emit_enabled = bool(self._observers) or self._telemetry is not None
         self.pools: Dict[str, PhysicalPool] = {
-            pool.pool_id: PhysicalPool(pool) for pool in cluster
+            pool.pool_id: PhysicalPool(pool, telemetry=self._telemetry)
+            for pool in cluster
         }
         self.pool_order: Tuple[str, ...] = cluster.pool_ids
         self.total_cores = cluster.total_cores
@@ -118,7 +134,6 @@ class SimulationEngine:
         self._outstanding = len(trace)
         self._eligibility_cache: Dict[Tuple[str, int, float], Tuple[str, ...]] = {}
         self._dup_partner: Dict[int, Job] = {}
-        self._observer = self.config.observer
         self._shadow_ids = itertools.count(
             (max((j.job_id for j in trace), default=0) + 1) if len(trace) else 1
         )
@@ -138,12 +153,27 @@ class SimulationEngine:
         """Current simulated time in minutes."""
         return self._events.now
 
+    def profile_report(self):
+        """The run's :class:`~repro.telemetry.ProfileReport`, or ``None``.
+
+        Available after :meth:`run` when the configuration enabled
+        ``instrumentation.profile``.
+        """
+        if self._profiler is None:
+            return None
+        return self._profiler.report()
+
     def run(self) -> SimulationResult:
         """Execute until every job completes; return the result."""
         if self._finished:
             raise SimulationError("engine instances are single-use; build a new one")
         max_minutes = self.config.max_minutes
         events = self._events
+        telemetry = self._telemetry
+        profiler = self._profiler
+        if profiler is not None:
+            profiler.start()
+        started_at = 0.0
         while len(events):
             time, _, kind, payload = events.pop()
             if max_minutes is not None and time > max_minutes:
@@ -151,6 +181,10 @@ class SimulationEngine:
                     f"simulation exceeded max_minutes={max_minutes} "
                     f"with {self._outstanding} jobs outstanding"
                 )
+            if telemetry is not None:
+                telemetry.count_queue_event(EVENT_NAMES[kind])
+            if profiler is not None:
+                started_at = perf_counter()
             if kind == EVENT_FINISH:
                 job, epoch = payload
                 self._on_finish(job, epoch, time)
@@ -166,13 +200,30 @@ class SimulationEngine:
                 self._on_pool_arrival(job, pool_id, time)
             else:  # pragma: no cover - event kinds are closed
                 raise SimulationError(f"unknown event kind {kind}")
+            if profiler is not None:
+                profiler.record(EVENT_NAMES[kind], perf_counter() - started_at)
+        if profiler is not None:
+            profiler.stop()
         if self._outstanding != 0:
             raise SimulationError(
                 f"event queue drained with {self._outstanding} jobs unfinished"
             )
         self._finished = True
-        if self._observer is not None:
-            self._observer.close()
+        if telemetry is not None:
+            telemetry.finalize(
+                self.now,
+                self._outstanding,
+                self.pool_order,
+                {
+                    pool_id: self.pools[pool_id].wait_queue.stats()
+                    for pool_id in self.pool_order
+                },
+                profiler=profiler,
+            )
+        for observer in self._observers:
+            close = getattr(observer, "close", None)
+            if close is not None:
+                close()
         return SimulationResult(
             records=self._records,
             samples=self._samples,
@@ -216,18 +267,28 @@ class SimulationEngine:
         pool_id: Optional[str] = None,
         detail: Optional[str] = None,
     ) -> None:
-        if job.is_shadow and detail is None:
-            detail = "shadow"
-        self._observer.on_event(
-            SimEvent(
+        """Fan one simulation event out to telemetry and all observers.
+
+        The enabled-check lives here (not at call sites) so emission
+        can never be accidentally skipped for one consumer; when
+        nothing is listening this returns before building the event.
+        """
+        if not self._emit_enabled:
+            return
+        if self._telemetry is not None:
+            self._telemetry.count_event(event)
+        if self._observers:
+            if job.is_shadow and detail is None:
+                detail = "shadow"
+            sim_event = SimEvent(
                 minute=now, event=event, job_id=job.job_id,
                 pool_id=pool_id, detail=detail,
             )
-        )
+            for observer in self._observers:
+                observer.on_event(sim_event)
 
     def _on_submit(self, job: Job, now: float) -> None:
-        if self._observer is not None:
-            self._emit(now, "submit", job)
+        self._emit(now, "submit", job)
         candidates = self.eligible_candidates(job.spec)
         vpm = self._vpms[job.job_id % len(self._vpms)]
         result, _ = vpm.submit(job, candidates, self.view, now)
@@ -239,8 +300,7 @@ class SimulationEngine:
         pool = self.pools[job.pool_id]
         finish_pool = job.pool_id
         machine = pool.finish_job(job, now)
-        if self._observer is not None:
-            self._emit(now, "finish", job, pool_id=finish_pool)
+        self._emit(now, "finish", job, pool_id=finish_pool)
         partner = self._dup_partner.pop(job.job_id, None)
         if partner is not None:
             self._dup_partner.pop(partner.job_id, None)
@@ -262,8 +322,7 @@ class SimulationEngine:
             return
         origin_id = job.pool_id
         self.pools[origin_id].remove_waiting(job, now)
-        if self._observer is not None:
-            self._emit(now, "dequeue", job, pool_id=origin_id)
+        self._emit(now, "dequeue", job, pool_id=origin_id)
         # A moved job may itself preempt lower-priority work at the
         # target pool; run those victims through the suspension hook.
         victims = self._move_to_pool(job, target, now, origin=origin_id)
@@ -317,6 +376,17 @@ class SimulationEngine:
                 per_pool_suspended=tuple(per_pool_suspended),
             )
         )
+        if self._telemetry is not None:
+            self._telemetry.on_sample(
+                now,
+                self._outstanding,
+                self.total_cores,
+                self.pool_order,
+                per_pool_busy,
+                [self.pools[pool_id].total_cores for pool_id in self.pool_order],
+                per_pool_waiting,
+                per_pool_suspended,
+            )
         if self.config.check_invariants:
             for pool in self.pools.values():
                 pool.check_invariants()
@@ -328,29 +398,25 @@ class SimulationEngine:
     def _after_placement(self, job: Job, result: SubmitResult, now: float) -> None:
         outcome = result.outcome
         if outcome is SubmitOutcome.STARTED:
-            if self._observer is not None:
-                self._emit(now, "start", job, pool_id=job.pool_id)
+            self._emit(now, "start", job, pool_id=job.pool_id)
             self._schedule_finish(job, now)
         elif outcome is SubmitOutcome.PREEMPTED:
-            if self._observer is not None:
-                self._emit(now, "start", job, pool_id=job.pool_id)
-                for victim in result.victims:
-                    self._emit(
-                        now, "suspend", victim, pool_id=victim.pool_id,
-                        detail=f"preempted-by={job.job_id}",
-                    )
+            self._emit(now, "start", job, pool_id=job.pool_id)
+            for victim in result.victims:
+                self._emit(
+                    now, "suspend", victim, pool_id=victim.pool_id,
+                    detail=f"preempted-by={job.job_id}",
+                )
             self._schedule_finish(job, now)
             self._process_victims(result.victims, now)
         elif outcome is SubmitOutcome.QUEUED:
-            if self._observer is not None:
-                self._emit(now, "queue", job, pool_id=job.pool_id)
+            self._emit(now, "queue", job, pool_id=job.pool_id)
             self._arm_wait_timer(job, now)
         elif outcome is SubmitOutcome.INELIGIBLE:
             if self.config.strict:
                 raise UnschedulableJobError(job.job_id)
             job.reject(now)
-            if self._observer is not None:
-                self._emit(now, "reject", job)
+            self._emit(now, "reject", job)
             self._record_rejection(job)
         else:  # pragma: no cover - outcomes are closed
             raise SimulationError(f"unknown submit outcome {outcome}")
@@ -391,11 +457,10 @@ class SimulationEngine:
                 origin_id = victim.pool_id
                 origin = self.pools[origin_id]
                 machine = origin.detach_suspended(victim, now)
-                if self._observer is not None:
-                    self._emit(
-                        now, "restart", victim, pool_id=target,
-                        detail=f"from={origin_id}",
-                    )
+                self._emit(
+                    now, "restart", victim, pool_id=target,
+                    detail=f"from={origin_id}",
+                )
                 self._fill(origin, machine, now)
                 new_victims = self._move_to_pool(victim, target, now, origin=origin_id)
             elif decision.action is Action.MIGRATE:
@@ -406,11 +471,10 @@ class SimulationEngine:
                 )
                 self._fill(origin, machine, now)
                 victim.dilate_remaining(self.config.migration_dilation)
-                if self._observer is not None:
-                    self._emit(
-                        now, "migrate", victim, pool_id=target,
-                        detail=f"from={origin_id}",
-                    )
+                self._emit(
+                    now, "migrate", victim, pool_id=target,
+                    detail=f"from={origin_id}",
+                )
                 new_victims = self._move_to_pool(
                     victim,
                     target,
@@ -425,11 +489,10 @@ class SimulationEngine:
                 if victim.is_shadow or victim.job_id in self._dup_partner:
                     continue
                 shadow = self._make_shadow(victim)
-                if self._observer is not None:
-                    self._emit(
-                        now, "duplicate", victim, pool_id=target,
-                        detail=f"shadow={shadow.job_id}",
-                    )
+                self._emit(
+                    now, "duplicate", victim, pool_id=target,
+                    detail=f"shadow={shadow.job_id}",
+                )
                 new_victims = self._move_to_pool(shadow, target, now)
             pending.extend(new_victims)
 
@@ -462,19 +525,17 @@ class SimulationEngine:
                 f"where it is statically ineligible"
             )
         if result.outcome is SubmitOutcome.QUEUED:
-            if self._observer is not None:
-                self._emit(now, "queue", job, pool_id=target)
+            self._emit(now, "queue", job, pool_id=target)
             self._arm_wait_timer(job, now)
         else:
-            if self._observer is not None:
-                self._emit(now, "start", job, pool_id=target)
-                if result.outcome is SubmitOutcome.PREEMPTED:
-                    for new_victim in result.victims:
-                        self._emit(
-                            now, "suspend", new_victim,
-                            pool_id=new_victim.pool_id,
-                            detail=f"preempted-by={job.job_id}",
-                        )
+            self._emit(now, "start", job, pool_id=target)
+            if result.outcome is SubmitOutcome.PREEMPTED:
+                for new_victim in result.victims:
+                    self._emit(
+                        now, "suspend", new_victim,
+                        pool_id=new_victim.pool_id,
+                        detail=f"preempted-by={job.job_id}",
+                    )
             self._schedule_finish(job, now)
         return result.victims
 
@@ -519,9 +580,9 @@ class SimulationEngine:
 
     def _fill(self, pool: PhysicalPool, machine: Machine, now: float) -> None:
         """Refill freed capacity and schedule completions for placed jobs."""
-        resumable_ids = set(machine.suspended) if self._observer is not None else ()
+        resumable_ids = set(machine.suspended) if self._emit_enabled else ()
         for placed in pool.fill_machine(machine, now):
-            if self._observer is not None:
+            if self._emit_enabled:
                 kind = "resume" if placed.job_id in resumable_ids else "start"
                 self._emit(now, kind, placed, pool_id=pool.pool_id)
             self._schedule_finish(placed, now)

@@ -62,9 +62,16 @@ class SubmitResult:
 
 
 class PhysicalPool:
-    """Runtime state and dispatch logic of one physical pool."""
+    """Runtime state and dispatch logic of one physical pool.
 
-    def __init__(self, spec: PoolSpec) -> None:
+    ``telemetry`` is an optional
+    :class:`~repro.telemetry.hooks.EngineTelemetry`; when present the
+    pool reports completed wait and suspension episodes to it.  The
+    hooks receive already-computed durations and cannot perturb the
+    simulation.
+    """
+
+    def __init__(self, spec: PoolSpec, telemetry=None) -> None:
         self.spec = spec
         self.machines: List[Machine] = [Machine(m) for m in spec.machines]
         self.wait_queue = PriorityWaitQueue()
@@ -74,6 +81,7 @@ class PhysicalPool:
         self.running_jobs = 0
         self._suspend_order: Dict[int, int] = {}
         self._suspend_counter = 0
+        self._telemetry = telemetry
 
     # -- statistics --------------------------------------------------------------
 
@@ -173,6 +181,10 @@ class PhysicalPool:
             if resumable is not None:
                 job = resumable
                 machine.resume(job)
+                if self._telemetry is not None:
+                    self._telemetry.observe_suspension(
+                        self.pool_id, now - job.segment_start
+                    )
                 job.resume(now)
                 del self.suspended[job.job_id]
                 self._suspend_order.pop(job.job_id, None)
@@ -232,6 +244,8 @@ class PhysicalPool:
         machine.remove(job)
         del self.suspended[job.job_id]
         self._suspend_order.pop(job.job_id, None)
+        if self._telemetry is not None:
+            self._telemetry.observe_suspension(self.pool_id, now - job.segment_start)
         if preserve_progress:
             job.checkpoint_detach(now)
         else:
@@ -253,6 +267,8 @@ class PhysicalPool:
     def remove_waiting(self, job: Job, now: float) -> None:
         """Take a job out of the wait queue (waiting-job rescheduling)."""
         self.wait_queue.remove(job)
+        if self._telemetry is not None:
+            self._telemetry.observe_wait(self.pool_id, now - job.segment_start)
         job.dequeue(now)
 
     def cancel_job(self, job: Job, now: float) -> Optional[Machine]:
@@ -274,10 +290,16 @@ class PhysicalPool:
             machine.remove(job)
             del self.suspended[job.job_id]
             self._suspend_order.pop(job.job_id, None)
+            if self._telemetry is not None:
+                self._telemetry.observe_suspension(
+                    self.pool_id, now - job.segment_start
+                )
             job.cancel(now)
             return machine
         if job.state is JobState.WAITING:
             self.wait_queue.remove(job)
+            if self._telemetry is not None:
+                self._telemetry.observe_wait(self.pool_id, now - job.segment_start)
             job.cancel(now)
             return None
         raise SchedulingError(
@@ -289,6 +311,8 @@ class PhysicalPool:
 
     def _start_on(self, job: Job, machine: Machine, now: float) -> None:
         machine.place(job)
+        if self._telemetry is not None and job.state is JobState.WAITING:
+            self._telemetry.observe_wait(self.pool_id, now - job.segment_start)
         job.start(machine, self.pool_id, now)
         self.busy_cores += job.spec.cores
         self.running_jobs += 1

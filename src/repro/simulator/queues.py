@@ -5,18 +5,37 @@ in priority order (higher priority first), FIFO within a priority
 level.  The queue supports the operation waiting-job rescheduling
 needs — removing a job from the middle — via lazy invalidation, so
 both push and pop stay O(log n).
+
+Membership is tracked by job *identity*, not just id: a stale heap
+entry for a removed job must not shadow a different ``Job`` object
+later pushed with the same id (re-pushes of the same id happen across
+wait episodes).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 from ..errors import SchedulingError
 from .job import Job
 
-__all__ = ["PriorityWaitQueue"]
+__all__ = ["PriorityWaitQueue", "QueueStats"]
+
+
+class QueueStats(NamedTuple):
+    """Lifetime statistics of one wait queue (telemetry only).
+
+    Attributes:
+        pushes: total insertions over the run.
+        peak_depth: high-water number of valid queued jobs.
+        compactions: lazy-removal heap rebuilds performed.
+    """
+
+    pushes: int
+    peak_depth: int
+    compactions: int
 
 
 class PriorityWaitQueue:
@@ -25,27 +44,34 @@ class PriorityWaitQueue:
     def __init__(self) -> None:
         self._heap: List[Tuple[int, int, Job]] = []
         self._counter = itertools.count()
-        self._members: set = set()  # job ids currently valid in the queue
+        # Job objects currently valid in the queue, keyed by id.
+        self._members: Dict[int, Job] = {}
+        self._pushes = 0
+        self._peak_depth = 0
+        self._compactions = 0
 
     def __len__(self) -> int:
         return len(self._members)
 
     def __contains__(self, job: Job) -> bool:
-        return job.job_id in self._members
+        return self._members.get(job.job_id) is job
 
     def push(self, job: Job) -> None:
         """Enqueue ``job`` (must not already be queued here)."""
         if job.job_id in self._members:
             raise SchedulingError(f"job {job.job_id} is already in this wait queue")
         heapq.heappush(self._heap, (-job.priority, next(self._counter), job))
-        self._members.add(job.job_id)
+        self._members[job.job_id] = job
+        self._pushes += 1
+        if len(self._members) > self._peak_depth:
+            self._peak_depth = len(self._members)
 
     def pop(self) -> Job:
         """Dequeue the highest-priority (oldest within level) job."""
         while self._heap:
             _, _, job = heapq.heappop(self._heap)
-            if job.job_id in self._members:
-                self._members.discard(job.job_id)
+            if self._members.get(job.job_id) is job:
+                del self._members[job.job_id]
                 return job
         raise SchedulingError("pop from an empty wait queue")
 
@@ -53,16 +79,16 @@ class PriorityWaitQueue:
         """The job :meth:`pop` would return, or ``None`` if empty."""
         while self._heap:
             _, _, job = self._heap[0]
-            if job.job_id in self._members:
+            if self._members.get(job.job_id) is job:
                 return job
             heapq.heappop(self._heap)
         return None
 
     def remove(self, job: Job) -> None:
         """Remove ``job`` from anywhere in the queue (lazy)."""
-        if job.job_id not in self._members:
+        if self._members.get(job.job_id) is not job:
             raise SchedulingError(f"job {job.job_id} is not in this wait queue")
-        self._members.discard(job.job_id)
+        del self._members[job.job_id]
         self._compact_if_stale()
 
     def best_match(self, predicate) -> Optional[Job]:
@@ -75,7 +101,7 @@ class PriorityWaitQueue:
         best_key: Optional[Tuple[int, int]] = None
         best_job: Optional[Job] = None
         for neg_priority, order, job in self._heap:
-            if job.job_id not in self._members:
+            if self._members.get(job.job_id) is not job:
                 continue
             key = (neg_priority, order)
             if (best_key is None or key < best_key) and predicate(job):
@@ -90,16 +116,27 @@ class PriorityWaitQueue:
         machine, and by tests.
         """
         for _, _, job in sorted(self._heap):
-            if job.job_id in self._members:
+            if self._members.get(job.job_id) is job:
                 yield job
+
+    def stats(self) -> QueueStats:
+        """Lifetime queue statistics for telemetry exports."""
+        return QueueStats(
+            pushes=self._pushes,
+            peak_depth=self._peak_depth,
+            compactions=self._compactions,
+        )
 
     def _compact_if_stale(self) -> None:
         """Rebuild the heap when more than half its entries are invalid."""
         if len(self._heap) > 16 and len(self._heap) > 2 * len(self._members):
             self._heap = [
-                entry for entry in self._heap if entry[2].job_id in self._members
+                entry
+                for entry in self._heap
+                if self._members.get(entry[2].job_id) is entry[2]
             ]
             heapq.heapify(self._heap)
+            self._compactions += 1
 
     def __repr__(self) -> str:
         return f"PriorityWaitQueue(len={len(self)})"

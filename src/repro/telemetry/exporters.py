@@ -1,0 +1,212 @@
+"""Serialising a :class:`MetricsRegistry` to disk, and reading it back.
+
+Two formats, chosen for the two consumers a scheduler deployment
+actually has:
+
+* **Prometheus text exposition** (``metrics.prom``) — the lingua
+  franca of monitoring stacks; a file a node exporter's textfile
+  collector (or a human) can pick up directly.
+* **JSONL snapshots** (``metrics.jsonl``) — one self-describing JSON
+  object per line (header line first, then one line per series), for
+  programmatic post-analysis and the ``repro stats`` renderer.
+
+Both exporters come with a matching reader used by the round-trip
+tests and ``repro stats``; the readers normalise into the same plain
+structure (:class:`SeriesValue` mappings), so a telemetry directory
+can be consumed regardless of which file survived.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from ..errors import ReproError
+from .registry import MetricsRegistry
+
+__all__ = [
+    "to_prometheus",
+    "write_prometheus",
+    "parse_prometheus",
+    "snapshot_lines",
+    "write_jsonl_snapshot",
+    "read_jsonl_snapshot",
+    "write_telemetry_dir",
+    "PROMETHEUS_FILENAME",
+    "JSONL_FILENAME",
+]
+
+PROMETHEUS_FILENAME = "metrics.prom"
+JSONL_FILENAME = "metrics.jsonl"
+
+#: Header line identifying a repro JSONL telemetry snapshot.
+_JSONL_HEADER = {"snapshot": "repro-telemetry", "version": 1}
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"' for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in registry.collect():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for label_values, child in family.series():
+            labels = dict(zip(family.labelnames, label_values))
+            if family.kind == "histogram":
+                for edge, cumulative in child.cumulative():
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_value(edge)
+                    lines.append(
+                        f"{family.name}_bucket{_labels_text(bucket_labels)} {cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_labels_text(labels)} {_format_value(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{_labels_text(labels)} {child.count}")
+            else:
+                lines.append(
+                    f"{family.name}{_labels_text(labels)} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
+    """Write :func:`to_prometheus` output to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_prometheus(registry), encoding="utf-8")
+    return path
+
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        name = text[i:eq].strip().lstrip(",").strip()
+        if text[eq + 1] != '"':
+            raise ReproError(f"malformed prometheus labels: {text!r}")
+        j = eq + 2
+        value_chars: List[str] = []
+        while j < len(text):
+            ch = text[j]
+            if ch == "\\" and j + 1 < len(text):
+                esc = text[j + 1]
+                value_chars.append({"n": "\n", '"': '"', "\\": "\\"}.get(esc, esc))
+                j += 2
+                continue
+            if ch == '"':
+                break
+            value_chars.append(ch)
+            j += 1
+        labels[name] = "".join(value_chars)
+        i = j + 1
+    return labels
+
+
+def parse_prometheus(text: str) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]:
+    """Parse Prometheus text back into ``{(name, sorted labels): value}``.
+
+    Covers the subset :func:`to_prometheus` emits (which is all this
+    repository needs); histogram bucket/sum/count samples appear under
+    their suffixed names exactly as exposed.
+    """
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name = line[: line.index("{")]
+            rest = line[line.index("{") + 1 :]
+            label_text = rest[: rest.rindex("}")]
+            value_text = rest[rest.rindex("}") + 1 :].strip()
+            labels = _parse_labels(label_text)
+        else:
+            name, value_text = line.split(None, 1)
+            labels = {}
+        value = float("inf") if value_text == "+Inf" else float(value_text)
+        samples[(name, tuple(sorted(labels.items())))] = value
+    return samples
+
+
+def snapshot_lines(registry: MetricsRegistry) -> List[dict]:
+    """The JSONL snapshot as a list of dicts (header first)."""
+    lines: List[dict] = [dict(_JSONL_HEADER)]
+    for family in registry.as_dict()["families"]:
+        for series in family["series"]:
+            record = {
+                "name": family["name"],
+                "type": family["type"],
+                "help": family["help"],
+                "labels": series["labels"],
+            }
+            if family["type"] == "histogram":
+                record["sum"] = series["sum"]
+                record["count"] = series["count"]
+                record["buckets"] = series["buckets"]
+            else:
+                record["value"] = series["value"]
+            lines.append(record)
+    return lines
+
+
+def write_jsonl_snapshot(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
+    """Write the registry as a JSONL snapshot; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in snapshot_lines(registry):
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def read_jsonl_snapshot(path: Union[str, Path]) -> List[dict]:
+    """Read a JSONL snapshot back as series dicts (header validated, dropped)."""
+    records: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if lineno == 0:
+                if record.get("snapshot") != _JSONL_HEADER["snapshot"]:
+                    raise ReproError(f"{path} is not a repro telemetry snapshot")
+                continue
+            records.append(record)
+    return records
+
+
+def write_telemetry_dir(
+    registry: MetricsRegistry, directory: Union[str, Path]
+) -> Tuple[Path, Path]:
+    """Export both formats into ``directory``; returns (prom, jsonl) paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    prom = write_prometheus(registry, directory / PROMETHEUS_FILENAME)
+    jsonl = write_jsonl_snapshot(registry, directory / JSONL_FILENAME)
+    return prom, jsonl

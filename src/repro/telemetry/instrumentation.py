@@ -1,0 +1,87 @@
+"""The typed instrumentation aggregate attached to a simulation.
+
+Historically the engine accepted a single untyped
+``SimulationConfig.observer: Optional[object]`` and every engine call
+site guarded emission with ``if self._observer is not None``.
+:class:`Instrumentation` replaces that: one immutable aggregate naming
+*everything* that watches a run —
+
+* ``observers`` — any number of event observers (objects with
+  ``on_event(SimEvent)`` / ``close()``, e.g.
+  :class:`~repro.simulator.observer.EventLog`), all receiving every
+  event in subscription order;
+* ``metrics`` — an optional
+  :class:`~repro.telemetry.registry.MetricsRegistry` the engine
+  records counters, gauges and histograms into;
+* ``profile`` — opt-in wall-clock profiling of the engine's event
+  handlers (see :mod:`repro.telemetry.profiler`).
+
+Instrumentation is strictly read-only: it never touches the simulation
+RNG and cannot change any :class:`~repro.simulator.results.SimulationResult`
+field.  The old ``observer=`` keyword keeps working through a
+deprecation shim in :class:`~repro.simulator.config.SimulationConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # avoid a runtime cycle with repro.simulator
+    from ..simulator.observer import EventObserver
+    from .registry import MetricsRegistry
+
+__all__ = ["Instrumentation", "NO_INSTRUMENTATION"]
+
+
+@dataclass(frozen=True)
+class Instrumentation:
+    """Everything observing one simulation run.
+
+    Attributes:
+        observers: event observers, each receiving every
+            :class:`~repro.simulator.observer.SimEvent` in simulated-time
+            order; fan-out preserves this tuple's order.
+        metrics: registry receiving the engine's quantitative telemetry
+            (per-event-type counters, per-pool gauges, duration
+            histograms); ``None`` disables metrics collection.
+        profile: when True, the engine wall-clock-profiles each event
+            handler branch and (if ``metrics`` is set) exports the
+            timings and events/sec into the registry.
+    """
+
+    observers: Tuple["EventObserver", ...] = ()
+    metrics: Optional["MetricsRegistry"] = None
+    profile: bool = False
+
+    def __post_init__(self) -> None:
+        observers = tuple(self.observers)
+        for obs in observers:
+            if not callable(getattr(obs, "on_event", None)):
+                raise ConfigurationError(
+                    f"observer {obs!r} has no callable on_event(event) method"
+                )
+        object.__setattr__(self, "observers", observers)
+        if self.metrics is not None and not hasattr(self.metrics, "collect"):
+            raise ConfigurationError(
+                f"metrics must be a MetricsRegistry-like object, got {self.metrics!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether attaching this instrumentation does anything at all."""
+        return bool(self.observers) or self.metrics is not None or self.profile
+
+    def with_observer(self, observer: "EventObserver") -> "Instrumentation":
+        """A copy with ``observer`` appended to the fan-out tuple."""
+        return Instrumentation(
+            observers=self.observers + (observer,),
+            metrics=self.metrics,
+            profile=self.profile,
+        )
+
+
+#: The inert default: no observers, no metrics, no profiling.
+NO_INSTRUMENTATION = Instrumentation()

@@ -25,6 +25,8 @@ from repro.experiments.cache import (
 )
 from repro.experiments.runner import ExperimentRunner
 from repro.simulator.config import SimulationConfig
+from repro.simulator.observer import EventLog
+from repro.telemetry import Instrumentation, MetricsRegistry
 
 FAST = SimulationConfig(strict=False, record_samples=False)
 
@@ -72,8 +74,23 @@ class TestCellKey:
         assert repro.__version__ in engine_salt()
 
     def test_observer_blocks_caching(self, smoke_scenario):
-        config = SimulationConfig(strict=False, observer=object())
+        with pytest.warns(DeprecationWarning):
+            config = SimulationConfig(strict=False, observer=EventLog())
         assert cell_cache_key(smoke_scenario, repro.no_res(), None, config) is None
+
+    def test_instrumentation_blocks_caching(self, smoke_scenario):
+        config = SimulationConfig(
+            strict=False, instrumentation=Instrumentation(metrics=MetricsRegistry())
+        )
+        assert cell_cache_key(smoke_scenario, repro.no_res(), None, config) is None
+
+    def test_disabled_instrumentation_keeps_key(self, smoke_scenario):
+        explicit = SimulationConfig(strict=False, instrumentation=Instrumentation())
+        assert cell_cache_key(
+            smoke_scenario, repro.no_res(), None, explicit
+        ) == cell_cache_key(
+            smoke_scenario, repro.no_res(), None, SimulationConfig(strict=False)
+        )
 
 
 class TestResultCacheIO:

@@ -75,3 +75,48 @@ class TestCliEvents:
         assert path.exists()
         first_line = path.read_text().splitlines()[0]
         assert '"event": "submit"' in first_line
+
+
+class TestCliTelemetry:
+    def test_run_telemetry_dir_and_stats(self, tmp_path, capsys):
+        teldir = tmp_path / "telemetry"
+        code = main(
+            [
+                "run", "--scenario", "smoke", "--policy", "ResSusUtil",
+                "--telemetry-dir", str(teldir), "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events/sec" in out  # the profile table printed
+        assert (teldir / "metrics.prom").exists()
+        assert (teldir / "metrics.jsonl").exists()
+
+        code = main(["stats", str(teldir)])
+        assert code == 0
+        rendered = capsys.readouterr().out
+        assert "event counters" in rendered
+        assert "per-pool gauges" in rendered
+        assert "submit" in rendered
+
+    def test_stats_missing_dir_fails_cleanly(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path / "nope")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_table_progress_and_cells(self, tmp_path, capsys):
+        teldir = tmp_path / "cells"
+        code = main(
+            [
+                "table", "1", "--scale", "0.05",
+                "--progress", "--telemetry-dir", str(teldir),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "cells" in captured.err  # heartbeat went to stderr
+        assert (teldir / "cells.jsonl").exists()
+
+        code = main(["stats", str(teldir)])
+        assert code == 0
+        assert "experiment cells" in capsys.readouterr().out

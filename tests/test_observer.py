@@ -9,6 +9,7 @@ from repro.simulator.observer import (
     SimEvent,
 )
 from repro.simulator.config import SimulationConfig
+from repro.telemetry import Instrumentation
 from repro.workload.cluster import ClusterSpec
 
 from conftest import make_cluster, make_job, make_pool, make_trace
@@ -20,7 +21,11 @@ def run_logged(jobs, cluster=None, policy=None, **config_kwargs):
         make_trace(jobs),
         cluster or make_cluster(),
         policy=policy,
-        config=SimulationConfig(strict=False, observer=log, **config_kwargs),
+        config=SimulationConfig(
+            strict=False,
+            instrumentation=Instrumentation(observers=(log,)),
+            **config_kwargs,
+        ),
     )
     return result, log
 
@@ -86,7 +91,9 @@ class TestEventEmission:
             smoke_scenario.cluster,
             policy=repro.res_sus_wait_util(),
             config=SimulationConfig(
-                strict=False, record_samples=False, observer=log
+                strict=False,
+                record_samples=False,
+                instrumentation=Instrumentation(observers=(log,)),
             ),
         )
         minutes = [e.minute for e in log.events]
@@ -112,7 +119,9 @@ class TestJsonlWriter:
         repro.run_simulation(
             make_trace([make_job(0, runtime=5.0)]),
             make_cluster(),
-            config=SimulationConfig(strict=False, observer=writer),
+            config=SimulationConfig(
+                strict=False, instrumentation=Instrumentation(observers=(writer,))
+            ),
         )
         assert writer.written >= 3
         events = JsonlEventWriter.read(path)

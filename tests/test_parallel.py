@@ -21,6 +21,7 @@ from repro.experiments.cache import derive_cell_seed
 from repro.experiments.parallel import execute_cells, make_cell_task
 from repro.experiments.runner import ExperimentRunner
 from repro.simulator.config import SimulationConfig
+from repro.simulator.observer import EventLog
 
 FAST = SimulationConfig(strict=False, record_samples=False)
 
@@ -187,6 +188,9 @@ class TestTaskConstruction:
         assert task.cell_id == "smoke#7|NoRes|RoundRobin"
 
     def test_observer_config_disables_caching(self, smoke_scenario):
-        config = SimulationConfig(strict=False, observer=object())
-        task = make_cell_task(0, smoke_scenario, repro.no_res(), None, config)
+        with pytest.warns(DeprecationWarning):
+            config = SimulationConfig(strict=False, observer=EventLog())
+        with pytest.warns(DeprecationWarning):
+            # the per-cell replace() re-runs __post_init__, re-warning
+            task = make_cell_task(0, smoke_scenario, repro.no_res(), None, config)
         assert task.cache_key is None

@@ -9,6 +9,7 @@ from repro.metrics.summary import summarize
 from repro.simulator.config import SimulationConfig
 from repro.simulator.observer import EventLog
 from repro.simulator.results import JobRecord, SimulationResult
+from repro.telemetry import Instrumentation
 from repro.sites import SiteSpec, SiteTopology
 from repro.workload.arrivals import DiurnalPoissonProcess
 
@@ -93,7 +94,10 @@ def test_event_sequences_follow_lifecycle_grammar(runtimes, priorities, policy_i
         make_cluster([("p0", 1), ("p1", 1)]),
         policy=policies[policy_index](),
         config=SimulationConfig(
-            strict=False, record_samples=False, observer=log, check_invariants=False
+            strict=False,
+            record_samples=False,
+            instrumentation=Instrumentation(observers=(log,)),
+            check_invariants=False,
         ),
     )
     for job in jobs:
