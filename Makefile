@@ -1,6 +1,6 @@
-.PHONY: ci test lint smoke bench
+.PHONY: ci test lint smoke faults bench
 
-# Everything CI runs, in one command (tests + lint + smoke).
+# Everything CI runs, in one command (tests + lint + smoke + faults).
 ci:
 	scripts/ci.sh all
 
@@ -12,6 +12,9 @@ lint:
 
 smoke:
 	scripts/ci.sh smoke
+
+faults:
+	scripts/ci.sh faults
 
 # Full reproduction log: every table/figure benchmark at current scale.
 bench:

@@ -13,7 +13,12 @@
 #           telemetry-on == telemetry-off; then drives the CLI with
 #           --telemetry-dir and checks the exported snapshot parses
 #           with nonzero event counters
-#   all     tests + lint + smoke (default)
+#   faults  benchmarks/bench_faults_smoke.py: same-seed fault run is
+#           byte-identical across runs, fault-enabled grids match
+#           serial vs parallel, and a grid survives a forced worker
+#           kill; then checks `repro run` with churn flags is
+#           byte-identical across two invocations
+#   all     tests + lint + smoke + faults (default)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -75,13 +80,37 @@ EOF
     echo "CLI telemetry export OK"
 }
 
+run_faults() {
+    echo "== CI faults: deterministic injection + crash-tolerant grids =="
+    python -m pytest benchmarks/bench_faults_smoke.py -q -s
+
+    echo "== CI faults: CLI fault run is reproducible =="
+    local fdir
+    fdir="$(mktemp -d)"
+    trap 'rm -rf "$fdir"' RETURN
+    python -m repro run --scenario smoke \
+        --machine-mtbf 3000 --machine-mttr 60 > "$fdir/a.txt"
+    python -m repro run --scenario smoke \
+        --machine-mtbf 3000 --machine-mttr 60 > "$fdir/b.txt"
+    if ! diff -u "$fdir/a.txt" "$fdir/b.txt"; then
+        echo "error: same-seed fault-injected CLI runs diverged" >&2
+        exit 1
+    fi
+    if ! grep -qi 'crash' "$fdir/a.txt"; then
+        echo "error: fault-injected run reported no crashes" >&2
+        exit 1
+    fi
+    echo "CLI fault run OK"
+}
+
 case "${1:-all}" in
-    tests) run_tests ;;
-    lint)  run_lint ;;
-    smoke) run_smoke ;;
-    all)   run_tests; run_lint; run_smoke ;;
+    tests)  run_tests ;;
+    lint)   run_lint ;;
+    smoke)  run_smoke ;;
+    faults) run_faults ;;
+    all)    run_tests; run_lint; run_smoke; run_faults ;;
     *)
-        echo "usage: scripts/ci.sh [tests|lint|smoke|all]" >&2
+        echo "usage: scripts/ci.sh [tests|lint|smoke|faults|all]" >&2
         exit 2
         ;;
 esac

@@ -90,7 +90,10 @@ from .schedulers import (
     UtilizationBasedScheduler,
     initial_scheduler_from_name,
 )
+from .experiments.checkpoint import GridCheckpoint
+from .experiments.fault_sweep import FaultSweep, fault_sweep
 from .experiments.runner import ExperimentCell, ExperimentRunner
+from .faults import NO_FAULTS, FaultConfig, FaultStats, MachineChurn, PoolOutage, RetryPolicy
 from .simulator import (
     JobRecord,
     SimulationConfig,
@@ -129,6 +132,16 @@ __all__ = [
     # experiments
     "ExperimentCell",
     "ExperimentRunner",
+    "GridCheckpoint",
+    "FaultSweep",
+    "fault_sweep",
+    # fault injection
+    "NO_FAULTS",
+    "FaultConfig",
+    "FaultStats",
+    "MachineChurn",
+    "PoolOutage",
+    "RetryPolicy",
     # telemetry
     "Instrumentation",
     "MetricsRegistry",

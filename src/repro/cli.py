@@ -7,6 +7,8 @@ Usage (installed as ``repro``, or ``python -m repro``)::
     repro figure 2                # reproduce paper Figure 2
     repro run --policy ResSusUtil --scenario high-load --scale 0.1
     repro run --scenario smoke --telemetry-dir out/telemetry --profile
+    repro run --policy ResSusUtil --machine-mtbf 4000 --machine-mttr 120
+    repro faults --mtbf 2000 --mtbf 8000    # churn sweep per policy
     repro stats out/telemetry     # render the telemetry snapshot
     repro generate-trace out.jsonl --scenario busy-week --scale 0.1
     repro analyze-trace out.jsonl
@@ -100,6 +102,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--wait-threshold", type=float, default=30.0)
     run.add_argument(
+        "--machine-mtbf", type=float, default=None, metavar="MIN",
+        help="inject machine churn with this mean time between failures (minutes)",
+    )
+    run.add_argument(
+        "--machine-mttr", type=float, default=120.0, metavar="MIN",
+        help="mean machine repair time for --machine-mtbf (minutes, default 120)",
+    )
+    run.add_argument(
+        "--job-failure-prob", type=float, default=0.0, metavar="P",
+        help="per-execution-segment transient job failure probability",
+    )
+    run.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="execution attempts before a transiently failing job gives up",
+    )
+    run.add_argument(
         "--events", default=None, metavar="PATH",
         help="write the simulation's event log to this JSONL file",
     )
@@ -113,6 +131,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="time each engine event handler and print the profile",
     )
     _add_scale_seed(run)
+
+    faults = sub.add_parser(
+        "faults",
+        help="fault-injection sweep: rescheduling policies under machine churn",
+    )
+    faults.add_argument(
+        "--mtbf", type=float, action="append", default=None, metavar="MIN",
+        help="machine MTBF in minutes (repeatable; default: REPRO_FAULT_MTBFS preset)",
+    )
+    faults.add_argument(
+        "--mttr", type=float, default=None, metavar="MIN",
+        help="mean machine repair time in minutes (default: REPRO_FAULT_MTTR preset)",
+    )
+    faults.add_argument(
+        "--job-failure-prob", type=float, default=0.0, metavar="P",
+        help="per-execution-segment transient job failure probability",
+    )
+    _add_scale_seed(faults)
 
     stats = sub.add_parser(
         "stats", help="render a telemetry directory written by --telemetry-dir"
@@ -185,6 +221,12 @@ def _add_execution_opts(parser: argparse.ArgumentParser) -> None:
     )
 
 
+#: Best-effort telemetry flushers run when the user hits Ctrl-C, so an
+#: interrupted sweep still leaves its partial cells.jsonl / metrics on
+#: disk.  Commands register a closure here and clear it on normal exit.
+_INTERRUPT_FLUSHERS: List[Callable[[], None]] = []
+
+
 class _CellFeed:
     """Per-cell callback for the experiment backend.
 
@@ -215,7 +257,10 @@ def _make_cell_feed(args: argparse.Namespace) -> Optional[_CellFeed]:
         from .telemetry import ProgressReporter
 
         reporter = ProgressReporter()
-    return _CellFeed(reporter)
+    feed = _CellFeed(reporter)
+    if args.telemetry_dir:
+        _INTERRUPT_FLUSHERS.append(lambda: _write_cell_telemetry(feed, args))
+    return feed
 
 
 def _write_cell_telemetry(feed: Optional[_CellFeed], args: argparse.Namespace) -> None:
@@ -321,6 +366,7 @@ def _build_scenario(args: argparse.Namespace):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from .faults import NO_FAULTS
     from .simulator.engine import SimulationEngine
     from .telemetry import Instrumentation, MetricsRegistry, write_telemetry_dir
 
@@ -338,18 +384,45 @@ def _cmd_run(args: argparse.Namespace) -> int:
     instrumentation = Instrumentation(
         observers=observers, metrics=registry, profile=args.profile
     )
+    faults = NO_FAULTS
+    if args.machine_mtbf is not None or args.job_failure_prob > 0.0:
+        from .faults import FaultConfig, MachineChurn, RetryPolicy
+        from .workload.distributions import Exponential
+
+        churn = (
+            MachineChurn(
+                mtbf=Exponential(args.machine_mtbf),
+                mttr=Exponential(args.machine_mttr),
+            )
+            if args.machine_mtbf is not None
+            else None
+        )
+        faults = FaultConfig(
+            machine_churn=churn,
+            job_failure_probability=args.job_failure_prob,
+            retry=RetryPolicy(max_attempts=args.max_attempts),
+        )
+    if registry is not None and args.telemetry_dir:
+        _INTERRUPT_FLUSHERS.append(
+            lambda: write_telemetry_dir(registry, args.telemetry_dir)
+        )
     engine = SimulationEngine(
         scenario.trace,
         scenario.cluster,
         policy=policy,
         initial_scheduler=scheduler,
-        config=SimulationConfig(strict=False, instrumentation=instrumentation),
+        config=SimulationConfig(
+            strict=False, instrumentation=instrumentation, faults=faults
+        ),
     )
     result = engine.run()
     summary = summarize(result)
     print(render_table([summary], f"scenario={scenario.name} ({len(scenario.trace)} jobs)"))
     print()
     print(render_waste_components([summary]))
+    if result.fault_stats is not None:
+        print()
+        print(result.fault_stats.render())
     if observer is not None:
         print(f"\nwrote {observer.written} events to {args.events}")
     if args.profile:
@@ -360,6 +433,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if registry is not None:
         prom, jsonl = write_telemetry_dir(registry, args.telemetry_dir)
         print(f"wrote {prom} and {jsonl} (render with 'repro stats {args.telemetry_dir}')")
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .experiments.fault_sweep import fault_sweep
+
+    sweep = fault_sweep(
+        mtbf_minutes=args.mtbf,
+        mttr_minutes=args.mttr,
+        scale=args.scale,
+        seed=args.seed,
+        job_failure_probability=args.job_failure_prob,
+    )
+    print(sweep.render())
     return 0
 
 
@@ -444,6 +531,7 @@ _COMMANDS = {
     "table": _cmd_table,
     "figure": _cmd_figure,
     "run": _cmd_run,
+    "faults": _cmd_faults,
     "stats": _cmd_stats,
     "generate-trace": _cmd_generate_trace,
     "analyze-trace": _cmd_analyze_trace,
@@ -455,11 +543,23 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    del _INTERRUPT_FLUSHERS[:]
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # Flush whatever telemetry the interrupted command had gathered
+        # (each write is atomic, so a second Ctrl-C can't corrupt it),
+        # then exit with the conventional 128+SIGINT code.
+        for flush in _INTERRUPT_FLUSHERS:
+            try:
+                flush()
+            except Exception:
+                pass
+        print("interrupted; partial telemetry flushed", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -15,8 +15,18 @@ from .ablations import (
     threshold_sweep,
 )
 from .cache import CacheStats, ResultCache, derive_cell_seed, open_cache
+from .checkpoint import GridCheckpoint
+from .fault_sweep import FaultSweep, FaultSweepCell, fault_sweep
 from .figures import Figure2, Figure4, figure2, figure3, figure4, render_figure3
-from .parallel import CellOutcome, CellTask, execute_cells, make_cell_task
+from .parallel import (
+    CellFailure,
+    CellOutcome,
+    CellTask,
+    GridReport,
+    execute_cells,
+    make_cell_task,
+    run_grid_parallel,
+)
 from .replication import MetricEstimate, ReplicatedComparison, replicate
 from .runner import ExperimentCell, ExperimentRunner
 from .tables import (
@@ -45,10 +55,17 @@ __all__ = [
     "ResultCache",
     "derive_cell_seed",
     "open_cache",
+    "GridCheckpoint",
+    "FaultSweep",
+    "FaultSweepCell",
+    "fault_sweep",
+    "CellFailure",
     "CellOutcome",
     "CellTask",
+    "GridReport",
     "execute_cells",
     "make_cell_task",
+    "run_grid_parallel",
     "MetricEstimate",
     "ReplicatedComparison",
     "replicate",

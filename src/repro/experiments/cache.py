@@ -47,6 +47,7 @@ from typing import Any, Dict, Optional
 
 from .._version import __version__
 from ..errors import CacheError
+from ..fsutil import atomic_write_bytes
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -195,10 +196,17 @@ def _config_fingerprint(config) -> Optional[Dict[str, Any]]:
         # Observers and metrics registries consume a live event stream;
         # a cache hit would silently swallow it.
         return None
+    skip = {"observer", "instrumentation"}
+    faults = getattr(config, "faults", None)
+    if faults is not None and not faults.enabled:
+        # A disabled fault model cannot influence the result; excluding
+        # it keeps cache keys bit-identical to builds without the fault
+        # subsystem (and to entries written by them).
+        skip.add("faults")
     fields = {
         f.name: _canonical(getattr(config, f.name))
         for f in dataclasses.fields(config)
-        if f.name not in ("observer", "instrumentation")
+        if f.name not in skip
     }
     return fields
 
@@ -342,13 +350,7 @@ class ResultCache:
         blob = _MAGIC + hashlib.sha256(payload).digest() + payload
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        try:
-            tmp.write_bytes(blob)
-            os.replace(tmp, path)
-        finally:
-            if tmp.exists():
-                tmp.unlink(missing_ok=True)
+        atomic_write_bytes(path, blob)
         self.stats.stores += 1
 
     def _decode(self, blob: bytes) -> Optional[Any]:

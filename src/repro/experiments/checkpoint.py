@@ -1,0 +1,94 @@
+"""Grid checkpoint/resume for long experiment sweeps.
+
+A :class:`GridCheckpoint` is a single self-verifying file that records
+every completed cell of one grid run.  If the run is killed — machine
+reboot, OOM, Ctrl-C — relaunching with the same checkpoint path picks
+up where it left off: completed cells are served from the file and only
+the remainder is simulated.
+
+The file sits *on top of* the content-addressed result cache, not in
+place of it: the cache is shared, keyed by content and may be disabled;
+the checkpoint belongs to one grid invocation and is consulted even
+when caching is off.  Entries carry the cell's cache key and are only
+served back when it still matches, so editing a config between launch
+and resume can never smuggle in stale results; cells that are not
+cacheable (live instrumentation) are not checkpointed either, for the
+same reason they are not cached.
+
+The envelope mirrors the result cache: a magic header, a SHA-256
+digest, and a pickled payload salted with the engine version.  A
+truncated, corrupted or version-mismatched file is indistinguishable
+from an empty one — resume degrades to recompute, never to wrong
+results.  All rewrites are atomic (:mod:`repro.fsutil`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..fsutil import atomic_write_bytes
+from .cache import engine_salt
+
+__all__ = ["GridCheckpoint"]
+
+_MAGIC = b"repro-checkpoint-v1\n"
+
+
+class GridCheckpoint:
+    """One grid run's completed-cell journal, resumable across processes."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._entries: Dict[str, Dict[str, Any]] = self._load()
+
+    def _load(self) -> Dict[str, Dict[str, Any]]:
+        try:
+            blob = self.path.read_bytes()
+        except OSError:
+            return {}
+        if not blob.startswith(_MAGIC):
+            return {}
+        body = blob[len(_MAGIC):]
+        digest, _, payload = body.partition(b"\n")
+        if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+            return {}  # truncated or corrupted write: start over
+        try:
+            decoded = pickle.loads(payload)
+        except Exception:
+            return {}
+        if decoded.get("salt") != engine_salt():
+            return {}  # a different engine version computed these cells
+        entries = decoded.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, cell_id: str, cache_key: Optional[str]) -> Optional[Dict[str, Any]]:
+        """The recorded payload for ``cell_id``, or ``None``.
+
+        Only served when the entry's cache key matches ``cache_key`` —
+        a changed scenario/policy/config invalidates the entry.
+        """
+        entry = self._entries.get(cell_id)
+        if entry is None or entry.get("cache_key") != cache_key:
+            return None
+        return entry
+
+    def put(self, cell_id: str, cache_key: str, payload: Dict[str, Any]) -> None:
+        """Record a completed cell and flush the file atomically."""
+        entry = dict(payload)
+        entry["cache_key"] = cache_key
+        self._entries[cell_id] = entry
+        body = pickle.dumps(
+            {"salt": engine_salt(), "entries": self._entries},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        digest = hashlib.sha256(body).hexdigest().encode("ascii")
+        atomic_write_bytes(self.path, _MAGIC + digest + b"\n" + body)
+
+    def __repr__(self) -> str:
+        return f"GridCheckpoint({self.path}, cells={len(self._entries)})"

@@ -10,11 +10,29 @@ owns that unit:
   deriving a spawn-key-style child seed from the cell's identity (see
   :func:`~repro.experiments.cache.derive_cell_seed`) so results are
   bit-identical no matter which worker runs the cell or in what order;
-* :func:`execute_cells` runs a batch of tasks — serially for
+* :func:`run_grid_parallel` executes a batch of tasks — serially for
   ``n_workers=1``, else on a :class:`~concurrent.futures.ProcessPoolExecutor`
   — consulting an optional
-  :class:`~repro.experiments.cache.ResultCache` first, and storing every
-  fresh computation back.
+  :class:`~repro.experiments.cache.ResultCache` and
+  :class:`~repro.experiments.checkpoint.GridCheckpoint` first, and
+  storing every fresh computation back to both.
+
+The grid runner is built to survive its own platform, the same way the
+simulated scheduler is expected to survive machine churn:
+
+* cells whose **worker process died** (``BrokenProcessPool``) are
+  retried with exponential backoff on a fresh pool; after repeated pool
+  breaks each remaining cell runs in its *own* single-worker pool, so a
+  persistently crashing cell is identified and only it fails;
+* an optional **cell timeout** bounds how long the pool may go without
+  completing a cell; stuck cells are recorded as timed out and the rest
+  of the grid continues on a fresh pool;
+* with **keep_going** the grid degrades gracefully: completed cells are
+  returned in a :class:`GridReport` alongside structured
+  :class:`CellFailure` entries (grid order) instead of the whole grid
+  being lost;
+* a **checkpoint** records every completed cell, so an interrupted grid
+  resumes without recomputing them.
 
 Tasks whose payload cannot be pickled (a user policy capturing a
 lambda, an open file, ...) transparently fall back to serial in-process
@@ -27,8 +45,14 @@ from __future__ import annotations
 
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, replace
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError, ExperimentExecutionError
@@ -37,8 +61,17 @@ from ..simulator.config import SimulationConfig
 from ..simulator.results import SimulationResult
 from ..simulator.simulation import run_simulation
 from .cache import ResultCache, cell_cache_key, derive_cell_seed
+from .checkpoint import GridCheckpoint
 
-__all__ = ["CellTask", "CellOutcome", "make_cell_task", "execute_cells"]
+__all__ = [
+    "CellTask",
+    "CellOutcome",
+    "CellFailure",
+    "GridReport",
+    "make_cell_task",
+    "execute_cells",
+    "run_grid_parallel",
+]
 
 
 @dataclass(frozen=True)
@@ -77,9 +110,9 @@ class CellOutcome:
     """The observable output of one executed (or cache-served) cell.
 
     ``wall_seconds`` is always the cell's *simulation* cost — for a
-    cache hit, the cost recorded when the entry was computed — so logs
-    can show how much time the cache saved; ``from_cache`` says whether
-    this invocation actually paid it.
+    cache or checkpoint hit, the cost recorded when the entry was
+    computed — so logs can show how much time was saved; ``from_cache``
+    / ``from_checkpoint`` say whether this invocation actually paid it.
     """
 
     index: int
@@ -91,6 +124,58 @@ class CellOutcome:
     wall_seconds: float
     from_cache: bool
     seed: int
+    from_checkpoint: bool = False
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Structured record of one cell that could not be completed.
+
+    Attributes:
+        index: the cell's grid position.
+        cell_id: the cell's stable identity.
+        scenario_name / policy_name / scheduler_name: the cell's naming,
+            mirrored from the task for report rendering.
+        error_type: exception class name (``"TimeoutError"``,
+            ``"BrokenProcessPool"``, ...).
+        message: the exception message.
+        attempts: how many executions were attempted.
+        error: the exception object itself.
+    """
+
+    index: int
+    cell_id: str
+    scenario_name: str
+    policy_name: str
+    scheduler_name: str
+    error_type: str
+    message: str
+    attempts: int
+    error: BaseException = field(repr=False)
+
+
+@dataclass(frozen=True)
+class GridReport:
+    """Everything :func:`run_grid_parallel` knows about one grid run.
+
+    ``outcomes`` is in grid order with ``None`` holes where cells
+    failed (only possible under ``keep_going``); ``failures`` holds the
+    corresponding :class:`CellFailure` entries, also in grid order, so
+    reports are stable across runs regardless of completion order.
+    """
+
+    outcomes: Tuple[Optional[CellOutcome], ...]
+    failures: Tuple[CellFailure, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every cell completed."""
+        return not self.failures
+
+    @property
+    def completed(self) -> Tuple[CellOutcome, ...]:
+        """The completed outcomes, grid order, holes removed."""
+        return tuple(o for o in self.outcomes if o is not None)
 
 
 def make_cell_task(
@@ -142,7 +227,14 @@ def _simulate_task(task: CellTask) -> Tuple[int, PerformanceSummary, Optional[Si
     return task.index, summary, result if task.keep_result else None, wall
 
 
-def _outcome(task: CellTask, summary, result, wall: float, from_cache: bool) -> CellOutcome:
+def _outcome(
+    task: CellTask,
+    summary,
+    result,
+    wall: float,
+    from_cache: bool,
+    from_checkpoint: bool = False,
+) -> CellOutcome:
     return CellOutcome(
         index=task.index,
         scenario_name=task.scenario.name,
@@ -153,6 +245,7 @@ def _outcome(task: CellTask, summary, result, wall: float, from_cache: bool) -> 
         wall_seconds=wall,
         from_cache=from_cache,
         seed=task.config.seed,
+        from_checkpoint=from_checkpoint,
     )
 
 
@@ -164,27 +257,38 @@ def _is_picklable(task: CellTask) -> bool:
         return False
 
 
+def _task_scheduler_name(task: CellTask) -> str:
+    return task.scheduler.name if task.scheduler is not None else "RoundRobin"
+
+
 def _cell_error(
     task: CellTask, exc: BaseException, completed: Sequence[CellOutcome]
 ) -> ExperimentExecutionError:
-    scheduler_name = task.scheduler.name if task.scheduler is not None else "RoundRobin"
     return ExperimentExecutionError(
         task.scenario.name,
         task.policy.name,
-        scheduler_name,
+        _task_scheduler_name(task),
         exc,
+        # Grid order, not completion order: error reports must be
+        # stable across runs however the pool interleaved the cells.
         completed_cells=tuple(sorted(completed, key=lambda o: o.index)),
     )
 
 
-def execute_cells(
+def run_grid_parallel(
     tasks: Sequence[CellTask],
+    *,
     n_workers: int = 1,
     cache: Optional[ResultCache] = None,
-    timeout: Optional[float] = None,
+    checkpoint: Optional[GridCheckpoint] = None,
+    cell_timeout: Optional[float] = None,
+    max_attempts: int = 3,
+    retry_backoff: float = 0.5,
+    keep_going: bool = False,
     progress: Optional[Callable[[CellOutcome], None]] = None,
-) -> List[CellOutcome]:
-    """Execute a batch of cells and return outcomes in grid order.
+    sleep: Callable[[float], None] = time.sleep,
+) -> GridReport:
+    """Execute a batch of cells, surviving worker crashes; return a report.
 
     Args:
         tasks: the cells, as built by :func:`make_cell_task`.
@@ -192,43 +296,86 @@ def execute_cells(
             in-process (no pool, no pickling).
         cache: optional result cache consulted before any simulation and
             updated after every fresh one.
-        timeout: optional overall wait bound for the parallel pool.
+        checkpoint: optional :class:`GridCheckpoint`; completed cells
+            are journalled there and an interrupted grid resumes from
+            it without recomputing them.  Cells that are not cacheable
+            (live instrumentation) are not checkpointed either.
+        cell_timeout: optional seconds the pool may go without
+            completing a single cell.  When it trips, currently running
+            cells are recorded as timed out (their worker processes are
+            abandoned, not killed) and not-yet-started cells continue
+            on a fresh pool.  In the per-cell isolation fallback (and
+            with ``n_workers`` >= outstanding cells) this is an exact
+            per-cell bound.  Timeouts are not retried.
+        max_attempts: total executions allowed per cell when its worker
+            process dies (``BrokenProcessPool``).  A pool break cannot
+            be attributed to one cell, so every cell that was in flight
+            is retried with backoff on a fresh pool; a cell reaching
+            its final attempt runs in an isolated single-worker pool so
+            a persistent crasher is identified and only it fails.
+            Deterministic simulation errors are never retried.
+        retry_backoff: base seconds slept after a pool break, doubling
+            per subsequent break.
+        keep_going: degrade gracefully — record a structured
+            :class:`CellFailure` per dead cell and keep executing the
+            rest of the grid, instead of raising at the first failure.
         progress: optional callable invoked with each
             :class:`CellOutcome` as it completes — cache hits included,
             parallel cells as their futures resolve (completion order,
             not grid order).  If it has an ``add_total(count)`` method,
-            that is called first with this batch's size (so reporters
-            can show done/total across multiple batches).
+            that is called first with this batch's size.
+        sleep: sleep function, injectable for tests.
 
     Raises:
-        ExperimentExecutionError: when any cell fails; carries every
-            cell completed before the failure.
-        ConfigurationError: for a non-positive ``n_workers``.
+        ExperimentExecutionError: without ``keep_going``, when any cell
+            fails; carries every completed cell, in grid order.
+        ConfigurationError: for invalid ``n_workers``/``max_attempts``/
+            ``retry_backoff``.
     """
     if n_workers < 1:
         raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    if max_attempts < 1:
+        raise ConfigurationError(f"max_attempts must be >= 1, got {max_attempts}")
+    if retry_backoff < 0:
+        raise ConfigurationError(f"retry_backoff must be >= 0, got {retry_backoff}")
     if progress is not None:
         add_total = getattr(progress, "add_total", None)
         if add_total is not None:
             add_total(len(tasks))
+
     outcomes: Dict[int, CellOutcome] = {}
-    pending: List[CellTask] = []
+    failures: Dict[int, CellFailure] = {}
 
     def record(outcome: CellOutcome) -> None:
         outcomes[outcome.index] = outcome
         if progress is not None:
             progress(outcome)
 
+    def fail(task: CellTask, exc: BaseException, attempts_used: int) -> None:
+        if not keep_going:
+            raise _cell_error(task, exc, list(outcomes.values())) from exc
+        failures[task.index] = CellFailure(
+            index=task.index,
+            cell_id=task.cell_id,
+            scenario_name=task.scenario.name,
+            policy_name=task.policy.name,
+            scheduler_name=_task_scheduler_name(task),
+            error_type=type(exc).__name__,
+            message=str(exc),
+            attempts=attempts_used,
+            error=exc,
+        )
+
+    pending: List[CellTask] = []
     for task in tasks:
         entry = cache.get(task.cache_key) if cache and task.cache_key else None
         if entry is not None and (not task.keep_result or entry.get("result") is not None):
-            load_wall = entry.get("wall_seconds", 0.0)
             record(
                 _outcome(
                     task,
                     entry["summary"],
                     entry.get("result") if task.keep_result else None,
-                    load_wall,
+                    entry.get("wall_seconds", 0.0),
                     from_cache=True,
                 )
             )
@@ -238,6 +385,22 @@ def execute_cells(
             # recompute (and overwrite below); keep the stats honest.
             cache.stats.hits -= 1
             cache.stats.misses += 1
+        if checkpoint is not None and task.cache_key:
+            saved = checkpoint.get(task.cell_id, task.cache_key)
+            if saved is not None and (
+                not task.keep_result or saved.get("result") is not None
+            ):
+                record(
+                    _outcome(
+                        task,
+                        saved["summary"],
+                        saved.get("result") if task.keep_result else None,
+                        saved.get("wall_seconds", 0.0),
+                        from_cache=False,
+                        from_checkpoint=True,
+                    )
+                )
+                continue
         pending.append(task)
 
     def finish(task: CellTask, summary, result, wall: float) -> None:
@@ -246,57 +409,205 @@ def execute_cells(
                 task.cache_key,
                 {"summary": summary, "result": result, "wall_seconds": wall},
             )
+        if checkpoint is not None and task.cache_key:
+            checkpoint.put(
+                task.cell_id,
+                task.cache_key,
+                {
+                    "summary": summary,
+                    "result": result if task.keep_result else None,
+                    "wall_seconds": wall,
+                },
+            )
         record(_outcome(task, summary, result, wall, from_cache=False))
 
-    if n_workers == 1 or len(pending) <= 1:
-        for task in pending:
+    def run_serial(serial_tasks: Sequence[CellTask]) -> None:
+        for task in serial_tasks:
             try:
                 _, summary, result, wall = _simulate_task(task)
             except Exception as exc:
-                raise _cell_error(task, exc, list(outcomes.values())) from exc
+                fail(task, exc, 1)
+                continue
             finish(task, summary, result, wall)
-        return [outcomes[t.index] for t in tasks]
+
+    def report() -> GridReport:
+        return GridReport(
+            outcomes=tuple(outcomes.get(t.index) for t in tasks),
+            failures=tuple(
+                failures[t.index] for t in tasks if t.index in failures
+            ),
+        )
+
+    if n_workers == 1 or len(pending) <= 1:
+        run_serial(pending)
+        return report()
 
     poolable = [t for t in pending if _is_picklable(t)]
     hostile = [t for t in pending if t.index not in {p.index for p in poolable}]
 
-    if poolable:
-        with ProcessPoolExecutor(max_workers=min(n_workers, len(poolable))) as pool:
-            future_tasks = {pool.submit(_simulate_task, t): t for t in poolable}
-            remaining = set(future_tasks)
+    attempts: Dict[int, int] = {t.index: 0 for t in poolable}
+    queue: List[CellTask] = list(poolable)
+    isolate = False
+    breaks = 0
+    while queue:
+        if isolate:
+            # Per-cell isolation: each remaining cell gets its own
+            # single-worker pool, so a crash (or timeout) is
+            # unambiguously this cell's.
+            task = queue.pop(0)
+            attempts[task.index] += 1
+            pool = ProcessPoolExecutor(max_workers=1)
+            future = pool.submit(_simulate_task, task)
             try:
-                # as_completed (rather than a single wait()) surfaces
-                # each cell to the progress callback as soon as its
-                # future resolves, instead of in one burst at the end.
-                for future in as_completed(future_tasks, timeout=timeout):
-                    remaining.discard(future)
+                _, summary, result, wall = future.result(timeout=cell_timeout)
+            except BrokenExecutor as exc:
+                pool.shutdown(wait=False, cancel_futures=True)
+                fail(task, exc, attempts[task.index])
+                continue
+            except FuturesTimeoutError:
+                pool.shutdown(wait=False, cancel_futures=True)
+                fail(
+                    task,
+                    TimeoutError(
+                        f"cell {task.cell_id} did not finish within {cell_timeout}s"
+                    ),
+                    attempts[task.index],
+                )
+                continue
+            except Exception as exc:
+                pool.shutdown(wait=False)
+                fail(task, exc, attempts[task.index])
+                continue
+            pool.shutdown(wait=False)
+            finish(task, summary, result, wall)
+            continue
+
+        batch = queue
+        queue = []
+        pool = ProcessPoolExecutor(max_workers=min(n_workers, len(batch)))
+        future_tasks: Dict[object, CellTask] = {}
+        broke: Optional[BaseException] = None
+        try:
+            try:
+                for t in batch:
+                    future_tasks[pool.submit(_simulate_task, t)] = t
+            except BrokenExecutor as exc:
+                broke = exc  # pool died during submission
+            for t in batch:
+                attempts[t.index] += 1
+            unfinished = set(future_tasks)
+            submitted = {t.index for t in future_tasks.values()}
+            unsubmitted = [t for t in batch if t.index not in submitted]
+            timed_out = False
+            while unfinished and broke is None:
+                done, _ = wait(
+                    unfinished, timeout=cell_timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    timed_out = True
+                    break
+                for future in sorted(done, key=lambda f: future_tasks[f].index):
                     task = future_tasks[future]
                     exc = future.exception()
-                    if exc is not None:
-                        for unfinished in remaining:
-                            unfinished.cancel()
-                        raise _cell_error(
-                            task, exc, list(outcomes.values())
-                        ) from exc
-                    _, summary, result, wall = future.result()
-                    finish(task, summary, result, wall)
-            except TimeoutError:
-                for unfinished in remaining:
-                    unfinished.cancel()
-                stuck = next(iter(remaining))
-                raise _cell_error(
-                    future_tasks[stuck],
-                    TimeoutError(f"cell did not finish within {timeout}s"),
-                    list(outcomes.values()),
-                ) from None
+                    if exc is None:
+                        unfinished.discard(future)
+                        _, summary, result, wall = future.result()
+                        finish(task, summary, result, wall)
+                    elif isinstance(exc, BrokenExecutor):
+                        # The pool is dead; every unfinished future is
+                        # about to fail the same way.  Leave them (and
+                        # this one) in `unfinished`: they are victims,
+                        # not verdicts.
+                        broke = exc
+                    else:
+                        unfinished.discard(future)
+                        if not keep_going:
+                            for f in unfinished:
+                                f.cancel()
+                        fail(task, exc, attempts[task.index])
+            if timed_out:
+                # Nothing completed inside the window: the running
+                # cells are stuck.  Never-started cells continue on a
+                # fresh pool; running ones are recorded as timed out
+                # and their workers abandoned.
+                for future in list(unfinished):
+                    if future.cancel():
+                        task = future_tasks[future]
+                        attempts[task.index] -= 1  # never actually ran
+                        queue.append(task)
+                        unfinished.discard(future)
+                stuck = sorted(
+                    (future_tasks[f] for f in unfinished), key=lambda t: t.index
+                )
+                for task in stuck:
+                    fail(
+                        task,
+                        TimeoutError(
+                            f"cell {task.cell_id} did not finish within "
+                            f"{cell_timeout}s"
+                        ),
+                        attempts[task.index],
+                    )
+            elif broke is not None:
+                breaks += 1
+                victims = sorted(
+                    {future_tasks[f].index: future_tasks[f] for f in unfinished}.values(),
+                    key=lambda t: t.index,
+                )
+                for t in unsubmitted:
+                    attempts[t.index] -= 1  # never actually ran
+                victims = victims + unsubmitted
+                for task in victims:
+                    if attempts[task.index] >= max_attempts:
+                        fail(task, broke, attempts[task.index])
+                    else:
+                        queue.append(task)
+                        if attempts[task.index] >= max_attempts - 1:
+                            # Final attempt: run it isolated so the
+                            # persistent crasher is identifiable.
+                            isolate = True
+                if queue and retry_backoff > 0:
+                    sleep(retry_backoff * (2 ** (breaks - 1)))
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     # pickling-hostile cells run serially in this process, after the
-    # pool batch so a pool failure cannot lose their results.
-    for task in hostile:
-        try:
-            _, summary, result, wall = _simulate_task(task)
-        except Exception as exc:
-            raise _cell_error(task, exc, list(outcomes.values())) from exc
-        finish(task, summary, result, wall)
+    # pool batches so a pool failure cannot lose their results.
+    run_serial(hostile)
+    return report()
 
-    return [outcomes[t.index] for t in tasks]
+
+def execute_cells(
+    tasks: Sequence[CellTask],
+    n_workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    timeout: Optional[float] = None,
+    progress: Optional[Callable[[CellOutcome], None]] = None,
+    max_attempts: int = 3,
+    retry_backoff: float = 0.5,
+    checkpoint: Optional[GridCheckpoint] = None,
+) -> List[CellOutcome]:
+    """Execute a batch of cells and return outcomes in grid order.
+
+    The strict-mode wrapper over :func:`run_grid_parallel`: worker
+    crashes are retried the same way, but any cell that ultimately
+    fails raises :class:`~repro.errors.ExperimentExecutionError`
+    (carrying the completed cells, grid order) instead of producing a
+    partial report.
+
+    Raises:
+        ExperimentExecutionError: when any cell fails.
+        ConfigurationError: for a non-positive ``n_workers``.
+    """
+    grid = run_grid_parallel(
+        tasks,
+        n_workers=n_workers,
+        cache=cache,
+        checkpoint=checkpoint,
+        cell_timeout=timeout,
+        max_attempts=max_attempts,
+        retry_backoff=retry_backoff,
+        keep_going=False,
+        progress=progress,
+    )
+    return list(grid.outcomes)

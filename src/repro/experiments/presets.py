@@ -16,6 +16,12 @@ The execution backend honours three more (see ``docs/performance.md``):
   result cache; unset disables caching.
 * ``REPRO_NO_CACHE`` — set to ``1``/``true``/``yes`` to bypass the
   cache even when a cache directory is configured.
+
+The fault-injection sweep (``repro faults`` / ``docs/robustness.md``)
+adds two more:
+
+* ``REPRO_FAULT_MTBFS`` — comma-separated machine MTBFs in minutes.
+* ``REPRO_FAULT_MTTR`` — mean machine repair time in minutes.
 """
 
 from __future__ import annotations
@@ -31,6 +37,8 @@ __all__ = [
     "DEFAULT_YEAR_HORIZON",
     "DEFAULT_SEED",
     "DEFAULT_WORKERS",
+    "DEFAULT_FAULT_MTBFS",
+    "DEFAULT_FAULT_MTTR",
     "table_scale",
     "year_scale",
     "year_horizon",
@@ -38,6 +46,8 @@ __all__ = [
     "workers",
     "cache_dir",
     "no_cache",
+    "fault_mtbfs",
+    "fault_mttr",
 ]
 
 DEFAULT_TABLE_SCALE = 0.25
@@ -45,6 +55,14 @@ DEFAULT_YEAR_SCALE = 0.08
 DEFAULT_YEAR_HORIZON = 200_000.0
 DEFAULT_SEED = 2010
 DEFAULT_WORKERS = 1
+
+#: Machine MTBFs (minutes) swept by the fault-injection experiment:
+#: roughly 1.4 days, 5.6 days and 3 weeks per machine — harsh, moderate
+#: and mild churn for a week-long busy-week trace.
+DEFAULT_FAULT_MTBFS = (2_000.0, 8_000.0, 32_000.0)
+
+#: Mean machine repair time (minutes) for the fault-injection sweep.
+DEFAULT_FAULT_MTTR = 120.0
 
 
 def _float_env(name: str, default: float) -> float:
@@ -108,3 +126,38 @@ def cache_dir() -> Optional[str]:
 def no_cache() -> bool:
     """Whether ``REPRO_NO_CACHE`` asks to bypass the result cache."""
     return os.environ.get("REPRO_NO_CACHE", "").strip().lower() in {"1", "true", "yes"}
+
+
+def fault_mtbfs() -> tuple:
+    """Machine MTBFs (minutes) for the fault sweep (``REPRO_FAULT_MTBFS``).
+
+    The override is a comma-separated list of positive minutes, e.g.
+    ``REPRO_FAULT_MTBFS=1000,4000``.
+    """
+    raw = os.environ.get("REPRO_FAULT_MTBFS")
+    if raw is None:
+        return DEFAULT_FAULT_MTBFS
+    values = []
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            value = float(part)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_FAULT_MTBFS entries must be numbers, got {part!r}"
+            ) from None
+        if value <= 0:
+            raise ConfigurationError(
+                f"REPRO_FAULT_MTBFS entries must be > 0, got {value}"
+            )
+        values.append(value)
+    if not values:
+        raise ConfigurationError("REPRO_FAULT_MTBFS must name at least one MTBF")
+    return tuple(values)
+
+
+def fault_mttr() -> float:
+    """Mean machine repair time (minutes) for the fault sweep."""
+    return _float_env("REPRO_FAULT_MTTR", DEFAULT_FAULT_MTTR)

@@ -14,7 +14,7 @@ in parallel, or from cache.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.policy import ReschedulingPolicy
 from ..errors import ConfigurationError, ExperimentExecutionError
@@ -24,7 +24,8 @@ from ..simulator.config import SimulationConfig
 from ..simulator.results import SimulationResult
 from ..workload.scenarios import Scenario
 from .cache import CacheStats, ResultCache, open_cache
-from .parallel import execute_cells, make_cell_task
+from .checkpoint import GridCheckpoint
+from .parallel import CellFailure, make_cell_task, run_grid_parallel
 
 __all__ = ["ExperimentCell", "ExperimentRunner"]
 
@@ -47,6 +48,8 @@ class ExperimentCell:
             result cache instead of being simulated.
         seed: the derived per-cell simulation seed (stable across runs
             and worker orderings).
+        from_checkpoint: True when the cell was resumed from a grid
+            checkpoint instead of being simulated.
     """
 
     scenario_name: str
@@ -57,6 +60,7 @@ class ExperimentCell:
     wall_seconds: float = 0.0
     from_cache: bool = False
     seed: Optional[int] = None
+    from_checkpoint: bool = False
 
 
 def _factory_name(factory: Callable) -> str:
@@ -95,6 +99,20 @@ class ExperimentRunner:
             :class:`~repro.experiments.parallel.CellOutcome` (cache
             hits included) as the grid executes — e.g. a
             :class:`~repro.telemetry.ProgressReporter` heartbeat.
+        cell_timeout: optional seconds the grid may go without
+            completing a cell before the stuck cells are failed (see
+            :func:`~repro.experiments.parallel.run_grid_parallel`).
+        max_attempts: total executions allowed per cell whose worker
+            process died; deterministic errors are never retried.
+        retry_backoff: base seconds slept after a worker-pool break,
+            doubling per subsequent break.
+        keep_going: do not raise on cell failures — return the
+            completed cells and expose the structured failures via
+            :attr:`last_failures`.
+        checkpoint_path: optional path for a
+            :class:`~repro.experiments.checkpoint.GridCheckpoint`;
+            completed cells are journalled there so an interrupted grid
+            resumes without recomputing them.
     """
 
     def __init__(
@@ -105,6 +123,11 @@ class ExperimentRunner:
         cache_dir: Optional[object] = None,
         use_cache: Optional[bool] = None,
         progress: Optional[Callable] = None,
+        cell_timeout: Optional[float] = None,
+        max_attempts: int = 3,
+        retry_backoff: float = 0.5,
+        keep_going: bool = False,
+        checkpoint_path: Optional[object] = None,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
@@ -113,6 +136,14 @@ class ExperimentRunner:
         self._n_workers = n_workers
         self._cache = open_cache(cache_dir, use_cache)
         self._progress = progress
+        self._cell_timeout = cell_timeout
+        self._max_attempts = max_attempts
+        self._retry_backoff = retry_backoff
+        self._keep_going = keep_going
+        self._checkpoint = (
+            GridCheckpoint(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self._last_failures: Tuple[CellFailure, ...] = ()
 
     @property
     def cache(self) -> Optional[ResultCache]:
@@ -123,6 +154,20 @@ class ExperimentRunner:
     def cache_stats(self) -> CacheStats:
         """Hit/miss/store/eviction counters (all zero when caching is off)."""
         return self._cache.stats if self._cache is not None else CacheStats()
+
+    @property
+    def checkpoint(self) -> Optional[GridCheckpoint]:
+        """The grid checkpoint in use, if any."""
+        return self._checkpoint
+
+    @property
+    def last_failures(self) -> Tuple[CellFailure, ...]:
+        """Structured failures from the most recent ``keep_going`` grid.
+
+        Empty when every cell completed (and always empty without
+        ``keep_going``, where failures raise instead).
+        """
+        return self._last_failures
 
     def run_grid(
         self,
@@ -136,12 +181,16 @@ class ExperimentRunner:
 
         Raises:
             ExperimentExecutionError: when building or running any cell
-                fails.  The error names the failing (scenario, policy,
+                fails (unless the runner was built with ``keep_going``,
+                in which case run failures land in
+                :attr:`last_failures` and only factory errors raise).
+                The error names the failing (scenario, policy,
                 scheduler) cell and carries every
                 :class:`ExperimentCell` completed before the failure in
                 ``completed_cells``, so a long sweep's finished work is
                 never lost.
         """
+        self._last_failures = ()
         if not scenarios:
             raise ConfigurationError("run_grid needs at least one scenario")
         if not policy_factories:
@@ -212,8 +261,16 @@ class ExperimentRunner:
     ):
         """Run tasks via the shared backend, mapping outcomes to cells."""
         try:
-            outcomes = execute_cells(
-                tasks, n_workers=n_workers, cache=self._cache, progress=progress
+            grid = run_grid_parallel(
+                tasks,
+                n_workers=n_workers,
+                cache=self._cache,
+                checkpoint=self._checkpoint,
+                cell_timeout=self._cell_timeout,
+                max_attempts=self._max_attempts,
+                retry_backoff=self._retry_backoff,
+                keep_going=self._keep_going,
+                progress=progress,
             )
         except ExperimentExecutionError as exc:
             raise ExperimentExecutionError(
@@ -224,7 +281,8 @@ class ExperimentRunner:
                 completed_cells=tuple(done)
                 + tuple(self._to_cell(o) for o in exc.completed_cells),
             ) from exc.__cause__
-        return [self._to_cell(outcome) for outcome in outcomes]
+        self._last_failures = self._last_failures + grid.failures
+        return [self._to_cell(outcome) for outcome in grid.completed]
 
     def _to_cell(self, outcome) -> ExperimentCell:
         return ExperimentCell(
@@ -236,6 +294,7 @@ class ExperimentRunner:
             wall_seconds=outcome.wall_seconds,
             from_cache=outcome.from_cache,
             seed=outcome.seed,
+            from_checkpoint=outcome.from_checkpoint,
         )
 
     @staticmethod

@@ -1,0 +1,42 @@
+"""Deterministic fault injection for the NetBatch simulator.
+
+The paper studies rescheduling on a platform where the hosts holding
+suspended jobs are exactly the resource at risk, yet the baseline
+simulator models a world without failures.  This package adds that
+missing dimension as an opt-in, seed-reproducible layer:
+
+* **machine churn** — per-machine crash/recover renewal processes with
+  configurable MTBF/MTTR distributions (:class:`MachineChurn`);
+* **pool outages** — whole-pool blackout windows the virtual pool
+  managers must route around (:class:`PoolOutage`);
+* **transient job failures** — per-execution-segment failure rolls with
+  a retry policy (max attempts, exponential backoff, deterministic
+  jitter) and permanent give-up (:class:`RetryPolicy`).
+
+Faults default **off** (:data:`NO_FAULTS`): a config without faults
+runs the exact pre-fault code paths and produces bit-identical results,
+cache keys and telemetry.  With faults enabled, every failure time is
+drawn from named child streams of the engine's seeded
+:class:`~repro.workload.distributions.RandomStreams`, so the same seed
+produces the same crashes, the same kills and the same retries — on
+one worker or many.  See ``docs/robustness.md``.
+"""
+
+from .config import (
+    NO_FAULTS,
+    FaultConfig,
+    MachineChurn,
+    PoolOutage,
+    RetryPolicy,
+)
+from .injector import FaultInjector, FaultStats
+
+__all__ = [
+    "NO_FAULTS",
+    "FaultConfig",
+    "MachineChurn",
+    "PoolOutage",
+    "RetryPolicy",
+    "FaultInjector",
+    "FaultStats",
+]

@@ -1,0 +1,228 @@
+"""Fault-model configuration, validated like every other config object.
+
+All dataclasses here are frozen and built from plain values plus
+:class:`~repro.workload.distributions.Sampler` instances, so an enabled
+fault model fingerprints cleanly into the experiment result cache and
+pickles into pool workers unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..workload.distributions import Exponential, Sampler
+
+__all__ = [
+    "RetryPolicy",
+    "MachineChurn",
+    "PoolOutage",
+    "FaultConfig",
+    "NO_FAULTS",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How transient job failures are retried before giving up.
+
+    Attributes:
+        max_attempts: failed attempts a job may accumulate before it is
+            recorded as a permanent failure (the first failure is
+            attempt 1; ``max_attempts=3`` allows three failed attempts).
+        backoff_minutes: delay before the first retry.
+        backoff_multiplier: growth factor per subsequent retry
+            (exponential backoff).
+        max_backoff_minutes: ceiling on any single retry delay.
+        jitter_fraction: symmetric multiplicative jitter applied to each
+            delay, drawn deterministically from the engine's seeded
+            retry stream: a delay ``d`` becomes uniform in
+            ``[d*(1-j), d*(1+j)]``.  0 disables jitter.
+    """
+
+    max_attempts: int = 3
+    backoff_minutes: float = 5.0
+    backoff_multiplier: float = 2.0
+    max_backoff_minutes: float = 240.0
+    jitter_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"retry max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_minutes <= 0:
+            raise ConfigurationError(
+                f"retry backoff_minutes must be > 0, got {self.backoff_minutes}"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                f"retry backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if self.max_backoff_minutes < self.backoff_minutes:
+            raise ConfigurationError(
+                f"retry max_backoff_minutes ({self.max_backoff_minutes}) must be "
+                f">= backoff_minutes ({self.backoff_minutes})"
+            )
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ConfigurationError(
+                f"retry jitter_fraction must be in [0, 1), got {self.jitter_fraction}"
+            )
+
+    def delay_for(self, failure_count: int, rng: random.Random) -> float:
+        """Minutes to wait before the retry after failure ``failure_count``."""
+        if failure_count < 1:
+            raise ConfigurationError(
+                f"delay_for needs failure_count >= 1, got {failure_count}"
+            )
+        delay = min(
+            self.backoff_minutes * self.backoff_multiplier ** (failure_count - 1),
+            self.max_backoff_minutes,
+        )
+        if self.jitter_fraction:
+            delay *= 1.0 + self.jitter_fraction * (2.0 * rng.random() - 1.0)
+        return delay
+
+
+@dataclass(frozen=True)
+class MachineChurn:
+    """Per-machine crash/recover renewal process.
+
+    Every machine alternates up/down phases: time-to-failure drawn from
+    ``mtbf``, time-to-repair from ``mttr``, each machine on its own
+    named child stream so churn is independent of every other random
+    decision in the run.
+    """
+
+    mtbf: Sampler
+    mttr: Sampler
+
+    def __post_init__(self) -> None:
+        for name, sampler in (("mtbf", self.mtbf), ("mttr", self.mttr)):
+            if not isinstance(sampler, Sampler):
+                raise ConfigurationError(
+                    f"machine churn {name} must be a Sampler, "
+                    f"got {type(sampler).__name__}"
+                )
+            if sampler.mean() <= 0:
+                raise ConfigurationError(
+                    f"machine churn {name} must have a positive mean"
+                )
+
+
+@dataclass(frozen=True)
+class PoolOutage:
+    """One scheduled whole-pool blackout window.
+
+    During ``[start_minute, start_minute + duration_minutes)`` the pool
+    accepts no work: running and suspended jobs are killed, waiting jobs
+    are drained, and the virtual pool managers route around the pool.
+    """
+
+    pool_id: str
+    start_minute: float
+    duration_minutes: float
+
+    def __post_init__(self) -> None:
+        if not self.pool_id:
+            raise ConfigurationError("pool outage needs a pool_id")
+        if self.start_minute < 0:
+            raise ConfigurationError(
+                f"pool outage start_minute must be >= 0, got {self.start_minute}"
+            )
+        if self.duration_minutes <= 0:
+            raise ConfigurationError(
+                f"pool outage duration_minutes must be > 0, got {self.duration_minutes}"
+            )
+
+    @property
+    def end_minute(self) -> float:
+        """First minute the pool is back up."""
+        return self.start_minute + self.duration_minutes
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """The complete fault model for one simulation run.
+
+    The default instance (every field at its default) is the disabled
+    model :data:`NO_FAULTS`; the engine then takes the exact pre-fault
+    code paths and the config is excluded from cache keys, keeping
+    zero-fault outputs bit-identical to a build without this subsystem.
+
+    Attributes:
+        machine_churn: optional crash/recover process applied to every
+            machine in the cluster.
+        pool_outages: scheduled whole-pool blackout windows (may
+            overlap; a pool is down while any window covers it).
+        job_failure_probability: probability that one *execution
+            segment* (a start or resume, up to its natural finish) dies
+            to a transient fault; rolled once per segment.
+        retry: what happens after a transient failure.
+        requeue_delay_minutes: how long an orphaned job waits before
+            re-submitting when every candidate pool is dark.
+    """
+
+    machine_churn: Optional[MachineChurn] = None
+    pool_outages: Tuple[PoolOutage, ...] = ()
+    job_failure_probability: float = 0.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    requeue_delay_minutes: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.machine_churn is not None and not isinstance(
+            self.machine_churn, MachineChurn
+        ):
+            raise ConfigurationError(
+                "machine_churn must be a MachineChurn instance, "
+                f"got {type(self.machine_churn).__name__}"
+            )
+        object.__setattr__(self, "pool_outages", tuple(self.pool_outages))
+        for outage in self.pool_outages:
+            if not isinstance(outage, PoolOutage):
+                raise ConfigurationError(
+                    f"pool_outages entries must be PoolOutage, got {type(outage).__name__}"
+                )
+        if not 0.0 <= self.job_failure_probability <= 1.0:
+            raise ConfigurationError(
+                "job_failure_probability must be in [0, 1], "
+                f"got {self.job_failure_probability}"
+            )
+        if not isinstance(self.retry, RetryPolicy):
+            raise ConfigurationError(
+                f"retry must be a RetryPolicy, got {type(self.retry).__name__}"
+            )
+        if self.requeue_delay_minutes <= 0:
+            raise ConfigurationError(
+                f"requeue_delay_minutes must be > 0, got {self.requeue_delay_minutes}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault source is active."""
+        return (
+            self.machine_churn is not None
+            or bool(self.pool_outages)
+            or self.job_failure_probability > 0.0
+        )
+
+    @classmethod
+    def with_exponential_churn(
+        cls,
+        mtbf_minutes: float,
+        mttr_minutes: float,
+        **kwargs,
+    ) -> "FaultConfig":
+        """Convenience constructor: exponential MTBF/MTTR machine churn."""
+        return cls(
+            machine_churn=MachineChurn(
+                mtbf=Exponential(mtbf_minutes), mttr=Exponential(mttr_minutes)
+            ),
+            **kwargs,
+        )
+
+
+#: The disabled fault model — the default for every simulation.
+NO_FAULTS = FaultConfig()

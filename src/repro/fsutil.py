@@ -1,0 +1,39 @@
+"""Crash-safe filesystem helpers.
+
+Every file this repository exports — cache entries, telemetry
+snapshots, progress feeds, grid checkpoints — is written through the
+same pattern: serialise to a temporary file in the *same directory*,
+then :func:`os.replace` it over the destination.  ``os.replace`` is
+atomic on POSIX and Windows for same-filesystem moves, so a reader (or
+a resumed run) can only ever observe the old complete file or the new
+complete file — never a truncated hybrid, even if the writer is
+SIGKILLed mid-write.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp file + ``os.replace``)."""
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    finally:
+        # Only reached with the tmp file still present when the write or
+        # replace itself failed; never leave the litter behind.
+        if tmp.exists():
+            tmp.unlink()
+
+
+def atomic_write_text(path: Union[str, Path], text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``)."""
+    atomic_write_bytes(path, text.encode(encoding))

@@ -90,7 +90,9 @@ class PerformanceSummary:
 def summarize(result: SimulationResult) -> PerformanceSummary:
     """Compute a :class:`PerformanceSummary` from a simulation result."""
     records = list(result.records)
-    completed = [r for r in records if not r.rejected]
+    # Permanent (fault-injected) failures have finish_minute None and
+    # count toward the summary's not-completed remainder.
+    completed = [r for r in records if not r.rejected and r.finish_minute is not None]
     suspended = [r for r in completed if r.was_suspended]
 
     completed_count = len(completed)

@@ -8,6 +8,7 @@ from typing import Optional
 
 from ..core.overheads import NO_OVERHEAD, RestartOverhead
 from ..errors import ConfigurationError
+from ..faults.config import NO_FAULTS, FaultConfig
 from ..telemetry.instrumentation import NO_INSTRUMENTATION, Instrumentation
 
 __all__ = ["SimulationConfig"]
@@ -47,6 +48,12 @@ class SimulationConfig:
             memory in policy-search sweeps that only need job records).
         check_invariants: run deep state validation at every sample
             tick.  Very slow; meant for tests.
+        faults: the :class:`~repro.faults.FaultConfig` fault model
+            (machine churn, pool outages, transient job failures).
+            Defaults to the disabled :data:`~repro.faults.NO_FAULTS`,
+            in which case the engine takes the exact pre-fault code
+            paths and the field is excluded from cache keys — see
+            ``docs/robustness.md``.
         instrumentation: the typed
             :class:`~repro.telemetry.Instrumentation` aggregate — a
             tuple of event observers that all receive every simulation
@@ -75,6 +82,7 @@ class SimulationConfig:
     max_minutes: Optional[float] = None
     record_samples: bool = True
     check_invariants: bool = False
+    faults: FaultConfig = NO_FAULTS
     instrumentation: Instrumentation = NO_INSTRUMENTATION
     observer: Optional[object] = None
 
@@ -83,6 +91,10 @@ class SimulationConfig:
             raise ConfigurationError(
                 "instrumentation must be an Instrumentation instance, "
                 f"got {type(self.instrumentation).__name__}"
+            )
+        if not isinstance(self.faults, FaultConfig):
+            raise ConfigurationError(
+                f"faults must be a FaultConfig instance, got {type(self.faults).__name__}"
             )
         if self.observer is not None:
             warnings.warn(

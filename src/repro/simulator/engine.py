@@ -35,6 +35,7 @@ from ..errors import (
     UnknownPoolError,
     UnschedulableJobError,
 )
+from ..faults.injector import FaultInjector
 from ..schedulers.eligibility import machine_eligible
 from ..schedulers.initial import InitialScheduler, RoundRobinScheduler
 from ..telemetry.hooks import EngineTelemetry
@@ -45,8 +46,14 @@ from ..workload.trace import Trace, TraceJob
 from .config import SimulationConfig
 from .events import (
     EVENT_FINISH,
+    EVENT_JOB_FAILURE,
+    EVENT_JOB_RETRY,
+    EVENT_MACHINE_CRASH,
+    EVENT_MACHINE_RECOVER,
     EVENT_NAMES,
     EVENT_POOL_ARRIVAL,
+    EVENT_POOL_DOWN,
+    EVENT_POOL_UP,
     EVENT_SAMPLE,
     EVENT_SUBMIT,
     EVENT_WAIT_TIMEOUT,
@@ -87,8 +94,8 @@ class LiveSystemView(SystemView):
         return self._engine.decision_rng
 
     def candidate_pools(self, job) -> Tuple[str, ...]:
-        """Pools the job may run in *and* is statically eligible in."""
-        return self._engine.eligible_candidates(job.spec)
+        """Pools the job may run in, is statically eligible in, and that are up."""
+        return self._engine.available_candidates(job.spec)
 
 
 class SimulationEngine:
@@ -122,7 +129,8 @@ class SimulationEngine:
         }
         self.pool_order: Tuple[str, ...] = cluster.pool_ids
         self.total_cores = cluster.total_cores
-        self.decision_rng = RandomStreams(self.config.seed).stream("decisions")
+        self._streams = RandomStreams(self.config.seed)
+        self.decision_rng = self._streams.stream("decisions")
         self.view = LiveSystemView(self)
         self._vpms = [
             VirtualPoolManager(f"vpm-{i}", self.scheduler, self.pools)
@@ -134,6 +142,11 @@ class SimulationEngine:
         self._outstanding = len(trace)
         self._eligibility_cache: Dict[Tuple[str, int, float], Tuple[str, ...]] = {}
         self._dup_partner: Dict[int, Job] = {}
+        # Permanently failed members of duplicate pairs, keyed by the
+        # surviving attempt's job id so the survivor's record (or
+        # failure) merges both attempts' accounting.
+        self._dup_fallen: Dict[int, Job] = {}
+        self._outage_depth: Dict[str, int] = {}
         self._shadow_ids = itertools.count(
             (max((j.job_id for j in trace), default=0) + 1) if len(trace) else 1
         )
@@ -145,6 +158,12 @@ class SimulationEngine:
         if self.config.record_samples:
             events.append((0.0, EVENT_SAMPLE, None))
         self._events.push_many_unsorted(events)
+        self._faults: Optional[FaultInjector] = None
+        if self.config.faults.enabled:
+            self._faults = FaultInjector(
+                self.config.faults, self._streams, telemetry=self._telemetry
+            )
+            self._faults.schedule_initial(self._events, self.pool_order, self.pools)
 
     # -- public API -----------------------------------------------------------------
 
@@ -174,7 +193,14 @@ class SimulationEngine:
         if profiler is not None:
             profiler.start()
         started_at = 0.0
+        faults = self._faults
         while len(events):
+            # Fault renewal processes (machine crash/recover) outlive the
+            # workload; once every job is accounted for, the remaining
+            # events are pure fault noise and the run is over.  Without
+            # faults the queue drains naturally, exactly as before.
+            if faults is not None and self._outstanding == 0:
+                break
             time, _, kind, payload = events.pop()
             if max_minutes is not None and time > max_minutes:
                 raise SimulationError(
@@ -198,6 +224,21 @@ class SimulationEngine:
             elif kind == EVENT_POOL_ARRIVAL:
                 job, pool_id = payload
                 self._on_pool_arrival(job, pool_id, time)
+            elif kind == EVENT_MACHINE_CRASH:
+                pool_id, machine = payload
+                self._on_machine_crash(pool_id, machine, time)
+            elif kind == EVENT_MACHINE_RECOVER:
+                pool_id, machine = payload
+                self._on_machine_recover(pool_id, machine, time)
+            elif kind == EVENT_POOL_DOWN:
+                self._on_pool_down(payload, time)
+            elif kind == EVENT_POOL_UP:
+                self._on_pool_up(payload, time)
+            elif kind == EVENT_JOB_FAILURE:
+                job, epoch = payload
+                self._on_job_failure(job, epoch, time)
+            elif kind == EVENT_JOB_RETRY:
+                self._on_job_retry(payload, time)
             else:  # pragma: no cover - event kinds are closed
                 raise SimulationError(f"unknown event kind {kind}")
             if profiler is not None:
@@ -231,6 +272,9 @@ class SimulationEngine:
             policy_name=self.policy.name,
             scheduler_name=self.scheduler.name,
             total_cores=self.total_cores,
+            fault_stats=(
+                faults.finalize(self._records) if faults is not None else None
+            ),
         )
 
     def eligible_candidates(self, spec: TraceJob) -> Tuple[str, ...]:
@@ -256,6 +300,18 @@ class SimulationEngine:
             return eligible
         allowed = set(spec.candidate_pools)
         return tuple(pool_id for pool_id in eligible if pool_id in allowed)
+
+    def available_candidates(self, spec: TraceJob) -> Tuple[str, ...]:
+        """Eligible pools that are also currently up.
+
+        Without fault injection every pool is always up and this *is*
+        :meth:`eligible_candidates` (same tuple object, so scheduler
+        state keyed on the candidate tuple is unaffected).
+        """
+        candidates = self.eligible_candidates(spec)
+        if self._faults is None:
+            return candidates
+        return tuple(p for p in candidates if self.pools[p].up)
 
     # -- event handlers -----------------------------------------------------------------
 
@@ -289,7 +345,28 @@ class SimulationEngine:
 
     def _on_submit(self, job: Job, now: float) -> None:
         self._emit(now, "submit", job)
-        candidates = self.eligible_candidates(job.spec)
+        self._place_via_vpm(job, now)
+
+    def _place_via_vpm(self, job: Job, now: float) -> None:
+        """Hand a PENDING job to its virtual pool manager.
+
+        Shared by submission, orphan requeue and retry.  When fault
+        injection has every statically-eligible pool dark, placement is
+        deferred rather than rejected: the job tries again after the
+        configured requeue delay.
+        """
+        candidates = self.available_candidates(job.spec)
+        if (
+            self._faults is not None
+            and not candidates
+            and self.eligible_candidates(job.spec)
+        ):
+            self._faults.note_deferred()
+            self._emit(now, "fault-defer", job)
+            self._events.push(
+                now + self.config.faults.requeue_delay_minutes, EVENT_JOB_RETRY, job
+            )
+            return
         vpm = self._vpms[job.job_id % len(self._vpms)]
         result, _ = vpm.submit(job, candidates, self.view, now)
         self._after_placement(job, result, now)
@@ -305,6 +382,10 @@ class SimulationEngine:
         if partner is not None:
             self._dup_partner.pop(partner.job_id, None)
             self._cancel_attempt(partner, now)
+        else:
+            # A pair member that permanently failed earlier has nothing
+            # left to cancel, but its accounting still merges in.
+            partner = self._dup_fallen.pop(job.job_id, None)
         self._record_completion(job, partner, now)
         self._fill(pool, machine, now)
 
@@ -336,6 +417,12 @@ class SimulationEngine:
             raise SimulationError(
                 f"job {job.job_id} arrived at pool {pool_id} in state {job.state.value}"
             )
+        if self._faults is not None and not self.pools[pool_id].up:
+            # The target went dark while the job was in transit; route
+            # around it like any other placement.
+            self._emit(now, "fault-reroute", job, pool_id=pool_id)
+            self._place_via_vpm(job, now)
+            return
         result = self.pools[pool_id].submit(job, now)
         if result.outcome is SubmitOutcome.INELIGIBLE:
             raise SchedulingError(
@@ -393,6 +480,129 @@ class SimulationEngine:
         if self._outstanding > 0:
             self._events.push(now + self.config.sample_interval, EVENT_SAMPLE, None)
 
+    # -- fault handlers -----------------------------------------------------------------
+
+    def _on_machine_crash(self, pool_id: str, machine: Machine, now: float) -> None:
+        faults = self._faults
+        machine.up = False
+        faults.note_machine_crash()
+        self._events.push(
+            now + faults.draw_ttr(pool_id, machine.machine_id),
+            EVENT_MACHINE_RECOVER,
+            (pool_id, machine),
+        )
+        pool = self.pools[pool_id]
+        orphans = pool.evict_machine(machine, now)
+        self._requeue_orphans(orphans, (), now, cause="machine")
+
+    def _on_machine_recover(self, pool_id: str, machine: Machine, now: float) -> None:
+        faults = self._faults
+        machine.up = True
+        faults.note_machine_recovery()
+        self._events.push(
+            now + faults.draw_ttf(pool_id, machine.machine_id),
+            EVENT_MACHINE_CRASH,
+            (pool_id, machine),
+        )
+        pool = self.pools[pool_id]
+        if pool.up:
+            self._fill(pool, machine, now)
+
+    def _on_pool_down(self, pool_id: str, now: float) -> None:
+        # Overlapping outage windows nest: the pool is down while any
+        # window covers it.
+        depth = self._outage_depth.get(pool_id, 0) + 1
+        self._outage_depth[pool_id] = depth
+        if depth > 1:
+            return
+        pool = self.pools[pool_id]
+        pool.up = False
+        self._faults.note_pool_down(pool_id)
+        killed, drained = pool.drain(now)
+        self._requeue_orphans(killed, drained, now, cause="outage")
+
+    def _on_pool_up(self, pool_id: str, now: float) -> None:
+        depth = self._outage_depth.get(pool_id, 0) - 1
+        self._outage_depth[pool_id] = depth
+        if depth > 0:
+            return
+        pool = self.pools[pool_id]
+        pool.up = True
+        for machine in pool.machines:
+            if machine.up:
+                self._fill(pool, machine, now)
+
+    def _requeue_orphans(
+        self,
+        killed: List[Job],
+        drained: List[Job],
+        now: float,
+        cause: str,
+    ) -> None:
+        """Fold fault kills into job accounting, then re-place every orphan.
+
+        ``killed`` attempts were running or suspended (their progress is
+        lost); ``drained`` jobs were only waiting.  All transitions
+        happen before any placement so one orphan's placement sees the
+        others' capacity already released.
+        """
+        faults = self._faults
+        for job in killed:
+            origin = job.pool_id
+            lost = job.fail_attempt(now, kind="machine")
+            faults.note_kill(cause, lost)
+            self._emit(now, "fault-kill", job, pool_id=origin, detail=cause)
+        for job in drained:
+            origin = job.pool_id
+            job.fail_attempt(now, kind="drain")
+            faults.note_drained()
+            self._emit(now, "fault-requeue", job, pool_id=origin, detail=cause)
+        for job in itertools.chain(killed, drained):
+            self._place_via_vpm(job, now)
+
+    def _on_job_failure(self, job: Job, epoch: int, now: float) -> None:
+        if job.epoch != epoch or job.state is not JobState.RUNNING:
+            return  # the segment this failure was rolled for ended first
+        faults = self._faults
+        pool = self.pools[job.pool_id]
+        origin = job.pool_id
+        machine = pool.detach_running(job, now)
+        lost = job.fail_attempt(now, kind="transient")
+        faults.note_transient_failure(lost)
+        failures = job.transient_failures
+        self._emit(
+            now, "fault-job-failure", job, pool_id=origin, detail=f"attempt={failures}"
+        )
+        self._fill(pool, machine, now)
+        retry = self.config.faults.retry
+        if failures >= retry.max_attempts:
+            self._emit(now, "fault-give-up", job, pool_id=origin)
+            self._give_up(job, now)
+        else:
+            faults.note_retry()
+            self._events.push(
+                now + faults.retry_delay(failures), EVENT_JOB_RETRY, job
+            )
+
+    def _on_job_retry(self, job: Job, now: float) -> None:
+        if job.state is not JobState.PENDING:
+            return  # cancelled (duplicate loser) while waiting to retry
+        self._place_via_vpm(job, now)
+
+    def _give_up(self, job: Job, now: float) -> None:
+        """Permanently fail a job whose retry budget is exhausted."""
+        partner = self._dup_partner.pop(job.job_id, None)
+        if partner is not None:
+            # The logical job lives on in the other attempt; stash this
+            # dead one so the survivor's record merges its accounting.
+            self._dup_partner.pop(partner.job_id, None)
+            self._dup_fallen[partner.job_id] = job
+            job.give_up(now)
+            return
+        fallen = self._dup_fallen.pop(job.job_id, None)
+        job.give_up(now)
+        self._record_failure(job, fallen, now)
+
     # -- placement and rescheduling machinery ---------------------------------------------
 
     def _after_placement(self, job: Job, result: SubmitResult, now: float) -> None:
@@ -423,8 +633,13 @@ class SimulationEngine:
 
     def _schedule_finish(self, job: Job, now: float) -> None:
         speed = job.machine.spec.speed_factor
-        finish_at = now + job.remaining_minutes() / speed
-        self._events.push(finish_at, EVENT_FINISH, (job, job.epoch))
+        duration = job.remaining_minutes() / speed
+        if self._faults is not None:
+            fail_after = self._faults.roll_segment_failure(duration)
+            if fail_after is not None:
+                self._events.push(now + fail_after, EVENT_JOB_FAILURE, (job, job.epoch))
+                return
+        self._events.push(now + duration, EVENT_FINISH, (job, job.epoch))
 
     def _arm_wait_timer(self, job: Job, now: float) -> None:
         threshold = self.policy.wait_threshold
@@ -554,6 +769,8 @@ class SimulationEngine:
             return None
         if target not in self.eligible_candidates(job.spec):
             return None
+        if self._faults is not None and not self.pools[target].up:
+            return None
         return target
 
     def _make_shadow(self, original: Job) -> Job:
@@ -627,9 +844,50 @@ class SimulationEngine:
             rejected=False,
             task_id=identity.spec.task_id,
             user=identity.spec.user,
+            machine_failures=sum(a.machine_failures for a in attempts),
+            transient_failures=sum(a.transient_failures for a in attempts),
+            failed=False,
         )
         self._records.append(record)
         self._outstanding -= 1
+
+    def _record_failure(self, job: Job, partner: Optional[Job], now: float) -> None:
+        """Emit the JobRecord for a permanently failed logical job."""
+        identity = job
+        attempts = [job]
+        if partner is not None:
+            attempts.append(partner)
+            if job.is_shadow:
+                identity = partner
+        self._records.append(
+            JobRecord(
+                job_id=identity.job_id,
+                priority=identity.priority,
+                submit_minute=identity.spec.submit_minute,
+                finish_minute=None,
+                runtime_minutes=identity.spec.runtime_minutes,
+                cores=identity.spec.cores,
+                memory_gb=identity.spec.memory_gb,
+                wait_time=sum(a.total_wait for a in attempts),
+                suspend_time=sum(a.total_suspend for a in attempts),
+                wasted_restart_time=sum(a.wasted_restart for a in attempts),
+                suspension_count=sum(a.suspension_count for a in attempts),
+                restart_count=sum(a.restart_count for a in attempts),
+                migration_count=sum(a.migration_count for a in attempts),
+                waiting_move_count=sum(a.waiting_move_count for a in attempts),
+                pools_visited=tuple(
+                    dict.fromkeys(p for a in attempts for p in a.pools_visited)
+                ),
+                rejected=False,
+                task_id=identity.spec.task_id,
+                user=identity.spec.user,
+                machine_failures=sum(a.machine_failures for a in attempts),
+                transient_failures=sum(a.transient_failures for a in attempts),
+                failed=True,
+            )
+        )
+        self._outstanding -= 1
+        self._faults.note_permanent_failure()
 
     def _record_rejection(self, job: Job) -> None:
         self._records.append(

@@ -26,6 +26,12 @@ __all__ = [
     "EVENT_WAIT_TIMEOUT",
     "EVENT_POOL_ARRIVAL",
     "EVENT_SAMPLE",
+    "EVENT_MACHINE_CRASH",
+    "EVENT_MACHINE_RECOVER",
+    "EVENT_POOL_DOWN",
+    "EVENT_POOL_UP",
+    "EVENT_JOB_FAILURE",
+    "EVENT_JOB_RETRY",
     "EVENT_NAMES",
 ]
 
@@ -39,6 +45,19 @@ EVENT_WAIT_TIMEOUT = 2
 EVENT_POOL_ARRIVAL = 3
 #: The per-minute state sampler ticks.  Payload: None.
 EVENT_SAMPLE = 4
+#: A machine dies (fault injection).  Payload: (pool_id, Machine).
+EVENT_MACHINE_CRASH = 5
+#: A dead machine comes back (fault injection).  Payload: (pool_id, Machine).
+EVENT_MACHINE_RECOVER = 6
+#: A pool blackout window opens (fault injection).  Payload: pool_id.
+EVENT_POOL_DOWN = 7
+#: A pool blackout window closes (fault injection).  Payload: pool_id.
+EVENT_POOL_UP = 8
+#: A running job's execution segment dies (fault injection).
+#: Payload: (Job, epoch).
+EVENT_JOB_FAILURE = 9
+#: A failed or orphaned job re-enters placement.  Payload: Job.
+EVENT_JOB_RETRY = 10
 
 EVENT_NAMES = {
     EVENT_SUBMIT: "submit",
@@ -46,6 +65,12 @@ EVENT_NAMES = {
     EVENT_WAIT_TIMEOUT: "wait-timeout",
     EVENT_POOL_ARRIVAL: "pool-arrival",
     EVENT_SAMPLE: "sample",
+    EVENT_MACHINE_CRASH: "machine-crash",
+    EVENT_MACHINE_RECOVER: "machine-recover",
+    EVENT_POOL_DOWN: "pool-down",
+    EVENT_POOL_UP: "pool-up",
+    EVENT_JOB_FAILURE: "job-failure",
+    EVENT_JOB_RETRY: "job-retry",
 }
 
 Event = Tuple[float, int, int, Any]

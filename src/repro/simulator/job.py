@@ -48,6 +48,7 @@ class JobState(enum.Enum):
     SUSPENDED = "suspended"  # preempted, resident on its machine
     FINISHED = "finished"  # completed
     REJECTED = "rejected"  # statically ineligible everywhere
+    FAILED = "failed"  # exhausted its retry budget (fault injection)
 
 
 class Job:
@@ -87,6 +88,8 @@ class Job:
         "restart_count",
         "migration_count",
         "waiting_move_count",
+        "machine_failures",
+        "transient_failures",
         "pools_visited",
         "first_start_minute",
         "finish_minute",
@@ -110,6 +113,8 @@ class Job:
         self.restart_count = 0
         self.migration_count = 0
         self.waiting_move_count = 0
+        self.machine_failures = 0
+        self.transient_failures = 0
         self.pools_visited: list = []
         self.first_start_minute: Optional[float] = None
         self.finish_minute: Optional[float] = None
@@ -260,6 +265,49 @@ class Job:
         penalty = self.remaining_minutes() * fraction
         self.progress = max(0.0, self.progress - penalty)
         self.wasted_restart += penalty
+
+    def fail_attempt(self, now: float, *, kind: str) -> float:
+        """Lose the current attempt to a fault; returns the progress wasted.
+
+        ``kind`` names the fault: ``"machine"`` (host death or pool
+        outage killed a running/suspended attempt), ``"transient"``
+        (the job's own execution segment died), or ``"drain"`` (a
+        waiting job swept out of a blacked-out pool's queue — no
+        progress existed to waste).  Like :meth:`abandon`, lost
+        progress is accounted as wasted-restart time; the job returns
+        to PENDING for requeue or retry.
+        """
+        self._require(
+            "fail_attempt", JobState.RUNNING, JobState.SUSPENDED, JobState.WAITING
+        )
+        if self.state is JobState.RUNNING:
+            self.accrue_progress(now)
+        elif self.state is JobState.SUSPENDED:
+            self.total_suspend += now - self.segment_start
+        else:
+            self.total_wait += now - self.segment_start
+            self.wait_episode += 1
+        wasted = self.progress
+        self.wasted_restart += wasted
+        self.progress = 0.0
+        self.state = JobState.PENDING
+        self.machine = None
+        self.pool_id = None
+        self.epoch += 1
+        if kind == "machine":
+            self.machine_failures += 1
+        elif kind == "transient":
+            self.transient_failures += 1
+        self.segment_start = now
+        return wasted
+
+    def give_up(self, now: float) -> None:
+        """Record the job as permanently failed (retry budget exhausted)."""
+        self._require("give_up", JobState.PENDING)
+        self.state = JobState.FAILED
+        self.finish_minute = None
+        self.epoch += 1
+        self.segment_start = now
 
     def finish(self, now: float) -> None:
         """Complete successfully."""

@@ -27,7 +27,7 @@ __all__ = ["Machine"]
 class Machine:
     """Mutable occupancy state of one machine."""
 
-    __slots__ = ("spec", "free_cores", "free_memory_gb", "running", "suspended")
+    __slots__ = ("spec", "free_cores", "free_memory_gb", "running", "suspended", "up")
 
     def __init__(self, spec: MachineSpec) -> None:
         self.spec = spec
@@ -35,6 +35,10 @@ class Machine:
         self.free_memory_gb = spec.memory_gb
         self.running: Dict[int, Job] = {}
         self.suspended: Dict[int, Job] = {}
+        # Fault-injection host state.  A down machine stays *statically*
+        # eligible (jobs queue for it) but never passes the dynamic
+        # checks, mirroring a NetBatch host that dropped out of the pool.
+        self.up = True
 
     # -- queries ---------------------------------------------------------------
 
@@ -55,7 +59,8 @@ class Machine:
     def fits_now(self, job_spec) -> bool:
         """Whether the job could start immediately (dynamic check)."""
         return (
-            self.free_cores >= job_spec.cores
+            self.up
+            and self.free_cores >= job_spec.cores
             and self.free_memory_gb >= job_spec.memory_gb
         )
 
@@ -71,7 +76,7 @@ class Machine:
         Preemption releases victims' cores but not their memory, so the
         memory check is against *current* free memory.
         """
-        if self.free_memory_gb < job_spec.memory_gb:
+        if not self.up or self.free_memory_gb < job_spec.memory_gb:
             return False
         return self.free_cores + self.preemptible_cores(priority) >= job_spec.cores
 
@@ -185,6 +190,10 @@ class Machine:
                     f"machine {self.machine_id}: job {job.job_id} in suspended set "
                     f"but state is {job.state.value}"
                 )
+        if not self.up and (self.running or self.suspended):
+            raise SchedulingError(
+                f"machine {self.machine_id}: down but still occupied"
+            )
 
     def __repr__(self) -> str:
         return (

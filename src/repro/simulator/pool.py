@@ -82,6 +82,9 @@ class PhysicalPool:
         self._suspend_order: Dict[int, int] = {}
         self._suspend_counter = 0
         self._telemetry = telemetry
+        # Fault-injection pool state: False while a blackout window is
+        # open.  The engine flips it and routes around down pools.
+        self.up = True
 
     # -- statistics --------------------------------------------------------------
 
@@ -169,6 +172,8 @@ class PhysicalPool:
         Returns the jobs that started or resumed.
         """
         placed: List[Job] = []
+        if not self.up or not machine.up:
+            return placed
         while True:
             resumable = self._best_resumable(machine)
             waiting = None
@@ -306,6 +311,52 @@ class PhysicalPool:
             f"pool {self.pool_id}: cannot cancel job {job.job_id} "
             f"in state {job.state.value}"
         )
+
+    # -- fault injection (called by the engine) ----------------------------------------
+
+    def evict_machine(self, machine: Machine, now: float) -> List[Job]:
+        """Empty one machine after a host death; returns the orphans.
+
+        Running jobs come first, then suspended ones, each in occupancy
+        order.  Only the pool-level accounting happens here — the jobs
+        still reference the machine so the engine can fold their final
+        segment into the fault accounting before requeueing them.
+        """
+        orphans: List[Job] = []
+        for job in list(machine.running.values()):
+            machine.remove(job)
+            self.busy_cores -= job.spec.cores
+            self.running_jobs -= 1
+            orphans.append(job)
+        for job in list(machine.suspended.values()):
+            machine.remove(job)
+            del self.suspended[job.job_id]
+            self._suspend_order.pop(job.job_id, None)
+            if self._telemetry is not None:
+                self._telemetry.observe_suspension(
+                    self.pool_id, now - job.segment_start
+                )
+            orphans.append(job)
+        return orphans
+
+    def drain(self, now: float) -> Tuple[List[Job], List[Job]]:
+        """Pool blackout: empty every machine and the wait queue.
+
+        Returns ``(killed, drained)``: attempts that were running or
+        suspended on a machine, and jobs swept out of the wait queue.
+        Individual machines keep their own up/down state; the
+        pool-level ``up`` flag is the engine's to manage.
+        """
+        killed: List[Job] = []
+        for machine in self.machines:
+            killed.extend(self.evict_machine(machine, now))
+        drained: List[Job] = []
+        for job in list(self.wait_queue.iter_jobs()):
+            self.wait_queue.remove(job)
+            if self._telemetry is not None:
+                self._telemetry.observe_wait(self.pool_id, now - job.segment_start)
+            drained.append(job)
+        return killed, drained
 
     # -- internals ---------------------------------------------------------------------
 

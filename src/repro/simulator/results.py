@@ -46,6 +46,13 @@ class JobRecord:
         rejected: True when the job was statically unschedulable.
         task_id: logical task the job belongs to, if any.
         user: submitting user/business group.
+        machine_failures: attempts lost to host deaths or pool outages
+            (fault injection; 0 without it).
+        transient_failures: execution segments lost to transient job
+            failures (fault injection; 0 without it).
+        failed: True when the job exhausted its retry budget and was
+            recorded as a permanent failure (``finish_minute`` is
+            ``None``).
     """
 
     job_id: int
@@ -66,6 +73,9 @@ class JobRecord:
     rejected: bool
     task_id: Optional[int]
     user: str
+    machine_failures: int = 0
+    transient_failures: int = 0
+    failed: bool = False
 
     @property
     def completion_time(self) -> Optional[float]:
@@ -124,6 +134,10 @@ class StateSample:
 class SimulationResult:
     """The complete output of one simulation run."""
 
+    # Class-level fallback so results unpickled from cache entries that
+    # predate fault injection still expose the attribute.
+    fault_stats = None
+
     def __init__(
         self,
         records: Sequence[JobRecord],
@@ -132,6 +146,7 @@ class SimulationResult:
         policy_name: str,
         scheduler_name: str,
         total_cores: int,
+        fault_stats=None,
     ) -> None:
         self._records = tuple(records)
         self._samples = tuple(samples)
@@ -139,6 +154,9 @@ class SimulationResult:
         self.policy_name = policy_name
         self.scheduler_name = scheduler_name
         self.total_cores = total_cores
+        #: The run's :class:`~repro.faults.FaultStats`, or ``None`` when
+        #: fault injection was disabled.
+        self.fault_stats = fault_stats
 
     @property
     def records(self) -> Tuple[JobRecord, ...]:
@@ -163,11 +181,21 @@ class SimulationResult:
 
     def completed_records(self) -> Iterator[JobRecord]:
         """Records of jobs that actually finished."""
-        return (r for r in self._records if not r.rejected)
+        return (
+            r for r in self._records if not r.rejected and r.finish_minute is not None
+        )
 
     def suspended_records(self) -> Iterator[JobRecord]:
         """Records of completed jobs that were suspended at least once."""
-        return (r for r in self._records if not r.rejected and r.was_suspended)
+        return (r for r in self.completed_records() if r.was_suspended)
+
+    def failed_records(self) -> Iterator[JobRecord]:
+        """Records of jobs that permanently failed (fault injection)."""
+        return (r for r in self._records if getattr(r, "failed", False))
+
+    def failed_count(self) -> int:
+        """Number of permanently failed jobs."""
+        return sum(1 for _ in self.failed_records())
 
     def rejected_count(self) -> int:
         """Number of statically unschedulable jobs."""

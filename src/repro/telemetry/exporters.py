@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Dict, List, Tuple, Union
 
 from ..errors import ReproError
+from ..fsutil import atomic_write_text
 from .registry import MetricsRegistry
 
 __all__ = [
@@ -97,7 +98,7 @@ def write_prometheus(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
     """Write :func:`to_prometheus` output to ``path``; returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(to_prometheus(registry), encoding="utf-8")
+    atomic_write_text(path, to_prometheus(registry))
     return path
 
 
@@ -178,9 +179,12 @@ def write_jsonl_snapshot(registry: MetricsRegistry, path: Union[str, Path]) -> P
     """Write the registry as a JSONL snapshot; returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        for record in snapshot_lines(registry):
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    # A scrape must never observe a half-written snapshot, even if this
+    # process is killed mid-export.
+    atomic_write_text(
+        path,
+        "".join(json.dumps(record, sort_keys=True) + "\n" for record in snapshot_lines(registry)),
+    )
     return path
 
 

@@ -21,6 +21,8 @@ import time
 from pathlib import Path
 from typing import List, Optional, TextIO, Union
 
+from ..fsutil import atomic_write_text
+
 __all__ = ["ProgressReporter", "write_cells_jsonl", "read_cells_jsonl", "CELLS_FILENAME"]
 
 CELLS_FILENAME = "cells.jsonl"
@@ -104,22 +106,24 @@ def write_cells_jsonl(cells, directory: Union[str, Path]) -> Path:
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / CELLS_FILENAME
-    with open(path, "w", encoding="utf-8") as handle:
-        for cell in cells:
-            handle.write(
-                json.dumps(
-                    {
-                        "scenario": cell.scenario_name,
-                        "policy": cell.policy_name,
-                        "scheduler": cell.scheduler_name,
-                        "wall_seconds": round(cell.wall_seconds, 6),
-                        "from_cache": bool(cell.from_cache),
-                        "seed": cell.seed,
-                    },
-                    sort_keys=True,
-                )
-                + "\n"
+    atomic_write_text(
+        path,
+        "".join(
+            json.dumps(
+                {
+                    "scenario": cell.scenario_name,
+                    "policy": cell.policy_name,
+                    "scheduler": cell.scheduler_name,
+                    "wall_seconds": round(cell.wall_seconds, 6),
+                    "from_cache": bool(cell.from_cache),
+                    "seed": cell.seed,
+                },
+                sort_keys=True,
             )
+            + "\n"
+            for cell in cells
+        ),
+    )
     return path
 
 
