@@ -1,4 +1,4 @@
-.PHONY: ci test lint smoke faults bench
+.PHONY: ci test lint smoke faults bench bench-record bench-check
 
 # Everything CI runs, in one command (tests + lint + smoke + faults).
 ci:
@@ -16,6 +16,17 @@ smoke:
 faults:
 	scripts/ci.sh faults
 
-# Full reproduction log: every table/figure benchmark at current scale.
+# Full reproduction log: every table/figure benchmark at current scale,
+# then a refreshed point on the engine-throughput trajectory.
 bench:
 	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only -s
+	PYTHONPATH=src python scripts/bench_record.py
+
+# Append one BENCH_engine.json record without the full reproduction log.
+bench-record:
+	PYTHONPATH=src python scripts/bench_record.py
+
+# The CI throughput gate: fail on >20% normalised regression vs the
+# last committed record.
+bench-check:
+	scripts/ci.sh bench

@@ -1,31 +1,42 @@
-"""Microbenchmark: raw simulator throughput.
+"""Microbenchmark: raw simulator throughput over the tracked matrix.
 
 Not a paper experiment — this tracks the engine's own performance
-(simulated jobs per wall-clock second on the busy-week workload) so
-regressions in the hot dispatch/fill paths are visible.
-Unlike the experiment benches, this one uses several rounds: the run is
-short and timing noise matters.
+(simulated jobs per wall-clock second) so regressions in the hot
+dispatch/fill paths are visible.  The workload matrix is shared with
+``scripts/bench_record.py`` (see :mod:`repro.benchtrack`), which
+appends the same measurements to the committed ``BENCH_engine.json``
+trajectory; this bench covers the reduced-scale cells so a plain
+``make bench`` stays quick.  Unlike the experiment benches, each cell
+runs several rounds: the runs are short and timing noise matters.
 """
 
-import repro
-from repro.simulator.config import SimulationConfig
+import pytest
+
+from repro import benchtrack
 
 from conftest import banner
 
 
-def test_engine_throughput(benchmark):
-    scenario = repro.busy_week(scale=0.08)
+@pytest.mark.parametrize(
+    "spec", benchtrack.QUICK_WORKLOADS, ids=lambda spec: spec.name
+)
+def test_engine_throughput(benchmark, spec):
+    measured = {}
 
     def run():
-        return repro.run_simulation(
-            scenario.trace,
-            scenario.cluster,
-            policy=repro.res_sus_wait_util(),
-            config=SimulationConfig(strict=False, record_samples=False),
-        )
+        result = benchtrack.measure_workload(spec, rounds=3)
+        measured["result"] = result
+        return result
 
-    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
-    jobs = len(result.records)
-    print(banner("Engine throughput"))
-    print(f"simulated {jobs} jobs (ResSusWaitUtil, busy week at scale 0.08)")
-    assert jobs == len(scenario.trace)
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    result = measured["result"]
+    print(banner(f"Engine throughput: {spec.name}"))
+    print(
+        f"{result.jobs} jobs ({spec.policy}, {spec.scenario} at scale "
+        f"{spec.scale}{', churn' if spec.faults else ''}) in "
+        f"{result.best_wall_seconds:.2f}s best-of-{result.rounds} = "
+        f"{result.jobs_per_second:,.0f} jobs/sec"
+    )
+    print(f"result digest: {result.result_digest}")
+    assert result.jobs > 0
+    assert result.jobs_per_second > 0

@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Measure engine throughput and maintain the BENCH_engine.json trajectory.
+
+Default run — measure the full matrix plus the Table-1 cold/warm
+campaign and append one record to the trajectory:
+
+    PYTHONPATH=src python scripts/bench_record.py
+
+CI gate — measure the quick matrix and fail when calibration-normalised
+throughput regresses more than 20% against the last committed record,
+without writing anything:
+
+    PYTHONPATH=src python scripts/bench_record.py --check --quick
+
+The file format and comparison rules live in :mod:`repro.benchtrack`;
+this script only adds argument parsing, git labelling and reporting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import os
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import benchtrack  # noqa: E402
+
+
+def git_label() -> str:
+    """Abbreviated git revision of the working tree, or 'unknown'."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        return out.stdout.strip() or "unknown"
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default="BENCH_engine.json",
+        help="trajectory file to read/write (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--label", default=None,
+        help="record label (default: abbreviated git revision)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3,
+        help="timing rounds per workload; the best is recorded (default: 3)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="measure only the reduced-scale matrix cells",
+    )
+    parser.add_argument(
+        "--skip-table1", action="store_true",
+        help="skip the Table-1 cold/warm campaign timing",
+    )
+    parser.add_argument(
+        "--overwrite", action="store_true",
+        help="start a fresh trajectory instead of appending",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the last committed record and exit nonzero "
+             "on regression; does not write the trajectory file",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="allowed fractional drop in normalised throughput for "
+             "--check (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--notes", default="", help="free-form note stored in the record",
+    )
+    args = parser.parse_args(argv)
+
+    specs = benchtrack.QUICK_WORKLOADS if args.quick else benchtrack.WORKLOADS
+
+    print("calibrating interpreter ...", flush=True)
+    calibration = benchtrack.calibrate()
+    print(f"calibration score: {calibration:,.0f} iterations/sec")
+
+    workloads = benchtrack.measure_matrix(
+        specs, rounds=args.rounds, progress=lambda msg: print(msg, flush=True)
+    )
+    for w in workloads:
+        print(
+            f"  {w.spec.name}: {w.jobs} jobs in {w.best_wall_seconds:.2f}s "
+            f"(best of {w.rounds}) = {w.jobs_per_second:,.0f} jobs/sec "
+            f"[{w.result_digest[:12]}]"
+        )
+
+    table1_cold = table1_warm = None
+    if not args.skip_table1:
+        print("timing Table-1 campaign (cold, then cache-warm) ...", flush=True)
+        table1_cold, table1_warm = benchtrack.measure_table1()
+        print(f"  table1: cold {table1_cold:.2f}s, warm {table1_warm:.2f}s")
+
+    record = benchtrack.BenchRecord(
+        schema_version=benchtrack.SCHEMA_VERSION,
+        label=args.label or git_label(),
+        recorded_at=datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        calibration_score=calibration,
+        workloads=workloads,
+        table1_cold_seconds=table1_cold,
+        table1_warm_seconds=table1_warm,
+        notes=args.notes,
+    )
+
+    if args.check:
+        history = benchtrack.load_history(args.output)
+        if not history:
+            print(f"no committed trajectory in {args.output}; nothing to gate")
+            return 0
+        previous = history[-1]
+        failures = benchtrack.check_regression(
+            previous, record, threshold=args.threshold
+        )
+        if failures:
+            print(
+                f"throughput regression vs record {previous.label!r}:",
+                file=sys.stderr,
+            )
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"throughput OK vs record {previous.label!r} "
+            f"(threshold {args.threshold:.0%})"
+        )
+        return 0
+
+    count = benchtrack.write_record(args.output, record, append=not args.overwrite)
+    print(f"wrote record {record.label!r} to {args.output} ({count} total)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

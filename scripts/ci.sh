@@ -2,7 +2,7 @@
 # CI entry point — the same commands run locally (`make ci`) and in
 # .github/workflows/ci.yml, so a green local run means a green pipeline.
 #
-# Usage: scripts/ci.sh [tests|lint|smoke|all]
+# Usage: scripts/ci.sh [tests|lint|smoke|faults|bench|all]
 #
 # Subcommands:
 #   tests   tier-1 test suite (the gate every PR must keep green)
@@ -18,7 +18,12 @@
 #           serial vs parallel, and a grid survives a forced worker
 #           kill; then checks `repro run` with churn flags is
 #           byte-identical across two invocations
-#   all     tests + lint + smoke + faults (default)
+#   bench   engine-throughput gate: measures the quick workload matrix
+#           (scripts/bench_record.py --check) and fails when
+#           calibration-normalised throughput regresses more than 20%
+#           against the last committed BENCH_engine.json record
+#   all     tests + lint + smoke + faults (default; bench is its own
+#           CI job because it is timing-sensitive)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -103,14 +108,21 @@ run_faults() {
     echo "CLI fault run OK"
 }
 
+run_bench() {
+    echo "== bench: engine-throughput trajectory gate =="
+    python scripts/bench_record.py --check --quick --skip-table1 \
+        --threshold "${BENCH_THRESHOLD:-0.20}" --output BENCH_engine.json
+}
+
 case "${1:-all}" in
     tests)  run_tests ;;
     lint)   run_lint ;;
     smoke)  run_smoke ;;
     faults) run_faults ;;
+    bench)  run_bench ;;
     all)    run_tests; run_lint; run_smoke; run_faults ;;
     *)
-        echo "usage: scripts/ci.sh [tests|lint|smoke|faults|all]" >&2
+        echo "usage: scripts/ci.sh [tests|lint|smoke|faults|bench|all]" >&2
         exit 2
         ;;
 esac

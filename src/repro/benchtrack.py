@@ -1,0 +1,454 @@
+"""Engine performance trajectory: measure, record, compare.
+
+The simulator's hot paths are rewritten over time (sharded wait
+queues, calendar event scheduling, incremental pool accounting), and
+"it felt faster" is not evidence.  This module gives the repo a
+tracked performance trajectory:
+
+* a fixed **workload matrix** (:data:`WORKLOADS`) every measurement
+  runs against, so numbers stay comparable across commits;
+* a :class:`BenchRecord` JSON schema, appended per PR to
+  ``BENCH_engine.json`` by ``scripts/bench_record.py`` — one record
+  per engine-touching change, oldest first;
+* a **calibration score** (a fixed pure-Python spin measured on the
+  same interpreter just before the workloads) so records taken on
+  different machines can be compared as ratios rather than raw
+  jobs/sec;
+* a regression gate (:func:`check_regression`) CI runs against the
+  last committed record, failing when calibration-normalised
+  throughput drops by more than a threshold;
+* a per-workload **result digest** over the simulation's job records,
+  making every timing run double as a correctness tripwire — an
+  optimisation that changes scheduling decisions shows up as a digest
+  flip even when it is fast.
+
+Timings use the best (minimum) wall-clock of N rounds: the minimum is
+the least noisy location statistic for "how fast can this code go"
+on a machine with background load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .errors import ReproError
+from .simulator.config import SimulationConfig
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "WorkloadSpec",
+    "WorkloadResult",
+    "BenchRecord",
+    "WORKLOADS",
+    "QUICK_WORKLOADS",
+    "calibrate",
+    "result_digest",
+    "measure_workload",
+    "measure_matrix",
+    "measure_table1",
+    "record_to_dict",
+    "record_from_dict",
+    "load_history",
+    "write_record",
+    "check_regression",
+]
+
+#: Bumped when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+class BenchFormatError(ReproError):
+    """A BENCH_*.json file does not match the expected schema."""
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One fixed cell of the throughput matrix.
+
+    Attributes:
+        name: stable identifier; comparisons join records on it.
+        scenario: scenario factory name (``busy_week``,
+            ``high_suspension`` or ``high_load``).
+        scale: workload scale passed to the scenario factory.
+        policy: paper strategy name (one of ``PAPER_POLICY_NAMES``),
+            or ``none`` for the bare dispatcher.
+        seed: simulation seed.
+        faults: when True, run under exponential machine churn —
+            exercises the eviction/requeue paths the fault-free cells
+            never touch.
+    """
+
+    name: str
+    scenario: str = "busy_week"
+    scale: float = 0.08
+    policy: str = "ResSusWaitUtil"
+    seed: int = 0
+    faults: bool = False
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """Measured throughput of one workload cell."""
+
+    spec: WorkloadSpec
+    jobs: int
+    rounds: int
+    best_wall_seconds: float
+    jobs_per_second: float
+    result_digest: str
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One point on the performance trajectory.
+
+    Attributes:
+        schema_version: layout version of this record.
+        label: what was measured — normally the abbreviated git
+            revision, set by ``scripts/bench_record.py``.
+        recorded_at: ISO-8601 timestamp, or ``None`` in deterministic
+            tests.
+        calibration_score: iterations/second of the fixed calibration
+            spin on the recording machine; divide ``jobs_per_second``
+            by it to compare across machines.
+        workloads: matrix measurements, in matrix order.
+        table1_cold_seconds: wall-clock of the Table-1 campaign with a
+            cold cache (``None`` when skipped).
+        table1_warm_seconds: wall-clock of the cache-warm rerun
+            (``None`` when skipped).
+        notes: free-form context (host class, special conditions).
+    """
+
+    schema_version: int
+    label: str
+    recorded_at: Optional[str]
+    calibration_score: float
+    workloads: Tuple[WorkloadResult, ...]
+    table1_cold_seconds: Optional[float] = None
+    table1_warm_seconds: Optional[float] = None
+    notes: str = ""
+
+
+#: The tracked matrix.  Reduced-scale cells cover the policy spread
+#: (bare dispatcher, the paper's heaviest policy, the suspension-heavy
+#: scenario, fault churn); the full-scale cell is the headline number
+#: quoted in docs/performance.md.
+WORKLOADS: Tuple[WorkloadSpec, ...] = (
+    WorkloadSpec(name="busy_week_nores", policy="none"),
+    WorkloadSpec(name="busy_week_wait_util"),
+    WorkloadSpec(name="high_suspension_util", scenario="high_suspension",
+                 scale=0.25, policy="ResSusUtil"),
+    WorkloadSpec(name="busy_week_churn", faults=True),
+    WorkloadSpec(name="busy_week_full", scale=1.0),
+)
+
+#: The cheap subset CI measures on every push (the full-scale cell
+#: takes minutes on a loaded runner and adds nothing to the gate).
+QUICK_WORKLOADS: Tuple[WorkloadSpec, ...] = tuple(
+    spec for spec in WORKLOADS if spec.scale <= 0.25
+)
+
+
+def calibrate(iterations: int = 2_000_000, rounds: int = 3) -> float:
+    """Score this interpreter/machine with a fixed pure-Python spin.
+
+    Returns iterations per second, best of ``rounds``.  The spin mixes
+    integer arithmetic, attribute-free name lookups and list appends —
+    the same operation mix the simulator burns — so the ratio
+    ``jobs_per_second / calibration_score`` is roughly
+    machine-independent and is what the regression gate compares.
+    """
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        acc = 0
+        sink: List[int] = []
+        append = sink.append
+        for i in range(iterations):
+            acc += i & 7
+            if not i & 1023:
+                append(acc)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return iterations / best
+
+
+def result_digest(result) -> str:
+    """SHA-256 over a simulation's job records (order included)."""
+    hasher = hashlib.sha256()
+    for record in result.records:
+        hasher.update(repr(record).encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def _build_workload(spec: WorkloadSpec):
+    """Resolve a spec to ``(trace, cluster, policy_factory, config)``."""
+    from . import busy_week, high_load, high_suspension
+    from .core.policies import policy_from_name
+
+    scenarios = {
+        "busy_week": busy_week,
+        "high_suspension": high_suspension,
+        "high_load": high_load,
+    }
+    try:
+        factory = scenarios[spec.scenario]
+    except KeyError:
+        raise BenchFormatError(f"unknown scenario {spec.scenario!r}") from None
+    scenario = factory(scale=spec.scale)
+    policy = None if spec.policy == "none" else policy_from_name(spec.policy)
+    faults = None
+    if spec.faults:
+        from .faults import FaultConfig, MachineChurn
+        from .workload.distributions import Exponential
+
+        faults = FaultConfig(
+            machine_churn=MachineChurn(
+                mtbf=Exponential(3000.0), mttr=Exponential(60.0)
+            )
+        )
+    config = SimulationConfig(
+        strict=False,
+        seed=spec.seed,
+        record_samples=False,
+        **({"faults": faults} if faults is not None else {}),
+    )
+    return scenario, policy, config
+
+
+def measure_workload(spec: WorkloadSpec, rounds: int = 3) -> WorkloadResult:
+    """Run one cell ``rounds`` times; report the best round.
+
+    Every round's record digest must agree with the first — a digest
+    flip between same-seed rounds means the engine is nondeterministic,
+    which is reported as an error rather than a timing.
+    """
+    from . import run_simulation
+
+    scenario, policy, config = _build_workload(spec)
+    best = float("inf")
+    digest = None
+    jobs = 0
+    for _ in range(max(1, rounds)):
+        start = time.perf_counter()
+        result = run_simulation(
+            scenario.trace, scenario.cluster, policy=policy, config=config
+        )
+        elapsed = time.perf_counter() - start
+        round_digest = result_digest(result)
+        if digest is None:
+            digest = round_digest
+            jobs = len(result.records)
+        elif round_digest != digest:
+            raise BenchFormatError(
+                f"workload {spec.name}: same-seed rounds produced different "
+                f"results ({digest[:12]} vs {round_digest[:12]})"
+            )
+        if elapsed < best:
+            best = elapsed
+    return WorkloadResult(
+        spec=spec,
+        jobs=jobs,
+        rounds=max(1, rounds),
+        best_wall_seconds=best,
+        jobs_per_second=jobs / best if best > 0 else 0.0,
+        result_digest=digest or "",
+    )
+
+
+def measure_matrix(
+    specs: Sequence[WorkloadSpec] = WORKLOADS,
+    rounds: int = 3,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Tuple[WorkloadResult, ...]:
+    """Measure every cell of ``specs`` (matrix order preserved)."""
+    results = []
+    for spec in specs:
+        if progress is not None:
+            progress(f"measuring {spec.name} (scale={spec.scale}, rounds={rounds})")
+        results.append(measure_workload(spec, rounds=rounds))
+    return tuple(results)
+
+
+def measure_table1(scale: float = 0.08) -> Tuple[float, float]:
+    """Time the Table-1 campaign cold, then cache-warm.
+
+    Returns ``(cold_seconds, warm_seconds)``.  Uses a throwaway cache
+    directory so the warm number measures the on-disk result cache,
+    not a previous local run.
+    """
+    import shutil
+    import tempfile
+
+    from .experiments import tables
+
+    cache_dir = tempfile.mkdtemp(prefix="benchtrack-table1-")
+    try:
+        start = time.perf_counter()
+        tables.table1(scale=scale, workers=1, cache_dir=cache_dir, use_cache=True)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        tables.table1(scale=scale, workers=1, cache_dir=cache_dir, use_cache=True)
+        warm = time.perf_counter() - start
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return cold, warm
+
+
+# -- JSON round-trip -----------------------------------------------------------------
+
+
+def record_to_dict(record: BenchRecord) -> Dict:
+    """Plain-JSON form of one record (inverse of :func:`record_from_dict`)."""
+    return {
+        "schema_version": record.schema_version,
+        "label": record.label,
+        "recorded_at": record.recorded_at,
+        "calibration_score": record.calibration_score,
+        "table1_cold_seconds": record.table1_cold_seconds,
+        "table1_warm_seconds": record.table1_warm_seconds,
+        "notes": record.notes,
+        "workloads": [
+            {
+                "name": w.spec.name,
+                "scenario": w.spec.scenario,
+                "scale": w.spec.scale,
+                "policy": w.spec.policy,
+                "seed": w.spec.seed,
+                "faults": w.spec.faults,
+                "jobs": w.jobs,
+                "rounds": w.rounds,
+                "best_wall_seconds": w.best_wall_seconds,
+                "jobs_per_second": w.jobs_per_second,
+                "result_digest": w.result_digest,
+            }
+            for w in record.workloads
+        ],
+    }
+
+
+def record_from_dict(data: Dict) -> BenchRecord:
+    """Parse one record dict, validating the schema."""
+    try:
+        version = data["schema_version"]
+        if version != SCHEMA_VERSION:
+            raise BenchFormatError(f"unsupported bench schema version {version!r}")
+        workloads = tuple(
+            WorkloadResult(
+                spec=WorkloadSpec(
+                    name=w["name"],
+                    scenario=w["scenario"],
+                    scale=w["scale"],
+                    policy=w["policy"],
+                    seed=w["seed"],
+                    faults=w["faults"],
+                ),
+                jobs=w["jobs"],
+                rounds=w["rounds"],
+                best_wall_seconds=w["best_wall_seconds"],
+                jobs_per_second=w["jobs_per_second"],
+                result_digest=w["result_digest"],
+            )
+            for w in data["workloads"]
+        )
+        return BenchRecord(
+            schema_version=version,
+            label=data["label"],
+            recorded_at=data["recorded_at"],
+            calibration_score=data["calibration_score"],
+            workloads=workloads,
+            table1_cold_seconds=data.get("table1_cold_seconds"),
+            table1_warm_seconds=data.get("table1_warm_seconds"),
+            notes=data.get("notes", ""),
+        )
+    except KeyError as exc:
+        raise BenchFormatError(f"bench record is missing field {exc}") from None
+
+
+def load_history(path: str) -> List[BenchRecord]:
+    """All records in ``path``, oldest first; ``[]`` when absent."""
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "records" not in data:
+        raise BenchFormatError(f"{path}: expected an object with a 'records' list")
+    return [record_from_dict(entry) for entry in data["records"]]
+
+
+def write_record(path: str, record: BenchRecord, append: bool = True) -> int:
+    """Persist ``record``; returns the new history length.
+
+    With ``append`` (the default) the record joins the existing
+    trajectory; without it the file is rewritten to hold only this
+    record — useful for starting a fresh trajectory after a schema or
+    matrix change.
+    """
+    history = load_history(path) if append else []
+    history.append(record)
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "records": [record_to_dict(entry) for entry in history],
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return len(history)
+
+
+# -- regression gate -----------------------------------------------------------------
+
+
+def _normalised(record: BenchRecord) -> Dict[str, float]:
+    """Workload name -> jobs/sec divided by the calibration score."""
+    if record.calibration_score <= 0:
+        raise BenchFormatError("record has a non-positive calibration score")
+    return {
+        w.spec.name: w.jobs_per_second / record.calibration_score
+        for w in record.workloads
+    }
+
+
+def check_regression(
+    previous: BenchRecord,
+    current: BenchRecord,
+    threshold: float = 0.20,
+) -> List[str]:
+    """Compare two records; returns human-readable failures (empty = pass).
+
+    A workload fails when its calibration-normalised throughput drops
+    by more than ``threshold`` relative to ``previous``.  Workloads are
+    joined by name and compared only when their spec (scenario, scale,
+    policy, seed, faults) is unchanged; a renamed or re-scoped cell
+    simply starts a new trajectory.  Speedups never fail.
+    """
+    failures: List[str] = []
+    prev_norm = _normalised(previous)
+    cur_norm = _normalised(current)
+    prev_specs = {w.spec.name: w.spec for w in previous.workloads}
+    cur_specs = {w.spec.name: w.spec for w in current.workloads}
+    for name, cur in sorted(cur_norm.items()):
+        if name not in prev_norm:
+            continue
+        if prev_specs[name] != cur_specs[name]:
+            continue
+        prev = prev_norm[name]
+        if prev <= 0:
+            continue
+        drop = 1.0 - cur / prev
+        if drop > threshold:
+            failures.append(
+                f"{name}: normalised throughput dropped {drop:.1%} "
+                f"(limit {threshold:.0%}; {prev:.4f} -> {cur:.4f} jobs/sec "
+                f"per calibration unit)"
+            )
+    return failures

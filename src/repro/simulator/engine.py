@@ -129,6 +129,11 @@ class SimulationEngine:
         }
         self.pool_order: Tuple[str, ...] = cluster.pool_ids
         self.total_cores = cluster.total_cores
+        # Per-pool core totals in pool order; immutable over a run, so
+        # the sampling tick need not rebuild the list every minute.
+        self._pool_core_totals = [
+            self.pools[pool_id].total_cores for pool_id in self.pool_order
+        ]
         self._streams = RandomStreams(self.config.seed)
         self.decision_rng = self._streams.stream("decisions")
         self.view = LiveSystemView(self)
@@ -140,7 +145,11 @@ class SimulationEngine:
         self._records: List[JobRecord] = []
         self._samples: List[StateSample] = []
         self._outstanding = len(trace)
-        self._eligibility_cache: Dict[Tuple[str, int, float], Tuple[str, ...]] = {}
+        # Eligible-pool tuples cached at two levels: per requirement
+        # signature, and per (signature, whitelist) pair so whitelisted
+        # jobs skip the per-call filter too.
+        self._signature_pools: Dict[Tuple[str, int, float], Tuple[str, ...]] = {}
+        self._eligibility_cache: Dict[tuple, Tuple[str, ...]] = {}
         self._dup_partner: Dict[int, Job] = {}
         # Permanently failed members of duplicate pairs, keyed by the
         # surviving attempt's job id so the survivor's record (or
@@ -164,6 +173,23 @@ class SimulationEngine:
                 self.config.faults, self._streams, telemetry=self._telemetry
             )
             self._faults.schedule_initial(self._events, self.pool_order, self.pools)
+        # Handler table indexed by event kind (the kinds are dense small
+        # ints); every handler takes (payload, now).  Replaces a per-event
+        # if/elif chain in the drain loop.
+        handlers = {
+            EVENT_SUBMIT: self._on_submit,
+            EVENT_FINISH: self._on_finish,
+            EVENT_WAIT_TIMEOUT: self._on_wait_timeout,
+            EVENT_POOL_ARRIVAL: self._on_pool_arrival,
+            EVENT_SAMPLE: self._on_sample,
+            EVENT_MACHINE_CRASH: self._on_machine_crash,
+            EVENT_MACHINE_RECOVER: self._on_machine_recover,
+            EVENT_POOL_DOWN: self._on_pool_down,
+            EVENT_POOL_UP: self._on_pool_up,
+            EVENT_JOB_FAILURE: self._on_job_failure,
+            EVENT_JOB_RETRY: self._on_job_retry,
+        }
+        self._dispatch = tuple(handlers[kind] for kind in range(len(handlers)))
 
     # -- public API -----------------------------------------------------------------
 
@@ -192,57 +218,43 @@ class SimulationEngine:
         profiler = self._profiler
         if profiler is not None:
             profiler.start()
-        started_at = 0.0
         faults = self._faults
-        while len(events):
-            # Fault renewal processes (machine crash/recover) outlive the
-            # workload; once every job is accounted for, the remaining
-            # events are pure fault noise and the run is over.  Without
-            # faults the queue drains naturally, exactly as before.
-            if faults is not None and self._outstanding == 0:
-                break
-            time, _, kind, payload = events.pop()
-            if max_minutes is not None and time > max_minutes:
-                raise SimulationError(
-                    f"simulation exceeded max_minutes={max_minutes} "
-                    f"with {self._outstanding} jobs outstanding"
-                )
-            if telemetry is not None:
-                telemetry.count_queue_event(EVENT_NAMES[kind])
-            if profiler is not None:
-                started_at = perf_counter()
-            if kind == EVENT_FINISH:
-                job, epoch = payload
-                self._on_finish(job, epoch, time)
-            elif kind == EVENT_SAMPLE:
-                self._on_sample(time)
-            elif kind == EVENT_SUBMIT:
-                self._on_submit(payload, time)
-            elif kind == EVENT_WAIT_TIMEOUT:
-                job, episode = payload
-                self._on_wait_timeout(job, episode, time)
-            elif kind == EVENT_POOL_ARRIVAL:
-                job, pool_id = payload
-                self._on_pool_arrival(job, pool_id, time)
-            elif kind == EVENT_MACHINE_CRASH:
-                pool_id, machine = payload
-                self._on_machine_crash(pool_id, machine, time)
-            elif kind == EVENT_MACHINE_RECOVER:
-                pool_id, machine = payload
-                self._on_machine_recover(pool_id, machine, time)
-            elif kind == EVENT_POOL_DOWN:
-                self._on_pool_down(payload, time)
-            elif kind == EVENT_POOL_UP:
-                self._on_pool_up(payload, time)
-            elif kind == EVENT_JOB_FAILURE:
-                job, epoch = payload
-                self._on_job_failure(job, epoch, time)
-            elif kind == EVENT_JOB_RETRY:
-                self._on_job_retry(payload, time)
-            else:  # pragma: no cover - event kinds are closed
-                raise SimulationError(f"unknown event kind {kind}")
-            if profiler is not None:
-                profiler.record(EVENT_NAMES[kind], perf_counter() - started_at)
+        dispatch = self._dispatch
+        pop = events.pop
+        if telemetry is None and profiler is None:
+            # Fast drain: no per-event instrumentation checks at all.
+            # Fault renewal processes (machine crash/recover) outlive
+            # the workload; once every job is accounted for, the
+            # remaining events are pure fault noise and the run is over.
+            # Without faults the queue drains naturally, exactly as
+            # before.
+            while len(events):
+                if faults is not None and self._outstanding == 0:
+                    break
+                time, _, kind, payload = pop()
+                if max_minutes is not None and time > max_minutes:
+                    raise SimulationError(
+                        f"simulation exceeded max_minutes={max_minutes} "
+                        f"with {self._outstanding} jobs outstanding"
+                    )
+                dispatch[kind](payload, time)
+        else:
+            while len(events):
+                if faults is not None and self._outstanding == 0:
+                    break
+                time, _, kind, payload = pop()
+                if max_minutes is not None and time > max_minutes:
+                    raise SimulationError(
+                        f"simulation exceeded max_minutes={max_minutes} "
+                        f"with {self._outstanding} jobs outstanding"
+                    )
+                if telemetry is not None:
+                    telemetry.count_queue_event(EVENT_NAMES[kind])
+                if profiler is not None:
+                    started_at = perf_counter()
+                dispatch[kind](payload, time)
+                if profiler is not None:
+                    profiler.record(EVENT_NAMES[kind], perf_counter() - started_at)
         if profiler is not None:
             profiler.stop()
         if self._outstanding != 0:
@@ -280,12 +292,19 @@ class SimulationEngine:
     def eligible_candidates(self, spec: TraceJob) -> Tuple[str, ...]:
         """Pools where ``spec`` is whitelisted and statically eligible.
 
-        Cached by requirement signature (OS, cores, memory): traces
-        contain few distinct signatures, so the per-pool machine scans
-        amortise to nothing.
+        Cached by requirement signature (OS, cores, memory) and, one
+        level up, by (signature, whitelist): traces contain few distinct
+        signatures and whitelists, so both the per-pool machine scans
+        and the whitelist filtering amortise to nothing.  Equal keys
+        return the *same tuple object*, which schedulers rely on when
+        keying round-robin state on the candidate tuple.
         """
-        signature = (spec.os_family, spec.cores, spec.memory_gb)
-        eligible = self._eligibility_cache.get(signature)
+        key = (spec.os_family, spec.cores, spec.memory_gb, spec.candidate_pools)
+        cached = self._eligibility_cache.get(key)
+        if cached is not None:
+            return cached
+        signature = key[:3]
+        eligible = self._signature_pools.get(signature)
         if eligible is None:
             eligible = tuple(
                 pool_id
@@ -295,11 +314,14 @@ class SimulationEngine:
                     for m in self.pools[pool_id].machines
                 )
             )
-            self._eligibility_cache[signature] = eligible
+            self._signature_pools[signature] = eligible
         if spec.candidate_pools is None:
-            return eligible
-        allowed = set(spec.candidate_pools)
-        return tuple(pool_id for pool_id in eligible if pool_id in allowed)
+            result = eligible
+        else:
+            allowed = set(spec.candidate_pools)
+            result = tuple(pool_id for pool_id in eligible if pool_id in allowed)
+        self._eligibility_cache[key] = result
+        return result
 
     def available_candidates(self, spec: TraceJob) -> Tuple[str, ...]:
         """Eligible pools that are also currently up.
@@ -325,9 +347,11 @@ class SimulationEngine:
     ) -> None:
         """Fan one simulation event out to telemetry and all observers.
 
-        The enabled-check lives here (not at call sites) so emission
-        can never be accidentally skipped for one consumer; when
-        nothing is listening this returns before building the event.
+        The enabled-check lives here so emission can never be
+        accidentally skipped for one consumer; hot call sites *also*
+        pre-check ``_emit_enabled`` before building detail strings, so
+        the telemetry-off path pays neither string formatting nor this
+        call.
         """
         if not self._emit_enabled:
             return
@@ -344,7 +368,8 @@ class SimulationEngine:
                 observer.on_event(sim_event)
 
     def _on_submit(self, job: Job, now: float) -> None:
-        self._emit(now, "submit", job)
+        if self._emit_enabled:
+            self._emit(now, "submit", job)
         self._place_via_vpm(job, now)
 
     def _place_via_vpm(self, job: Job, now: float) -> None:
@@ -371,13 +396,15 @@ class SimulationEngine:
         result, _ = vpm.submit(job, candidates, self.view, now)
         self._after_placement(job, result, now)
 
-    def _on_finish(self, job: Job, epoch: int, now: float) -> None:
+    def _on_finish(self, payload: Tuple[Job, int], now: float) -> None:
+        job, epoch = payload
         if job.epoch != epoch or job.state is not JobState.RUNNING:
             return  # stale completion from before a suspension/restart
         pool = self.pools[job.pool_id]
         finish_pool = job.pool_id
         machine = pool.finish_job(job, now)
-        self._emit(now, "finish", job, pool_id=finish_pool)
+        if self._emit_enabled:
+            self._emit(now, "finish", job, pool_id=finish_pool)
         partner = self._dup_partner.pop(job.job_id, None)
         if partner is not None:
             self._dup_partner.pop(partner.job_id, None)
@@ -389,7 +416,8 @@ class SimulationEngine:
         self._record_completion(job, partner, now)
         self._fill(pool, machine, now)
 
-    def _on_wait_timeout(self, job: Job, episode: int, now: float) -> None:
+    def _on_wait_timeout(self, payload: Tuple[Job, int], now: float) -> None:
+        job, episode = payload
         if job.state is not JobState.WAITING or job.wait_episode != episode:
             return  # the job started or moved since this check was scheduled
         decision = self.policy.on_wait_timeout(job, self.view)
@@ -403,14 +431,16 @@ class SimulationEngine:
             return
         origin_id = job.pool_id
         self.pools[origin_id].remove_waiting(job, now)
-        self._emit(now, "dequeue", job, pool_id=origin_id)
+        if self._emit_enabled:
+            self._emit(now, "dequeue", job, pool_id=origin_id)
         # A moved job may itself preempt lower-priority work at the
         # target pool; run those victims through the suspension hook.
         victims = self._move_to_pool(job, target, now, origin=origin_id)
         if victims:
             self._process_victims(victims, now)
 
-    def _on_pool_arrival(self, job: Job, pool_id: str, now: float) -> None:
+    def _on_pool_arrival(self, payload: Tuple[Job, str], now: float) -> None:
+        job, pool_id = payload
         if job.state is JobState.FINISHED:
             return  # cancelled while in transit (duplication loser)
         if job.state is not JobState.PENDING:
@@ -431,7 +461,7 @@ class SimulationEngine:
             )
         self._after_placement(job, result, now)
 
-    def _on_sample(self, now: float) -> None:
+    def _on_sample(self, _payload: None, now: float) -> None:
         busy = 0
         running = 0
         suspended = 0
@@ -470,7 +500,7 @@ class SimulationEngine:
                 self.total_cores,
                 self.pool_order,
                 per_pool_busy,
-                [self.pools[pool_id].total_cores for pool_id in self.pool_order],
+                self._pool_core_totals,
                 per_pool_waiting,
                 per_pool_suspended,
             )
@@ -482,7 +512,8 @@ class SimulationEngine:
 
     # -- fault handlers -----------------------------------------------------------------
 
-    def _on_machine_crash(self, pool_id: str, machine: Machine, now: float) -> None:
+    def _on_machine_crash(self, payload: Tuple[str, Machine], now: float) -> None:
+        pool_id, machine = payload
         faults = self._faults
         machine.up = False
         faults.note_machine_crash()
@@ -495,7 +526,8 @@ class SimulationEngine:
         orphans = pool.evict_machine(machine, now)
         self._requeue_orphans(orphans, (), now, cause="machine")
 
-    def _on_machine_recover(self, pool_id: str, machine: Machine, now: float) -> None:
+    def _on_machine_recover(self, payload: Tuple[str, Machine], now: float) -> None:
+        pool_id, machine = payload
         faults = self._faults
         machine.up = True
         faults.note_machine_recovery()
@@ -560,7 +592,8 @@ class SimulationEngine:
         for job in itertools.chain(killed, drained):
             self._place_via_vpm(job, now)
 
-    def _on_job_failure(self, job: Job, epoch: int, now: float) -> None:
+    def _on_job_failure(self, payload: Tuple[Job, int], now: float) -> None:
+        job, epoch = payload
         if job.epoch != epoch or job.state is not JobState.RUNNING:
             return  # the segment this failure was rolled for ended first
         faults = self._faults
@@ -570,9 +603,11 @@ class SimulationEngine:
         lost = job.fail_attempt(now, kind="transient")
         faults.note_transient_failure(lost)
         failures = job.transient_failures
-        self._emit(
-            now, "fault-job-failure", job, pool_id=origin, detail=f"attempt={failures}"
-        )
+        if self._emit_enabled:
+            self._emit(
+                now, "fault-job-failure", job, pool_id=origin,
+                detail=f"attempt={failures}",
+            )
         self._fill(pool, machine, now)
         retry = self.config.faults.retry
         if failures >= retry.max_attempts:
@@ -607,20 +642,24 @@ class SimulationEngine:
 
     def _after_placement(self, job: Job, result: SubmitResult, now: float) -> None:
         outcome = result.outcome
+        emit = self._emit_enabled
         if outcome is SubmitOutcome.STARTED:
-            self._emit(now, "start", job, pool_id=job.pool_id)
+            if emit:
+                self._emit(now, "start", job, pool_id=job.pool_id)
             self._schedule_finish(job, now)
         elif outcome is SubmitOutcome.PREEMPTED:
-            self._emit(now, "start", job, pool_id=job.pool_id)
-            for victim in result.victims:
-                self._emit(
-                    now, "suspend", victim, pool_id=victim.pool_id,
-                    detail=f"preempted-by={job.job_id}",
-                )
+            if emit:
+                self._emit(now, "start", job, pool_id=job.pool_id)
+                for victim in result.victims:
+                    self._emit(
+                        now, "suspend", victim, pool_id=victim.pool_id,
+                        detail=f"preempted-by={job.job_id}",
+                    )
             self._schedule_finish(job, now)
             self._process_victims(result.victims, now)
         elif outcome is SubmitOutcome.QUEUED:
-            self._emit(now, "queue", job, pool_id=job.pool_id)
+            if emit:
+                self._emit(now, "queue", job, pool_id=job.pool_id)
             self._arm_wait_timer(job, now)
         elif outcome is SubmitOutcome.INELIGIBLE:
             if self.config.strict:
@@ -672,10 +711,11 @@ class SimulationEngine:
                 origin_id = victim.pool_id
                 origin = self.pools[origin_id]
                 machine = origin.detach_suspended(victim, now)
-                self._emit(
-                    now, "restart", victim, pool_id=target,
-                    detail=f"from={origin_id}",
-                )
+                if self._emit_enabled:
+                    self._emit(
+                        now, "restart", victim, pool_id=target,
+                        detail=f"from={origin_id}",
+                    )
                 self._fill(origin, machine, now)
                 new_victims = self._move_to_pool(victim, target, now, origin=origin_id)
             elif decision.action is Action.MIGRATE:
@@ -686,10 +726,11 @@ class SimulationEngine:
                 )
                 self._fill(origin, machine, now)
                 victim.dilate_remaining(self.config.migration_dilation)
-                self._emit(
-                    now, "migrate", victim, pool_id=target,
-                    detail=f"from={origin_id}",
-                )
+                if self._emit_enabled:
+                    self._emit(
+                        now, "migrate", victim, pool_id=target,
+                        detail=f"from={origin_id}",
+                    )
                 new_victims = self._move_to_pool(
                     victim,
                     target,
@@ -704,10 +745,11 @@ class SimulationEngine:
                 if victim.is_shadow or victim.job_id in self._dup_partner:
                     continue
                 shadow = self._make_shadow(victim)
-                self._emit(
-                    now, "duplicate", victim, pool_id=target,
-                    detail=f"shadow={shadow.job_id}",
-                )
+                if self._emit_enabled:
+                    self._emit(
+                        now, "duplicate", victim, pool_id=target,
+                        detail=f"shadow={shadow.job_id}",
+                    )
                 new_victims = self._move_to_pool(shadow, target, now)
             pending.extend(new_victims)
 
@@ -739,18 +781,21 @@ class SimulationEngine:
                 f"job {job.job_id} was rescheduled to pool {target} "
                 f"where it is statically ineligible"
             )
+        emit = self._emit_enabled
         if result.outcome is SubmitOutcome.QUEUED:
-            self._emit(now, "queue", job, pool_id=target)
+            if emit:
+                self._emit(now, "queue", job, pool_id=target)
             self._arm_wait_timer(job, now)
         else:
-            self._emit(now, "start", job, pool_id=target)
-            if result.outcome is SubmitOutcome.PREEMPTED:
-                for new_victim in result.victims:
-                    self._emit(
-                        now, "suspend", new_victim,
-                        pool_id=new_victim.pool_id,
-                        detail=f"preempted-by={job.job_id}",
-                    )
+            if emit:
+                self._emit(now, "start", job, pool_id=target)
+                if result.outcome is SubmitOutcome.PREEMPTED:
+                    for new_victim in result.victims:
+                        self._emit(
+                            now, "suspend", new_victim,
+                            pool_id=new_victim.pool_id,
+                            detail=f"preempted-by={job.job_id}",
+                        )
             self._schedule_finish(job, now)
         return result.victims
 
@@ -817,11 +862,37 @@ class SimulationEngine:
             raise SimulationError(
                 f"shadow {winner.job_id} finished without a linked original"
             )
-        if winner.is_shadow:
-            identity = partner
-        else:
-            identity = winner
-        attempts = [winner] if partner is None else [winner, partner]
+        if partner is None:
+            # Overwhelmingly common case: a single attempt, no merging.
+            spec = winner.spec
+            record = JobRecord(
+                job_id=winner.job_id,
+                priority=winner.priority,
+                submit_minute=spec.submit_minute,
+                finish_minute=now,
+                runtime_minutes=spec.runtime_minutes,
+                cores=spec.cores,
+                memory_gb=spec.memory_gb,
+                wait_time=winner.total_wait,
+                suspend_time=winner.total_suspend,
+                wasted_restart_time=winner.wasted_restart,
+                suspension_count=winner.suspension_count,
+                restart_count=winner.restart_count,
+                migration_count=winner.migration_count,
+                waiting_move_count=winner.waiting_move_count,
+                pools_visited=tuple(dict.fromkeys(winner.pools_visited)),
+                rejected=False,
+                task_id=spec.task_id,
+                user=spec.user,
+                machine_failures=winner.machine_failures,
+                transient_failures=winner.transient_failures,
+                failed=False,
+            )
+            self._records.append(record)
+            self._outstanding -= 1
+            return
+        identity = partner if winner.is_shadow else winner
+        attempts = [winner, partner]
         record = JobRecord(
             job_id=identity.job_id,
             priority=identity.priority,
@@ -834,8 +905,7 @@ class SimulationEngine:
             suspend_time=sum(a.total_suspend for a in attempts),
             wasted_restart_time=sum(a.wasted_restart for a in attempts),
             suspension_count=sum(a.suspension_count for a in attempts),
-            restart_count=sum(a.restart_count for a in attempts)
-            + (1 if partner is not None else 0),
+            restart_count=sum(a.restart_count for a in attempts) + 1,
             migration_count=sum(a.migration_count for a in attempts),
             waiting_move_count=sum(a.waiting_move_count for a in attempts),
             pools_visited=tuple(

@@ -27,7 +27,17 @@ __all__ = ["Machine"]
 class Machine:
     """Mutable occupancy state of one machine."""
 
-    __slots__ = ("spec", "free_cores", "free_memory_gb", "running", "suspended", "up")
+    __slots__ = (
+        "spec",
+        "free_cores",
+        "free_memory_gb",
+        "running",
+        "suspended",
+        "up",
+        "_eligibility",
+        "_running_priorities",
+        "_min_running_priority",
+    )
 
     def __init__(self, spec: MachineSpec) -> None:
         self.spec = spec
@@ -39,6 +49,18 @@ class Machine:
         # eligible (jobs queue for it) but never passes the dynamic
         # checks, mirroring a NetBatch host that dropped out of the pool.
         self.up = True
+        # Static eligibility verdict per requirement signature; specs
+        # are immutable so entries never invalidate.
+        self._eligibility: Dict[tuple, bool] = {}
+        # Exact minimum priority among running jobs (inf when idle),
+        # backed by a histogram of occupied priority levels.  Traces use
+        # a handful of levels, so when the minimum level empties the new
+        # minimum comes from a scan over the histogram keys rather than
+        # the whole running set.  "new priority <= min" exactly proves
+        # preemption impossible, so submit's preemption scan touches
+        # only machines that truly hold a lower-priority victim.
+        self._running_priorities: Dict[int, int] = {}
+        self._min_running_priority = float("inf")
 
     # -- queries ---------------------------------------------------------------
 
@@ -53,8 +75,17 @@ class Machine:
         return self.spec.cores - self.free_cores
 
     def eligible(self, job_spec) -> bool:
-        """Static eligibility (OS, total cores, total memory)."""
-        return machine_eligible(self.spec, job_spec)
+        """Static eligibility (OS, total cores, total memory).
+
+        Memoized per requirement signature — both specs are immutable,
+        and this check sits inside every dispatch and refill scan.
+        """
+        sig = (job_spec.os_family, job_spec.cores, job_spec.memory_gb)
+        verdict = self._eligibility.get(sig)
+        if verdict is None:
+            verdict = machine_eligible(self.spec, job_spec)
+            self._eligibility[sig] = verdict
+        return verdict
 
     def fits_now(self, job_spec) -> bool:
         """Whether the job could start immediately (dynamic check)."""
@@ -91,15 +122,22 @@ class Machine:
         exactly the waste the paper's ResSusRand results expose.
         Returns an empty list when preemption cannot make the job fit.
         """
-        if not self.could_fit_by_preemption(job_spec, priority):
+        if not self.up or self.free_memory_gb < job_spec.memory_gb:
             return []
         needed = job_spec.cores - self.free_cores
         if needed <= 0:
             return []
-        candidates = sorted(
-            (job for job in self.running.values() if job.priority < priority),
-            key=lambda job: (job.priority, job.job_id),
-        )
+        # Single pass over the (small) running set: collect candidates
+        # and their total cores together, then sort only on success.
+        candidates: List[Job] = []
+        freed_limit = 0
+        for job in self.running.values():
+            if job.spec.priority < priority:
+                candidates.append(job)
+                freed_limit += job.spec.cores
+        if freed_limit < needed:
+            return []
+        candidates.sort(key=lambda job: (job.spec.priority, job.job_id))
         victims: List[Job] = []
         freed = 0
         for job in candidates:
@@ -107,9 +145,29 @@ class Machine:
             freed += job.spec.cores
             if freed >= needed:
                 return victims
-        return []  # pragma: no cover - guarded by could_fit_by_preemption
+        return []  # pragma: no cover - guarded by the freed_limit check
 
     # -- occupancy transitions ---------------------------------------------------
+
+    def _note_running(self, priority: int) -> None:
+        """Account one more running job at ``priority``."""
+        counts = self._running_priorities
+        counts[priority] = counts.get(priority, 0) + 1
+        if priority < self._min_running_priority:
+            self._min_running_priority = priority
+
+    def _unnote_running(self, priority: int) -> None:
+        """Account one less running job at ``priority``."""
+        counts = self._running_priorities
+        remaining = counts[priority] - 1
+        if remaining:
+            counts[priority] = remaining
+        else:
+            del counts[priority]
+            if priority == self._min_running_priority:
+                self._min_running_priority = (
+                    min(counts) if counts else float("inf")
+                )
 
     def place(self, job: Job) -> None:
         """Account a job that starts running here."""
@@ -122,6 +180,7 @@ class Machine:
         self.free_cores -= job.spec.cores
         self.free_memory_gb -= job.spec.memory_gb
         self.running[job.job_id] = job
+        self._note_running(job.spec.priority)
 
     def suspend(self, job: Job) -> None:
         """Move a running job to the suspended set (cores freed, memory kept)."""
@@ -132,6 +191,7 @@ class Machine:
         del self.running[job.job_id]
         self.suspended[job.job_id] = job
         self.free_cores += job.spec.cores
+        self._unnote_running(job.spec.priority)
 
     def resume(self, job: Job) -> None:
         """Move a suspended job back to running (cores re-acquired)."""
@@ -147,6 +207,7 @@ class Machine:
         del self.suspended[job.job_id]
         self.running[job.job_id] = job
         self.free_cores -= job.spec.cores
+        self._note_running(job.spec.priority)
 
     def remove(self, job: Job) -> None:
         """Detach a job entirely (finish, restart-away, or cancellation)."""
@@ -154,6 +215,7 @@ class Machine:
             del self.running[job.job_id]
             self.free_cores += job.spec.cores
             self.free_memory_gb += job.spec.memory_gb
+            self._unnote_running(job.spec.priority)
         elif job.job_id in self.suspended:
             del self.suspended[job.job_id]
             self.free_memory_gb += job.spec.memory_gb
@@ -193,6 +255,21 @@ class Machine:
         if not self.up and (self.running or self.suspended):
             raise SchedulingError(
                 f"machine {self.machine_id}: down but still occupied"
+            )
+        actual_counts: Dict[int, int] = {}
+        for job in self.running.values():
+            p = job.spec.priority
+            actual_counts[p] = actual_counts.get(p, 0) + 1
+        if self._running_priorities != actual_counts:
+            raise SchedulingError(
+                f"machine {self.machine_id}: running-priority histogram drift "
+                f"(tracked={self._running_priorities}, actual={actual_counts})"
+            )
+        actual_min = min(actual_counts) if actual_counts else float("inf")
+        if self._min_running_priority != actual_min:
+            raise SchedulingError(
+                f"machine {self.machine_id}: running-priority minimum drifted "
+                f"(tracked={self._min_running_priority}, actual={actual_min})"
             )
 
     def __repr__(self) -> str:

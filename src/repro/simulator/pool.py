@@ -79,9 +79,33 @@ class PhysicalPool:
         self.total_cores = spec.total_cores
         self.busy_cores = 0
         self.running_jobs = 0
+        # Histogram of running-job priorities (counts may sit at zero).
+        # Lets submit prove "nothing in this pool is preemptible by
+        # priority p" without scanning any machine; traces use a
+        # handful of priority levels.
+        self._running_priorities: Dict[int, int] = {}
         self._suspend_order: Dict[int, int] = {}
         self._suspend_counter = 0
         self._telemetry = telemetry
+        # Statically eligible machines (in dispatch order) per job
+        # requirement signature.  Eligibility depends only on immutable
+        # specs, so entries never invalidate; traces have few distinct
+        # signatures, so the one-off scans amortise to nothing.
+        self._eligible_machines: Dict[tuple, Tuple[Machine, ...]] = {}
+        # Negative first-fit cache: requirement signatures whose
+        # first-fit scan came up empty, tagged with the capacity
+        # version they failed at.  Every capacity release (finish,
+        # suspension, detach, refill after recovery) bumps the version,
+        # so a current-version hit proves the scan would fail again
+        # without touching a machine.  A saturated pool sees long
+        # arrival bursts between releases; this turns each burst's
+        # repeated failing scans into one dictionary probe.
+        self._no_first_fit: Dict[tuple, int] = {}
+        self._capacity_version = 0
+        # Snapshot cache: pools are snapshotted once per candidate per
+        # policy decision, far more often than their statistics change.
+        self._snapshot_key: Optional[tuple] = None
+        self._snapshot: Optional[PoolSnapshot] = None
         # Fault-injection pool state: False while a blackout window is
         # open.  The engine flips it and routes around down pools.
         self.up = True
@@ -100,14 +124,23 @@ class PhysicalPool:
         return self.busy_cores / self.total_cores
 
     def snapshot(self) -> PoolSnapshot:
-        """Point-in-time statistics for schedulers and policies."""
-        return PoolSnapshot(
-            pool_id=self.pool_id,
-            total_cores=self.total_cores,
-            busy_cores=self.busy_cores,
-            waiting_jobs=len(self.wait_queue),
-            suspended_jobs=len(self.suspended),
-        )
+        """Point-in-time statistics for schedulers and policies.
+
+        Cached on the statistics themselves: the key is recomputed from
+        live counters on every call (so it can never go stale) and the
+        frozen snapshot object is rebuilt only when a counter moved.
+        """
+        key = (self.busy_cores, len(self.wait_queue), len(self.suspended))
+        if key != self._snapshot_key:
+            self._snapshot_key = key
+            self._snapshot = PoolSnapshot(
+                pool_id=self.pool_id,
+                total_cores=self.total_cores,
+                busy_cores=key[0],
+                waiting_jobs=key[1],
+                suspended_jobs=key[2],
+            )
+        return self._snapshot
 
     def running_job_count(self) -> int:
         """Number of jobs currently executing in this pool."""
@@ -115,25 +148,74 @@ class PhysicalPool:
 
     # -- submission -----------------------------------------------------------------
 
+    def eligible_machines(self, job_spec) -> Tuple[Machine, ...]:
+        """Statically eligible machines for ``job_spec``, in dispatch order.
+
+        Cached per requirement signature; eligibility depends only on
+        immutable machine and job specs, so the cache never invalidates.
+        """
+        sig = (job_spec.os_family, job_spec.cores, job_spec.memory_gb)
+        machines = self._eligible_machines.get(sig)
+        if machines is None:
+            machines = tuple(m for m in self.machines if m.eligible(job_spec))
+            self._eligible_machines[sig] = machines
+        return machines
+
     def submit(self, job: Job, now: float) -> SubmitResult:
         """Dispatch an arriving job per the NetBatch pool-manager rules."""
-        eligible_exists = False
-        # 1. First fit on an available eligible machine.
-        for machine in self.machines:
-            if not machine.eligible(job.spec):
-                continue
-            eligible_exists = True
-            if machine.fits_now(job.spec):
-                self._start_on(job, machine, now)
-                return SubmitResult(SubmitOutcome.STARTED, machine=machine)
-        if not eligible_exists:
+        spec = job.spec
+        sig = (spec.os_family, spec.cores, spec.memory_gb)
+        eligible = self._eligible_machines.get(sig)
+        if eligible is None:
+            eligible = tuple(m for m in self.machines if m.eligible(spec))
+            self._eligible_machines[sig] = eligible
+        if not eligible:
             return SubmitResult(SubmitOutcome.INELIGIBLE)
+        cores = spec.cores
+        memory = spec.memory_gb
+        # 1. First fit on an available eligible machine (dynamic checks
+        #    inlined: this scan runs once per placement attempt).  The
+        #    pool-level free-core total is a necessary condition for any
+        #    machine to fit, and a no-first-fit entry at the current
+        #    capacity version replays a scan that already failed —
+        #    either proof lets a saturated pool skip the whole scan.
+        if (
+            self.total_cores - self.busy_cores >= cores
+            and self._no_first_fit.get(sig) != self._capacity_version
+        ):
+            for machine in eligible:
+                if (
+                    machine.up
+                    and machine.free_cores >= cores
+                    and machine.free_memory_gb >= memory
+                ):
+                    self._start_on(job, machine, now)
+                    return SubmitResult(SubmitOutcome.STARTED, machine=machine)
+            self._no_first_fit[sig] = self._capacity_version
         # 2. Preemption: first eligible machine where suspending
-        #    lower-priority work makes room.
-        for machine in self.machines:
-            if not machine.eligible(job.spec):
+        #    lower-priority work makes room.  The priority histogram
+        #    proves the common case — nothing running in the pool is
+        #    below the new job's priority — without touching a machine.
+        priority = job.priority
+        for level, count in self._running_priorities.items():
+            if count and level < priority:
+                break
+        else:
+            job.enqueue(self.pool_id, now)
+            self.wait_queue.push(job)
+            return SubmitResult(SubmitOutcome.QUEUED)
+        for machine in eligible:
+            # Preemption frees cores but never memory: cheap rejects
+            # first, then the exact victim computation.  The priority
+            # bound is conservative (never stale high), so it can only
+            # skip machines where no running job is preemptible.
+            if (
+                not machine.up
+                or machine.free_memory_gb < memory
+                or priority <= machine._min_running_priority
+            ):
                 continue
-            victims = machine.preemption_victims(job.spec, job.priority)
+            victims = machine.preemption_victims(spec, priority)
             # An empty victim list means preemption cannot make the job
             # fit here (a machine it would already fit on was taken in
             # step 1), so move on.
@@ -141,7 +223,7 @@ class PhysicalPool:
                 continue
             for victim in victims:
                 self._suspend_on(victim, machine, now)
-            if not machine.fits_now(job.spec):
+            if not machine.fits_now(spec):
                 raise SchedulingError(
                     f"pool {self.pool_id}: preemption on {machine.machine_id} "
                     f"did not make room for job {job.job_id}"
@@ -172,14 +254,22 @@ class PhysicalPool:
         Returns the jobs that started or resumed.
         """
         placed: List[Job] = []
+        # The engine calls this after every capacity release, including
+        # machine/pool recoveries that flip ``up`` flags outside the
+        # pool's sight — so the refill entry point also invalidates the
+        # negative first-fit cache.
+        self._capacity_version += 1
         if not self.up or not machine.up:
             return placed
         while True:
             resumable = self._best_resumable(machine)
             waiting = None
             if resumable is None:
-                waiting = self.wait_queue.best_match(
-                    lambda j: machine.eligible(j.spec) and machine.fits_now(j.spec)
+                # Machine fit depends only on the job's requirement
+                # signature, so the sharded queue evaluates it once per
+                # signature instead of once per queued job.
+                waiting = self.wait_queue.best_schedulable(
+                    lambda spec: machine.eligible(spec) and machine.fits_now(spec)
                 )
             if resumable is None and waiting is None:
                 break
@@ -195,6 +285,9 @@ class PhysicalPool:
                 self._suspend_order.pop(job.job_id, None)
                 self.busy_cores += job.spec.cores
                 self.running_jobs += 1
+                counts = self._running_priorities
+                priority = job.spec.priority
+                counts[priority] = counts.get(priority, 0) + 1
             else:
                 job = waiting
                 self.wait_queue.remove(job)
@@ -227,6 +320,8 @@ class PhysicalPool:
         machine.remove(job)
         self.busy_cores -= job.spec.cores
         self.running_jobs -= 1
+        self._running_priorities[job.spec.priority] -= 1
+        self._capacity_version += 1
         job.finish(now)
         return machine
 
@@ -249,6 +344,7 @@ class PhysicalPool:
         machine.remove(job)
         del self.suspended[job.job_id]
         self._suspend_order.pop(job.job_id, None)
+        self._capacity_version += 1
         if self._telemetry is not None:
             self._telemetry.observe_suspension(self.pool_id, now - job.segment_start)
         if preserve_progress:
@@ -267,6 +363,8 @@ class PhysicalPool:
         machine.remove(job)
         self.busy_cores -= job.spec.cores
         self.running_jobs -= 1
+        self._running_priorities[job.spec.priority] -= 1
+        self._capacity_version += 1
         return machine
 
     def remove_waiting(self, job: Job, now: float) -> None:
@@ -295,6 +393,7 @@ class PhysicalPool:
             machine.remove(job)
             del self.suspended[job.job_id]
             self._suspend_order.pop(job.job_id, None)
+            self._capacity_version += 1
             if self._telemetry is not None:
                 self._telemetry.observe_suspension(
                     self.pool_id, now - job.segment_start
@@ -323,10 +422,12 @@ class PhysicalPool:
         segment into the fault accounting before requeueing them.
         """
         orphans: List[Job] = []
+        self._capacity_version += 1
         for job in list(machine.running.values()):
             machine.remove(job)
             self.busy_cores -= job.spec.cores
             self.running_jobs -= 1
+            self._running_priorities[job.spec.priority] -= 1
             orphans.append(job)
         for job in list(machine.suspended.values()):
             machine.remove(job)
@@ -367,15 +468,20 @@ class PhysicalPool:
         job.start(machine, self.pool_id, now)
         self.busy_cores += job.spec.cores
         self.running_jobs += 1
+        counts = self._running_priorities
+        priority = job.spec.priority
+        counts[priority] = counts.get(priority, 0) + 1
 
     def _suspend_on(self, victim: Job, machine: Machine, now: float) -> None:
         machine.suspend(victim)
+        self._capacity_version += 1
         victim.suspend(now)
         self.suspended[victim.job_id] = victim
         self._suspend_order[victim.job_id] = self._suspend_counter
         self._suspend_counter += 1
         self.busy_cores -= victim.spec.cores
         self.running_jobs -= 1
+        self._running_priorities[victim.spec.priority] -= 1
 
     def check_invariants(self) -> None:
         """Validate aggregate counters against per-machine state."""
@@ -398,6 +504,30 @@ class PhysicalPool:
             raise SchedulingError(
                 f"pool {self.pool_id}: suspended-set drift"
             )
+        actual_priorities: Dict[int, int] = {}
+        for m in self.machines:
+            for job in m.running.values():
+                p = job.spec.priority
+                actual_priorities[p] = actual_priorities.get(p, 0) + 1
+        tracked = {p: c for p, c in self._running_priorities.items() if c}
+        if tracked != actual_priorities:
+            raise SchedulingError(
+                f"pool {self.pool_id}: running-priority histogram drift "
+                f"(counter={tracked}, actual={actual_priorities})"
+            )
+        for sig, version in self._no_first_fit.items():
+            if version != self._capacity_version:
+                continue
+            for machine in self._eligible_machines.get(sig, ()):
+                if (
+                    machine.up
+                    and machine.free_cores >= sig[1]
+                    and machine.free_memory_gb >= sig[2]
+                ):
+                    raise SchedulingError(
+                        f"pool {self.pool_id}: stale no-first-fit entry for {sig} "
+                        f"(machine {machine.machine_id} fits)"
+                    )
         for machine in self.machines:
             machine.check_invariants()
         for job in self.wait_queue.iter_jobs():

@@ -1,4 +1,4 @@
-"""Priority wait queue with lazy removal.
+"""Priority wait queue with lazy removal, bucketed by requirement signature.
 
 Physical pools queue jobs "waiting for resources to become available"
 in priority order (higher priority first), FIFO within a priority
@@ -6,22 +6,40 @@ level.  The queue supports the operation waiting-job rescheduling
 needs — removing a job from the middle — via lazy invalidation, so
 both push and pop stay O(log n).
 
-Membership is tracked by job *identity*, not just id: a stale heap
-entry for a removed job must not shadow a different ``Job`` object
-later pushed with the same id (re-pushes of the same id happen across
-wait episodes).
+Storage is sharded into one heap per *requirement signature* — the
+``(os_family, cores, memory_gb)`` triple that fully determines whether
+a job fits any given machine.  Traces contain few distinct signatures
+(tens, against tens of thousands of queued jobs), and machine-fit
+predicates are constant across a signature, so the engine's hottest
+queue operation — "find the best queued job that fits this machine,
+on every capacity release" (:meth:`best_schedulable`) — evaluates the
+fit once per signature instead of once per queued job.  A single
+global insertion counter spans all shards, so ordering across shards
+is exactly the classic single-heap ordering.
+
+Membership is tracked per *entry*, not merely per job object: each
+insertion records its global order token, and only the entry carrying
+the currently-registered token is valid.  Job identity alone is not
+enough — a job that is removed and later re-pushed (wait episodes
+repeat across retries and rescheduling) would otherwise leave a stale
+entry that passes an identity check and resurrects the job's *old*
+queue position, letting it jump the FIFO line and making ``iter_jobs``
+yield it twice (which in turn double-removes during pool drains).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 from ..errors import SchedulingError
 from .job import Job
 
 __all__ = ["PriorityWaitQueue", "QueueStats"]
+
+#: A signature key: (os_family, cores, memory_gb).
+Signature = Tuple[str, int, float]
 
 
 class QueueStats(NamedTuple):
@@ -41,11 +59,26 @@ class QueueStats(NamedTuple):
 class PriorityWaitQueue:
     """Max-priority, FIFO-within-priority queue of waiting jobs."""
 
+    __slots__ = (
+        "_shards",
+        "_valid",
+        "_counter",
+        "_members",
+        "_pushes",
+        "_peak_depth",
+        "_compactions",
+    )
+
     def __init__(self) -> None:
-        self._heap: List[Tuple[int, int, Job]] = []
+        # One lazy-removal heap of (-priority, order, job) per signature.
+        self._shards: Dict[Signature, List[Tuple[int, int, Job]]] = {}
+        # Valid (non-removed) entry count per shard.
+        self._valid: Dict[Signature, int] = {}
         self._counter = itertools.count()
-        # Job objects currently valid in the queue, keyed by id.
-        self._members: Dict[int, Job] = {}
+        # Currently queued jobs keyed by id; the value carries the order
+        # token of the job's live entry, so stale entries from earlier
+        # wait episodes of the same object can never validate.
+        self._members: Dict[int, Tuple[Job, int]] = {}
         self._pushes = 0
         self._peak_depth = 0
         self._compactions = 0
@@ -54,70 +87,145 @@ class PriorityWaitQueue:
         return len(self._members)
 
     def __contains__(self, job: Job) -> bool:
-        return self._members.get(job.job_id) is job
+        member = self._members.get(job.job_id)
+        return member is not None and member[0] is job
+
+    @property
+    def storage_size(self) -> int:
+        """Total stored entries, including lazily-removed ones."""
+        return sum(len(shard) for shard in self._shards.values())
 
     def push(self, job: Job) -> None:
         """Enqueue ``job`` (must not already be queued here)."""
         if job.job_id in self._members:
             raise SchedulingError(f"job {job.job_id} is already in this wait queue")
-        heapq.heappush(self._heap, (-job.priority, next(self._counter), job))
-        self._members[job.job_id] = job
+        spec = job.spec
+        sig = (spec.os_family, spec.cores, spec.memory_gb)
+        order = next(self._counter)
+        shard = self._shards.get(sig)
+        if shard is None:
+            self._shards[sig] = [(-job.priority, order, job)]
+            self._valid[sig] = 1
+        else:
+            heapq.heappush(shard, (-job.priority, order, job))
+            self._valid[sig] += 1
+        self._members[job.job_id] = (job, order)
         self._pushes += 1
         if len(self._members) > self._peak_depth:
             self._peak_depth = len(self._members)
 
+    def _shard_top(self, sig: Signature) -> Optional[Tuple[int, int, Job]]:
+        """The shard's best valid entry, discarding stale tops; None if drained."""
+        shard = self._shards[sig]
+        members = self._members
+        while shard:
+            entry = shard[0]
+            member = members.get(entry[2].job_id)
+            # The order token pins the one live entry; identity alone
+            # would also match stale entries of a re-pushed job.
+            if member is not None and member[1] == entry[1]:
+                return entry
+            heapq.heappop(shard)
+        del self._shards[sig]
+        del self._valid[sig]
+        return None
+
     def pop(self) -> Job:
         """Dequeue the highest-priority (oldest within level) job."""
-        while self._heap:
-            _, _, job = heapq.heappop(self._heap)
-            if self._members.get(job.job_id) is job:
-                del self._members[job.job_id]
-                return job
-        raise SchedulingError("pop from an empty wait queue")
+        best_sig = None
+        best_entry = None
+        for sig in list(self._shards):
+            entry = self._shard_top(sig)
+            if entry is not None and (best_entry is None or entry < best_entry):
+                best_entry = entry
+                best_sig = sig
+        if best_entry is None:
+            raise SchedulingError("pop from an empty wait queue")
+        heapq.heappop(self._shards[best_sig])
+        self._valid[best_sig] -= 1
+        job = best_entry[2]
+        del self._members[job.job_id]
+        return job
 
     def peek(self) -> Optional[Job]:
         """The job :meth:`pop` would return, or ``None`` if empty."""
-        while self._heap:
-            _, _, job = self._heap[0]
-            if self._members.get(job.job_id) is job:
-                return job
-            heapq.heappop(self._heap)
-        return None
+        best_entry = None
+        for sig in list(self._shards):
+            entry = self._shard_top(sig)
+            if entry is not None and (best_entry is None or entry < best_entry):
+                best_entry = entry
+        return None if best_entry is None else best_entry[2]
 
     def remove(self, job: Job) -> None:
         """Remove ``job`` from anywhere in the queue (lazy)."""
-        if self._members.get(job.job_id) is not job:
+        member = self._members.get(job.job_id)
+        if member is None or member[0] is not job:
             raise SchedulingError(f"job {job.job_id} is not in this wait queue")
         del self._members[job.job_id]
-        self._compact_if_stale()
+        spec = job.spec
+        sig = (spec.os_family, spec.cores, spec.memory_gb)
+        self._valid[sig] -= 1
+        self._compact_if_stale(sig)
 
-    def best_match(self, predicate) -> Optional[Job]:
+    def best_schedulable(self, fits: Callable[[object], bool]) -> Optional[Job]:
+        """Highest-priority (oldest within level) job whose *spec* fits.
+
+        ``fits`` receives a job's :class:`~repro.workload.trace.TraceJob`
+        spec and must depend only on its requirement signature
+        (OS family, cores, memory) — exactly the machine eligibility +
+        capacity checks pools perform.  Under that contract the result
+        equals :meth:`best_match` on the equivalent per-job predicate,
+        but costs O(signatures) instead of O(queued jobs): within one
+        shard every entry fits or none does, so only shard tops are
+        consulted.  This is the pool hot path on every capacity release.
+        """
+        best_entry = None
+        for sig in list(self._shards):
+            entry = self._shard_top(sig)
+            if entry is None:
+                continue
+            if (best_entry is None or entry < best_entry) and fits(entry[2].spec):
+                best_entry = entry
+        return None if best_entry is None else best_entry[2]
+
+    def best_match(self, predicate: Callable[[Job], bool]) -> Optional[Job]:
         """Highest-priority (oldest within level) job satisfying ``predicate``.
 
-        Non-destructive O(n) scan over the heap storage — used by pools
-        to match queued jobs to a machine that just freed capacity,
-        where sorting the whole queue per event would be too costly.
+        Non-destructive O(n) scan over all stored entries; ``predicate``
+        may be arbitrary (unlike :meth:`best_schedulable` it need not be
+        uniform within a signature).
         """
+        members = self._members
         best_key: Optional[Tuple[int, int]] = None
         best_job: Optional[Job] = None
-        for neg_priority, order, job in self._heap:
-            if self._members.get(job.job_id) is not job:
-                continue
-            key = (neg_priority, order)
-            if (best_key is None or key < best_key) and predicate(job):
-                best_key = key
-                best_job = job
+        for shard in self._shards.values():
+            for neg_priority, order, job in shard:
+                member = members.get(job.job_id)
+                if member is None or member[1] != order:
+                    continue
+                key = (neg_priority, order)
+                if (best_key is None or key < best_key) and predicate(job):
+                    best_key = key
+                    best_job = job
         return best_job
 
     def iter_jobs(self) -> Iterator[Job]:
         """Iterate valid entries in priority order (non-destructive).
 
-        O(n log n); used by pools when matching queued jobs to a freed
-        machine, and by tests.
+        O(n log n); used by pools when draining a blacked-out pool's
+        queue, and by tests.
         """
-        for _, _, job in sorted(self._heap):
-            if self._members.get(job.job_id) is job:
-                yield job
+        members = self._members
+        entries = [
+            entry
+            for shard in self._shards.values()
+            for entry in shard
+            if (member := members.get(entry[2].job_id)) is not None
+            and member[1] == entry[1]
+        ]
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
+        for entry in entries:
+            yield entry[2]
 
     def stats(self) -> QueueStats:
         """Lifetime queue statistics for telemetry exports."""
@@ -127,16 +235,23 @@ class PriorityWaitQueue:
             compactions=self._compactions,
         )
 
-    def _compact_if_stale(self) -> None:
-        """Rebuild the heap when more than half its entries are invalid."""
-        if len(self._heap) > 16 and len(self._heap) > 2 * len(self._members):
-            self._heap = [
+    def _compact_if_stale(self, sig: Signature) -> None:
+        """Rebuild one shard when more than half its entries are invalid."""
+        shard = self._shards[sig]
+        valid = self._valid[sig]
+        if len(shard) > 16 and len(shard) > 2 * valid:
+            members = self._members
+            self._shards[sig] = [
                 entry
-                for entry in self._heap
-                if self._members.get(entry[2].job_id) is entry[2]
+                for entry in shard
+                if (member := members.get(entry[2].job_id)) is not None
+                and member[1] == entry[1]
             ]
-            heapq.heapify(self._heap)
+            heapq.heapify(self._shards[sig])
             self._compactions += 1
+        elif not valid and len(shard) > 16:
+            del self._shards[sig]
+            del self._valid[sig]
 
     def __repr__(self) -> str:
         return f"PriorityWaitQueue(len={len(self)})"

@@ -1,5 +1,7 @@
 """Unit tests for the event queue and simulation config."""
 
+import random
+
 import pytest
 
 from repro.core.overheads import RestartOverhead
@@ -7,9 +9,12 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.simulator.config import SimulationConfig
 from repro.simulator.events import (
     EVENT_FINISH,
+    EVENT_NAMES,
     EVENT_SAMPLE,
     EVENT_SUBMIT,
+    CalendarEventQueue,
     EventQueue,
+    HeapEventQueue,
 )
 
 
@@ -67,6 +72,113 @@ class TestEventQueue:
         q = EventQueue()
         q.push_many_unsorted([(1.0, EVENT_SUBMIT, "first"), (1.0, EVENT_SUBMIT, "second")])
         assert q.pop()[3] == "first"
+
+
+class TestCalendarQueue:
+    """Calendar-specific behavior the generic contract tests don't reach."""
+
+    def test_engine_queue_is_the_calendar_queue(self):
+        assert EventQueue is CalendarEventQueue
+
+    def test_bulk_load_sizes_buckets_from_span(self):
+        q = CalendarEventQueue()
+        q.push_many_unsorted([(float(i), EVENT_SUBMIT, i) for i in range(1024)])
+        assert q.bucket_width < 1023.0  # resized, not the default
+        assert [q.pop()[3] for _ in range(1024)] == list(range(1024))
+
+    def test_push_into_active_bucket_mid_consumption(self):
+        q = CalendarEventQueue(bucket_width=10.0)
+        q.push(1.0, EVENT_SUBMIT, "a")
+        q.push(9.0, EVENT_SUBMIT, "d")
+        assert q.pop()[3] == "a"
+        # Now inside bucket 0; schedule ahead of the remaining entry.
+        q.push(3.0, EVENT_SUBMIT, "b")
+        q.push(3.0, EVENT_SUBMIT, "c")
+        assert [q.pop()[3] for _ in range(3)] == ["b", "c", "d"]
+
+    def test_push_below_active_bucket_after_gap(self):
+        # Drain bucket 0, activate a far bucket, then push an event
+        # whose bucket index is below the active one (legal while its
+        # time is >= now): it must still pop first.
+        q = CalendarEventQueue(bucket_width=10.0)
+        q.push(7.9, EVENT_SUBMIT, "early")
+        q.push(25.0, EVENT_SUBMIT, "late")
+        assert q.pop()[3] == "early"
+        q.push(7.95, EVENT_SUBMIT, "squeezed")
+        assert [q.pop()[3] for _ in range(2)] == ["squeezed", "late"]
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(SimulationError):
+            CalendarEventQueue(bucket_width=0.0)
+
+    def test_bulk_load_rejects_negative_times(self):
+        q = CalendarEventQueue()
+        with pytest.raises(SimulationError):
+            q.push_many_unsorted([(-1.0, EVENT_SUBMIT, None)])
+
+
+class TestCalendarHeapDifferential:
+    """The bucketed queue must reproduce the heap's pop order exactly.
+
+    Same-timestamp events have to pop in the exact (time, sequence)
+    order the heap produced, or fault-injected runs silently diverge
+    from the seed — this replays large randomized mixed schedules
+    (bulk load, interleaved pushes at the current minute, heavy ties)
+    through both implementations and asserts identical pop streams.
+    """
+
+    KINDS = sorted(EVENT_NAMES)
+
+    def _differential(self, rng, total_events, bulk_count, tie_fraction, width=None):
+        calendar = (
+            CalendarEventQueue(bucket_width=width)
+            if width is not None
+            else CalendarEventQueue()
+        )
+        heap = HeapEventQueue()
+        bulk = [
+            (round(rng.uniform(0.0, 5000.0), 2), rng.choice(self.KINDS), i)
+            for i in range(bulk_count)
+        ]
+        calendar.push_many_unsorted(bulk)
+        heap.push_many_unsorted(bulk)
+        pushed = bulk_count
+        popped = 0
+        while popped < total_events:
+            if pushed < total_events and (len(calendar) == 0 or rng.random() < 0.45):
+                a = calendar.now
+                if rng.random() < tie_fraction:
+                    time = a  # exact tie with the current minute
+                elif rng.random() < 0.5:
+                    time = round(a + rng.uniform(0.0, 7.0), 2)  # near future
+                else:
+                    time = round(a + rng.uniform(0.0, 900.0), 2)  # far future
+                kind = rng.choice(self.KINDS)
+                calendar.push(time, kind, pushed)
+                heap.push(time, kind, pushed)
+                pushed += 1
+                continue
+            got = calendar.pop()
+            want = heap.pop()
+            assert got == want, f"divergence at pop #{popped}: {got} != {want}"
+            popped += 1
+        assert len(calendar) == len(heap) == 0
+
+    def test_replay_100k_mixed_events_identical_order(self):
+        rng = random.Random(0xC0FFEE)
+        self._differential(rng, total_events=100_000, bulk_count=30_000, tie_fraction=0.3)
+
+    def test_replay_heavy_ties_small_width(self):
+        rng = random.Random(42)
+        self._differential(
+            rng, total_events=20_000, bulk_count=0, tie_fraction=0.7, width=0.5
+        )
+
+    def test_replay_wide_buckets(self):
+        rng = random.Random(7)
+        self._differential(
+            rng, total_events=20_000, bulk_count=5_000, tie_fraction=0.2, width=4096.0
+        )
 
 
 class TestSimulationConfig:

@@ -72,6 +72,47 @@ class TestRemoval:
         q.push(j)
         assert j in q
 
+    def test_repush_takes_back_of_line(self):
+        # Regression: a removed-then-re-pushed job object must queue at
+        # the back of its priority level.  The original single-heap
+        # implementation validated entries by job identity alone, so the
+        # stale first entry came alive again and the job kept its old
+        # FIFO position (queue-jumping ahead of jobs pushed in between).
+        q = PriorityWaitQueue()
+        a, b, c = job(1), job(2), job(3)
+        q.push(a)
+        q.push(b)
+        q.remove(a)
+        q.push(c)
+        q.push(a)  # same object, new wait episode
+        assert [j.job_id for j in q.iter_jobs()] == [2, 3, 1]
+        assert [q.pop().job_id for _ in range(3)] == [2, 3, 1]
+
+    def test_repush_yields_once_in_iter_jobs(self):
+        # Regression: with identity-only validation the stale entry also
+        # made iter_jobs yield the job twice, which double-removed it
+        # during pool drains.
+        q = PriorityWaitQueue()
+        a = job(1)
+        q.push(a)
+        q.remove(a)
+        q.push(a)
+        assert [j.job_id for j in q.iter_jobs()] == [1]
+        assert len(q) == 1
+        q.remove(a)  # a second remove must now be an error, not a no-op
+        with pytest.raises(SchedulingError):
+            q.remove(a)
+
+    def test_repush_best_match_uses_new_position(self):
+        q = PriorityWaitQueue()
+        a, b = job(1), job(2)
+        q.push(a)
+        q.push(b)
+        q.remove(a)
+        q.push(a)
+        assert q.best_match(lambda j: True) is b
+        assert q.best_schedulable(lambda spec: True) is b
+
     def test_compaction_after_many_removals(self):
         q = PriorityWaitQueue()
         jobs = [job(i) for i in range(100)]
@@ -80,7 +121,7 @@ class TestRemoval:
         for j in jobs[:90]:
             q.remove(j)
         assert len(q) == 10
-        assert len(q._heap) < 50  # lazily compacted
+        assert q.storage_size < 50  # lazily compacted
         assert [j.job_id for j in q.iter_jobs()] == list(range(90, 100))
 
 
@@ -116,3 +157,54 @@ class TestBestMatch:
         q.push(job(1, priority=0))
         q.push(job(2, priority=100))
         assert [j.job_id for j in q.iter_jobs()] == [2, 1]
+
+
+class TestBestSchedulable:
+    """The sharded fast path must agree with the O(n) best_match scan."""
+
+    def sig_job(self, job_id, priority, cores, memory):
+        return Job(make_job(job_id, priority=priority, cores=cores, memory_gb=memory))
+
+    def test_matches_best_match_on_signature_predicates(self):
+        import random
+
+        rng = random.Random(1234)
+        q = PriorityWaitQueue()
+        jobs = []
+        for i in range(400):
+            j = self.sig_job(
+                i,
+                priority=rng.choice((0, 50, 100)),
+                cores=rng.choice((1, 2, 4)),
+                memory=rng.choice((1.0, 4.0, 16.0)),
+            )
+            jobs.append(j)
+            q.push(j)
+        for j in rng.sample(jobs, 150):
+            q.remove(j)
+        for free_cores, free_mem in ((1, 2.0), (2, 8.0), (4, 64.0), (0, 0.0)):
+            fits = lambda spec: spec.cores <= free_cores and spec.memory_gb <= free_mem
+            fast = q.best_schedulable(fits)
+            slow = q.best_match(lambda job_: fits(job_.spec))
+            assert (fast is None) == (slow is None)
+            if fast is not None:
+                assert fast is slow
+
+    def test_cross_shard_fifo_ordering(self):
+        q = PriorityWaitQueue()
+        a = self.sig_job(1, priority=10, cores=1, memory=1.0)
+        b = self.sig_job(2, priority=10, cores=2, memory=1.0)
+        c = self.sig_job(3, priority=10, cores=1, memory=1.0)
+        for j in (a, b, c):
+            q.push(j)
+        # All three fit: the oldest at the shared priority wins, even
+        # though a and c share a shard and b sits in another.
+        assert q.best_schedulable(lambda spec: True) is a
+        q.remove(a)
+        assert q.best_schedulable(lambda spec: True) is b
+
+    def test_empty_and_no_fit(self):
+        q = PriorityWaitQueue()
+        assert q.best_schedulable(lambda spec: True) is None
+        q.push(self.sig_job(1, priority=0, cores=4, memory=16.0))
+        assert q.best_schedulable(lambda spec: spec.cores <= 2) is None
