@@ -1,4 +1,4 @@
-.PHONY: ci test lint smoke faults bench bench-record bench-check
+.PHONY: ci test lint smoke faults bench bench-record bench-check ingest
 
 # Everything CI runs, in one command (tests + lint + smoke + faults).
 ci:
@@ -15,6 +15,11 @@ smoke:
 
 faults:
 	scripts/ci.sh faults
+
+# Streaming-ingestion gate: trace adapter tests, a 100k-job fixture
+# replayed under the RSS ceiling, and the BENCH_ingest.json check.
+ingest:
+	scripts/ci.sh ingest
 
 # Full reproduction log: every table/figure benchmark at current scale,
 # then a refreshed point on the engine-throughput trajectory.

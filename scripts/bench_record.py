@@ -12,6 +12,14 @@ without writing anything:
 
     PYTHONPATH=src python scripts/bench_record.py --check --quick
 
+Streaming-ingestion trajectory (BENCH_ingest.json) — each cell writes a
+synthetic fixture and replays it in a fresh subprocess, recording
+jobs/sec, wall clock and peak RSS; the check additionally gates RSS
+growth:
+
+    PYTHONPATH=src python scripts/bench_record.py --ingest
+    PYTHONPATH=src python scripts/bench_record.py --ingest --check
+
 The file format and comparison rules live in :mod:`repro.benchtrack`;
 this script only adds argument parsing, git labelling and reporting.
 """
@@ -40,6 +48,65 @@ def git_label() -> str:
         return out.stdout.strip() or "unknown"
     except (OSError, subprocess.CalledProcessError):
         return "unknown"
+
+
+def run_ingest(args) -> int:
+    """Measure the ingestion matrix; write or gate BENCH_ingest.json."""
+    import datetime as datetime_module
+
+    print("calibrating interpreter ...", flush=True)
+    calibration = benchtrack.calibrate()
+    print(f"calibration score: {calibration:,.0f} iterations/sec")
+
+    ingests = benchtrack.measure_ingest_matrix(
+        progress=lambda msg: print(msg, flush=True), rounds=args.rounds
+    )
+    for r in ingests:
+        print(
+            f"  {r.spec.name}: {r.jobs} jobs in {r.wall_seconds:.2f}s "
+            f"(best of {args.rounds}) = {r.jobs_per_second:,.0f} jobs/sec, "
+            f"peak RSS {r.peak_rss_mb:.0f} MB"
+        )
+
+    record = benchtrack.IngestRecord(
+        schema_version=benchtrack.SCHEMA_VERSION,
+        label=args.label or git_label(),
+        recorded_at=datetime_module.datetime.now(
+            datetime_module.timezone.utc
+        ).isoformat(timespec="seconds"),
+        calibration_score=calibration,
+        ingests=ingests,
+        notes=args.notes,
+    )
+
+    if args.check:
+        history = benchtrack.load_ingest_history(args.output)
+        if not history:
+            print(f"no committed trajectory in {args.output}; nothing to gate")
+            return 0
+        previous = history[-1]
+        failures = benchtrack.check_ingest_regression(
+            previous, record, threshold=args.threshold
+        )
+        if failures:
+            print(
+                f"ingestion regression vs record {previous.label!r}:",
+                file=sys.stderr,
+            )
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"ingestion OK vs record {previous.label!r} "
+            f"(threshold {args.threshold:.0%})"
+        )
+        return 0
+
+    count = benchtrack.write_ingest_record(
+        args.output, record, append=not args.overwrite
+    )
+    print(f"wrote ingest record {record.label!r} to {args.output} ({count} total)")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -81,7 +148,17 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--notes", default="", help="free-form note stored in the record",
     )
+    parser.add_argument(
+        "--ingest", action="store_true",
+        help="measure the streaming-ingestion matrix instead of the engine "
+             "matrix (trajectory file defaults to BENCH_ingest.json)",
+    )
     args = parser.parse_args(argv)
+
+    if args.ingest:
+        if args.output == "BENCH_engine.json":
+            args.output = "BENCH_ingest.json"
+        return run_ingest(args)
 
     specs = benchtrack.QUICK_WORKLOADS if args.quick else benchtrack.WORKLOADS
 

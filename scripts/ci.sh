@@ -2,7 +2,7 @@
 # CI entry point — the same commands run locally (`make ci`) and in
 # .github/workflows/ci.yml, so a green local run means a green pipeline.
 #
-# Usage: scripts/ci.sh [tests|lint|smoke|faults|bench|all]
+# Usage: scripts/ci.sh [tests|lint|smoke|faults|bench|ingest|all]
 #
 # Subcommands:
 #   tests   tier-1 test suite (the gate every PR must keep green)
@@ -22,8 +22,15 @@
 #           (scripts/bench_record.py --check) and fails when
 #           calibration-normalised throughput regresses more than 20%
 #           against the last committed BENCH_engine.json record
-#   all     tests + lint + smoke + faults (default; bench is its own
-#           CI job because it is timing-sensitive)
+#   ingest  streaming-ingestion gate: trace-adapter test files, then a
+#           100k-job synthetic SWF fixture generated and replayed
+#           end-to-end with a hard peak-RSS ceiling
+#           (${INGEST_RSS_MB:-256} MB, measured via getrusage) and a
+#           JSON-output schema check; finally the BENCH_ingest.json
+#           regression gate (throughput drop > 20% normalised, or RSS
+#           growth past the recorded baseline, fails the leg)
+#   all     tests + lint + smoke + faults (default; bench and ingest
+#           are their own CI jobs because they are timing-sensitive)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -114,15 +121,60 @@ run_bench() {
         --threshold "${BENCH_THRESHOLD:-0.20}" --output BENCH_engine.json
 }
 
+run_ingest() {
+    echo "== ingest: trace adapter + streaming-results tests =="
+    python -m pytest tests/test_traces_swf.py tests/test_traces_google.py \
+        tests/test_traces_replay.py tests/test_online_results.py \
+        tests/test_streaming_engine.py tests/test_ingest_bench.py -q
+
+    echo "== ingest: 100k-job SWF replay under a hard RSS ceiling =="
+    local idir ceiling
+    idir="$(mktemp -d)"
+    trap 'rm -rf "$idir"' RETURN
+    ceiling="${INGEST_RSS_MB:-256}"
+    python -m repro make-fixture "$idir/fixture.swf" --format swf \
+        --jobs "${INGEST_JOBS:-100000}" --seed 1
+    python -m repro ingest "$idir/fixture.swf" --format swf --scale 0.1 \
+        --rss-ceiling-mb "$ceiling" --json > "$idir/ingest.json"
+    INGEST_JSON="$idir/ingest.json" INGEST_RSS_MB="$ceiling" python - <<'EOF'
+import json, os
+
+with open(os.environ["INGEST_JSON"], encoding="utf-8") as handle:
+    report = json.load(handle)
+required = (
+    "path", "format", "policy", "jobs", "completed", "rejected",
+    "wall_seconds", "jobs_per_second", "peak_rss_mb", "total_cores",
+)
+missing = [key for key in required if key not in report]
+assert not missing, f"ingest JSON is missing keys: {missing}"
+assert report["jobs"] > 0 and report["completed"] > 0, report
+ceiling = float(os.environ["INGEST_RSS_MB"])
+assert report["peak_rss_mb"] <= ceiling, (
+    f"peak RSS {report['peak_rss_mb']:.0f} MB breached the "
+    f"{ceiling:.0f} MB ceiling"
+)
+print(
+    f"ingest OK: {report['jobs']} jobs at "
+    f"{report['jobs_per_second']:,.0f} jobs/s, "
+    f"peak RSS {report['peak_rss_mb']:.0f} MB (ceiling {ceiling:.0f} MB)"
+)
+EOF
+
+    echo "== ingest: BENCH_ingest.json regression gate =="
+    python scripts/bench_record.py --ingest --check \
+        --threshold "${BENCH_THRESHOLD:-0.20}" --output BENCH_ingest.json
+}
+
 case "${1:-all}" in
     tests)  run_tests ;;
     lint)   run_lint ;;
     smoke)  run_smoke ;;
     faults) run_faults ;;
     bench)  run_bench ;;
+    ingest) run_ingest ;;
     all)    run_tests; run_lint; run_smoke; run_faults ;;
     *)
-        echo "usage: scripts/ci.sh [tests|lint|smoke|faults|bench|all]" >&2
+        echo "usage: scripts/ci.sh [tests|lint|smoke|faults|bench|ingest|all]" >&2
         exit 2
         ;;
 esac

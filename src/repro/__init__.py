@@ -96,11 +96,14 @@ from .experiments.runner import ExperimentCell, ExperimentRunner
 from .faults import NO_FAULTS, FaultConfig, FaultStats, MachineChurn, PoolOutage, RetryPolicy
 from .simulator import (
     JobRecord,
+    OnlineResults,
     SimulationConfig,
     SimulationEngine,
     SimulationResult,
     StateSample,
+    StreamingHistogram,
     run_simulation,
+    run_streaming,
 )
 from .telemetry import (
     Instrumentation,
@@ -197,11 +200,14 @@ __all__ = [
     "initial_scheduler_from_name",
     # simulator
     "JobRecord",
+    "OnlineResults",
     "SimulationConfig",
     "SimulationEngine",
     "SimulationResult",
     "StateSample",
+    "StreamingHistogram",
     "run_simulation",
+    "run_streaming",
     # workload
     "ClusterSpec",
     "ClusterTemplate",

@@ -56,6 +56,17 @@ __all__ = [
     "load_history",
     "write_record",
     "check_regression",
+    "IngestSpec",
+    "IngestResult",
+    "IngestRecord",
+    "INGEST_WORKLOADS",
+    "measure_ingest",
+    "measure_ingest_matrix",
+    "ingest_record_to_dict",
+    "ingest_record_from_dict",
+    "load_ingest_history",
+    "write_ingest_record",
+    "check_ingest_regression",
 ]
 
 #: Bumped when the JSON layout changes incompatibly.
@@ -403,6 +414,311 @@ def write_record(path: str, record: BenchRecord, append: bool = True) -> int:
         handle.write("\n")
     os.replace(tmp, path)
     return len(history)
+
+
+# -- streaming-ingestion trajectory (BENCH_ingest.json) -----------------------------
+#
+# The engine matrix above times in-process simulation of synthetic
+# scenarios.  The ingestion trajectory tracks the *real-trace pipeline*
+# end to end — fixture bytes on disk, streaming parse, replay mapping,
+# engine, OnlineResults sink — and, crucially, its peak RSS, because
+# the whole point of streaming ingestion is that memory stays constant
+# in trace length.  Each cell is measured in a **fresh subprocess**
+# (``python -m repro ingest … --json``): ``ru_maxrss`` is a
+# process-lifetime high-water mark, so measuring in-process would
+# report whatever the fixture generator or a previous cell peaked at.
+
+
+@dataclass(frozen=True)
+class IngestSpec:
+    """One fixed cell of the ingestion matrix.
+
+    Attributes:
+        name: stable identifier; comparisons join records on it.
+        fmt: fixture/trace format (``swf`` or ``google``).
+        jobs: fixture size in jobs (tasks for ``google``).
+        seed: fixture content seed.
+        scale: cluster scale the replay runs against (fixture arrival
+            rates are derived from the same cluster).
+        utilization: fixture's offered load vs that cluster.
+    """
+
+    name: str
+    fmt: str = "swf"
+    jobs: int = 100_000
+    seed: int = 1
+    scale: float = 0.1
+    utilization: float = 0.35
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Measured end-to-end replay of one ingestion cell."""
+
+    spec: IngestSpec
+    jobs: int
+    wall_seconds: float
+    jobs_per_second: float
+    peak_rss_mb: float
+
+
+@dataclass(frozen=True)
+class IngestRecord:
+    """One point on the ingestion-performance trajectory."""
+
+    schema_version: int
+    label: str
+    recorded_at: Optional[str]
+    calibration_score: float
+    ingests: Tuple[IngestResult, ...]
+    notes: str = ""
+
+
+#: The tracked ingestion matrix: the headline SWF cell (the CI gate's
+#: fixture size) plus a smaller Google-CSV cell covering the
+#: watermark-reorder path.
+INGEST_WORKLOADS: Tuple[IngestSpec, ...] = (
+    IngestSpec(name="swf_100k"),
+    IngestSpec(name="google_30k", fmt="google", jobs=30_000),
+)
+
+
+def measure_ingest(
+    spec: IngestSpec, fixture_dir: Optional[str] = None, rounds: int = 3
+) -> IngestResult:
+    """Generate the cell's fixture and replay it in a fresh subprocess.
+
+    The subprocess runs ``python -m repro ingest <fixture> --json`` and
+    reports its own wall clock and ``ru_maxrss``, so the number is the
+    full pipeline's footprint with no contamination from this process.
+    The replay runs ``rounds`` times (same methodology as the engine
+    matrix): the *best* throughput round is recorded — scheduler noise
+    only ever slows a run down — along with the *worst* peak RSS, the
+    conservative direction for the memory gate.
+    """
+    import subprocess
+    import sys as sys_module
+    import tempfile
+
+    from .workload.traces import generate_google_fixture, generate_swf_fixture
+
+    own_dir = None
+    if fixture_dir is None:
+        own_dir = tempfile.mkdtemp(prefix="benchtrack-ingest-")
+        fixture_dir = own_dir
+    try:
+        suffix = ".swf" if spec.fmt == "swf" else ".csv"
+        fixture = os.path.join(fixture_dir, f"{spec.name}{suffix}")
+        generate = generate_swf_fixture if spec.fmt == "swf" else generate_google_fixture
+        # Derive target cores exactly as `repro ingest --scale` will.
+        from .workload.cluster import ClusterTemplate
+        from .workload.distributions import RandomStreams
+
+        cluster = ClusterTemplate(scale=spec.scale).build(RandomStreams(2010))
+        generate(
+            fixture,
+            spec.jobs,
+            seed=spec.seed,
+            target_cores=cluster.total_cores,
+            utilization=spec.utilization,
+        )
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        best: Optional[Dict] = None
+        worst_rss = 0.0
+        for _ in range(max(1, rounds)):
+            proc = subprocess.run(
+                [
+                    sys_module.executable,
+                    "-m",
+                    "repro",
+                    "ingest",
+                    fixture,
+                    "--format",
+                    spec.fmt,
+                    "--scale",
+                    str(spec.scale),
+                    "--json",
+                ],
+                capture_output=True,
+                text=True,
+                env=env,
+            )
+            if proc.returncode != 0:
+                raise BenchFormatError(
+                    f"ingest cell {spec.name} failed "
+                    f"(exit {proc.returncode}): {proc.stderr.strip()[:500]}"
+                )
+            try:
+                payload = json.loads(proc.stdout)
+            except json.JSONDecodeError as exc:
+                raise BenchFormatError(
+                    f"ingest cell {spec.name}: unparseable JSON output ({exc})"
+                ) from None
+            worst_rss = max(worst_rss, payload["peak_rss_mb"])
+            if best is None or payload["jobs_per_second"] > best["jobs_per_second"]:
+                best = payload
+        return IngestResult(
+            spec=spec,
+            jobs=best["jobs"],
+            wall_seconds=best["wall_seconds"],
+            jobs_per_second=best["jobs_per_second"],
+            peak_rss_mb=worst_rss,
+        )
+    finally:
+        if own_dir is not None:
+            import shutil
+
+            shutil.rmtree(own_dir, ignore_errors=True)
+
+
+def measure_ingest_matrix(
+    specs: Sequence[IngestSpec] = INGEST_WORKLOADS,
+    progress: Optional[Callable[[str], None]] = None,
+    rounds: int = 3,
+) -> Tuple[IngestResult, ...]:
+    """Measure every ingestion cell (matrix order preserved)."""
+    results = []
+    for spec in specs:
+        if progress is not None:
+            progress(f"measuring ingest {spec.name} ({spec.fmt}, {spec.jobs} jobs)")
+        results.append(measure_ingest(spec, rounds=rounds))
+    return tuple(results)
+
+
+def ingest_record_to_dict(record: IngestRecord) -> Dict:
+    """Plain-JSON form (inverse of :func:`ingest_record_from_dict`)."""
+    return {
+        "schema_version": record.schema_version,
+        "label": record.label,
+        "recorded_at": record.recorded_at,
+        "calibration_score": record.calibration_score,
+        "notes": record.notes,
+        "ingests": [
+            {
+                "name": r.spec.name,
+                "fmt": r.spec.fmt,
+                "fixture_jobs": r.spec.jobs,
+                "seed": r.spec.seed,
+                "scale": r.spec.scale,
+                "utilization": r.spec.utilization,
+                "jobs": r.jobs,
+                "wall_seconds": r.wall_seconds,
+                "jobs_per_second": r.jobs_per_second,
+                "peak_rss_mb": r.peak_rss_mb,
+            }
+            for r in record.ingests
+        ],
+    }
+
+
+def ingest_record_from_dict(data: Dict) -> IngestRecord:
+    """Parse one ingestion record dict, validating the schema."""
+    try:
+        version = data["schema_version"]
+        if version != SCHEMA_VERSION:
+            raise BenchFormatError(f"unsupported bench schema version {version!r}")
+        ingests = tuple(
+            IngestResult(
+                spec=IngestSpec(
+                    name=r["name"],
+                    fmt=r["fmt"],
+                    jobs=r["fixture_jobs"],
+                    seed=r["seed"],
+                    scale=r["scale"],
+                    utilization=r["utilization"],
+                ),
+                jobs=r["jobs"],
+                wall_seconds=r["wall_seconds"],
+                jobs_per_second=r["jobs_per_second"],
+                peak_rss_mb=r["peak_rss_mb"],
+            )
+            for r in data["ingests"]
+        )
+        return IngestRecord(
+            schema_version=version,
+            label=data["label"],
+            recorded_at=data["recorded_at"],
+            calibration_score=data["calibration_score"],
+            ingests=ingests,
+            notes=data.get("notes", ""),
+        )
+    except KeyError as exc:
+        raise BenchFormatError(f"ingest record is missing field {exc}") from None
+
+
+def load_ingest_history(path: str) -> List[IngestRecord]:
+    """All ingestion records in ``path``, oldest first; ``[]`` if absent."""
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "records" not in data:
+        raise BenchFormatError(f"{path}: expected an object with a 'records' list")
+    return [ingest_record_from_dict(entry) for entry in data["records"]]
+
+
+def write_ingest_record(path: str, record: IngestRecord, append: bool = True) -> int:
+    """Persist an ingestion record; returns the new history length."""
+    history = load_ingest_history(path) if append else []
+    history.append(record)
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "records": [ingest_record_to_dict(entry) for entry in history],
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return len(history)
+
+
+def check_ingest_regression(
+    previous: IngestRecord,
+    current: IngestRecord,
+    threshold: float = 0.20,
+    rss_slack: float = 0.25,
+) -> List[str]:
+    """Compare two ingestion records; returns failures (empty = pass).
+
+    Two gates per cell (joined by name, compared only when the spec is
+    unchanged):
+
+    * calibration-normalised jobs/sec may not drop more than
+      ``threshold`` — same rule as the engine matrix;
+    * peak RSS may not grow more than ``rss_slack`` (plus a 16 MB
+      absolute allowance for interpreter noise) — RSS is already
+      machine-comparable, and creeping memory is exactly the
+      regression streaming ingestion exists to prevent.
+    """
+    failures: List[str] = []
+    if previous.calibration_score <= 0 or current.calibration_score <= 0:
+        raise BenchFormatError("ingest record has a non-positive calibration score")
+    prev_cells = {r.spec.name: r for r in previous.ingests}
+    for result in current.ingests:
+        prev = prev_cells.get(result.spec.name)
+        if prev is None or prev.spec != result.spec:
+            continue
+        prev_norm = prev.jobs_per_second / previous.calibration_score
+        cur_norm = result.jobs_per_second / current.calibration_score
+        if prev_norm > 0:
+            drop = 1.0 - cur_norm / prev_norm
+            if drop > threshold:
+                failures.append(
+                    f"{result.spec.name}: normalised ingest throughput dropped "
+                    f"{drop:.1%} (limit {threshold:.0%}; {prev_norm:.4f} -> "
+                    f"{cur_norm:.4f} jobs/sec per calibration unit)"
+                )
+        rss_limit = prev.peak_rss_mb * (1.0 + rss_slack) + 16.0
+        if result.peak_rss_mb > rss_limit:
+            failures.append(
+                f"{result.spec.name}: peak RSS grew from {prev.peak_rss_mb:.0f} MB "
+                f"to {result.peak_rss_mb:.0f} MB (limit {rss_limit:.0f} MB) — "
+                f"streaming ingestion is leaking memory"
+            )
+    return failures
 
 
 # -- regression gate -----------------------------------------------------------------

@@ -12,7 +12,14 @@ Usage (installed as ``repro``, or ``python -m repro``)::
     repro stats out/telemetry     # render the telemetry snapshot
     repro generate-trace out.jsonl --scenario busy-week --scale 0.1
     repro analyze-trace out.jsonl
+    repro make-fixture fixture.swf --jobs 100000 --seed 1
+    repro ingest fixture.swf --rss-ceiling-mb 512 --json
+    repro run --trace fixture.swf --policy ResSusUtil
     repro table all --workers 4 --cache-dir ~/.cache/repro --progress
+
+Real-trace ingestion (``make-fixture`` / ``ingest`` / ``run --trace``)
+streams SWF or Google cluster-trace logs through the engine in constant
+memory; see ``docs/traces.md``.
 
 All experiment commands honour ``--scale`` and ``--seed`` (and the
 ``REPRO_SCALE`` / ``REPRO_SEED`` environment variables).  The ``table``
@@ -130,6 +137,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="time each engine event handler and print the profile",
     )
+    run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="replay a real trace file instead of a synthetic scenario "
+        "(streaming, constant memory; see docs/traces.md)",
+    )
+    run.add_argument(
+        "--trace-format", choices=["swf", "google"], default="swf",
+        help="format of --trace (default: swf)",
+    )
     _add_scale_seed(run)
 
     faults = sub.add_parser(
@@ -181,6 +197,66 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--scenario", choices=list(_SCENARIOS), default="busy-week")
     export.add_argument("--policy", choices=list(PAPER_POLICY_NAMES), default="NoRes")
     _add_scale_seed(export)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="stream a real trace (SWF / Google cluster) through the "
+        "simulator in constant memory and report the run",
+    )
+    ingest.add_argument("trace", help="trace file path")
+    ingest.add_argument(
+        "--format", choices=["swf", "google"], default="swf", dest="trace_format",
+        help="trace format (default: swf)",
+    )
+    ingest.add_argument("--policy", choices=list(PAPER_POLICY_NAMES), default="NoRes")
+    ingest.add_argument(
+        "--window", nargs=2, type=float, default=None, metavar=("START", "END"),
+        help="replay only jobs submitted in [START, END) minutes of the "
+        "source clock",
+    )
+    ingest.add_argument(
+        "--stride", type=int, default=1, metavar="N",
+        help="keep every N-th eligible job (deterministic scale-down)",
+    )
+    ingest.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="stop after replaying N jobs",
+    )
+    ingest.add_argument(
+        "--unrestricted", action="store_true",
+        help="skip the business-group ownership mapping (jobs may run anywhere)",
+    )
+    ingest.add_argument(
+        "--rss-ceiling-mb", type=float, default=None, metavar="MB",
+        help="fail (exit 1) if this process's peak RSS exceeds MB — the "
+        "constant-memory gate CI runs",
+    )
+    ingest.add_argument(
+        "--json", action="store_true",
+        help="emit a single machine-readable JSON object instead of tables",
+    )
+    _add_scale_seed(ingest)
+
+    fixture = sub.add_parser(
+        "make-fixture",
+        help="write a deterministic synthetic SWF / Google-CSV fixture "
+        "(format-faithful, no downloads needed)",
+    )
+    fixture.add_argument("output", help="output path")
+    fixture.add_argument(
+        "--format", choices=["swf", "google"], default="swf", dest="trace_format",
+        help="fixture format (default: swf)",
+    )
+    fixture.add_argument("--jobs", type=int, default=100_000, metavar="N")
+    fixture.add_argument(
+        "--utilization", type=float, default=0.35,
+        help="offered load vs the --scale cluster (default 0.35)",
+    )
+    fixture.add_argument(
+        "--mean-runtime", type=float, default=150.0, metavar="MIN",
+        help="mean job runtime in minutes (default 150)",
+    )
+    _add_scale_seed(fixture)
     return parser
 
 
@@ -370,7 +446,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .simulator.engine import SimulationEngine
     from .telemetry import Instrumentation, MetricsRegistry, write_telemetry_dir
 
-    scenario = _build_scenario(args)
+    scenario = None if args.trace else _build_scenario(args)
     policy = policy_from_name(args.policy, args.wait_threshold)
     scheduler = initial_scheduler_from_name(args.initial_scheduler)
     observer = None
@@ -406,18 +482,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
         _INTERRUPT_FLUSHERS.append(
             lambda: write_telemetry_dir(registry, args.telemetry_dir)
         )
-    engine = SimulationEngine(
-        scenario.trace,
-        scenario.cluster,
-        policy=policy,
-        initial_scheduler=scheduler,
-        config=SimulationConfig(
-            strict=False, instrumentation=instrumentation, faults=faults
-        ),
+    config = SimulationConfig(
+        strict=False, instrumentation=instrumentation, faults=faults
     )
-    result = engine.run()
-    summary = summarize(result)
-    print(render_table([summary], f"scenario={scenario.name} ({len(scenario.trace)} jobs)"))
+    if args.trace:
+        # Real-trace replay: stream the file through the engine with an
+        # OnlineResults sink — constant memory regardless of trace size.
+        from .simulator.online import OnlineResults
+        from .workload.traces import default_replay_spec
+
+        template, cluster = _ingest_cluster(args)
+        spec = default_replay_spec(template)
+        engine = SimulationEngine(
+            spec.replay(args.trace, args.trace_format),
+            cluster,
+            policy=policy,
+            initial_scheduler=scheduler,
+            config=config,
+            sink=OnlineResults(),
+        )
+        result = engine.run()
+        summary = result.summary()
+        title = f"trace={args.trace} ({result.job_count} jobs)"
+    else:
+        engine = SimulationEngine(
+            scenario.trace,
+            scenario.cluster,
+            policy=policy,
+            initial_scheduler=scheduler,
+            config=config,
+        )
+        result = engine.run()
+        summary = summarize(result)
+        title = f"scenario={scenario.name} ({len(scenario.trace)} jobs)"
+    print(render_table([summary], title))
     print()
     print(render_waste_components([summary]))
     if result.fault_stats is not None:
@@ -527,6 +625,134 @@ def _cmd_analyze_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ingest_cluster(args: argparse.Namespace):
+    """The (template, cluster) pair the ingest-family commands share.
+
+    ``make-fixture`` and ``ingest`` derive sizes from the *same* cluster
+    construction, so a fixture generated at ``--scale X`` offers its
+    target utilisation to an ``ingest --scale X`` run — which is what
+    keeps the in-flight job set (and therefore peak RSS) bounded.
+    """
+    from .workload.cluster import ClusterTemplate
+    from .workload.distributions import RandomStreams
+
+    scale = args.scale if args.scale is not None else 0.25
+    template = ClusterTemplate(scale=scale)
+    # Fixed cluster seed: --seed varies the *workload* (fixture content),
+    # never the cluster, so fixture sizing and replay sizing agree.
+    return template, template.build(RandomStreams(2010))
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import json as json_module
+    import resource
+    import time
+
+    from .workload.characterization import StreamingCharacterizer
+    from .workload.traces import default_replay_spec
+
+    template, cluster = _ingest_cluster(args)
+    overrides = {"stride": args.stride, "max_jobs": args.max_jobs}
+    if args.window is not None:
+        overrides["window_start_minutes"] = args.window[0]
+        overrides["window_end_minutes"] = args.window[1]
+    spec = default_replay_spec(None if args.unrestricted else template, **overrides)
+    policy = policy_from_name(args.policy)
+    characterizer = StreamingCharacterizer()
+
+    from .simulator.simulation import run_streaming
+
+    started = time.perf_counter()
+    sink = run_streaming(
+        characterizer.tee(spec.replay(args.trace, args.trace_format)),
+        cluster,
+        policy=policy,
+        config=SimulationConfig(strict=False),
+    )
+    wall = time.perf_counter() - started
+    # ru_maxrss is in KB on Linux; this is the whole process's
+    # high-water mark, which is exactly what the ceiling gate is about.
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    jobs_per_second = sink.job_count / wall if wall > 0 else 0.0
+    warnings = characterizer.check_paper_regime(cluster.total_cores)
+
+    if args.json:
+        summary = sink.summary()
+        print(
+            json_module.dumps(
+                {
+                    "path": args.trace,
+                    "format": args.trace_format,
+                    "policy": sink.policy_name,
+                    "jobs": sink.job_count,
+                    "completed": sink.completed_count,
+                    "rejected": sink.rejected_count,
+                    "suspended": sink.suspended_count,
+                    "wall_seconds": wall,
+                    "jobs_per_second": jobs_per_second,
+                    "peak_rss_mb": peak_rss_mb,
+                    "total_cores": cluster.total_cores,
+                    "offered_load": characterizer.utilization(cluster.total_cores),
+                    "avg_ct_all": summary.avg_ct_all,
+                    "mean_wait": summary.waste.wait_time,
+                    "mean_utilization": sink.mean_utilization(),
+                    "warnings": warnings,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(render_table([sink.summary()], f"trace={args.trace} ({sink.job_count} jobs)"))
+        print()
+        print(characterizer.render(cluster.total_cores))
+        print()
+        print(sink.wait_histogram.render("wait time"))
+        if sink.suspension_histogram.count:
+            print(sink.suspension_histogram.render("suspension time"))
+        print(
+            f"\ningested {sink.job_count} jobs in {wall:.1f}s "
+            f"({jobs_per_second:,.0f} jobs/s), peak RSS {peak_rss_mb:.0f} MB"
+        )
+    if args.rss_ceiling_mb is not None and peak_rss_mb > args.rss_ceiling_mb:
+        print(
+            f"error: peak RSS {peak_rss_mb:.0f} MB exceeds the "
+            f"{args.rss_ceiling_mb:.0f} MB ceiling — streaming ingestion is "
+            f"no longer constant-memory",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_make_fixture(args: argparse.Namespace) -> int:
+    from .workload.traces import generate_google_fixture, generate_swf_fixture
+
+    template, cluster = _ingest_cluster(args)
+    generate = (
+        generate_swf_fixture if args.trace_format == "swf" else generate_google_fixture
+    )
+    seed = args.seed if args.seed is not None else 1
+    totals = generate(
+        args.output,
+        args.jobs,
+        seed=seed,
+        target_cores=cluster.total_cores,
+        utilization=args.utilization,
+        mean_runtime_minutes=args.mean_runtime,
+    )
+    print(
+        f"wrote {args.jobs} {args.trace_format} jobs spanning "
+        f"{totals['horizon_minutes']:.0f} minutes to {args.output} "
+        f"(sized for a {cluster.total_cores}-core cluster at "
+        f"{args.utilization:g} load; replay with "
+        f"'repro ingest {args.output}"
+        + (" --format google" if args.trace_format == "google" else "")
+        + (f" --scale {args.scale:g}'" if args.scale is not None else "'")
+        + ")"
+    )
+    return 0
+
+
 _COMMANDS = {
     "table": _cmd_table,
     "figure": _cmd_figure,
@@ -537,6 +763,8 @@ _COMMANDS = {
     "analyze-trace": _cmd_analyze_trace,
     "validate": _cmd_validate,
     "export": _cmd_export,
+    "ingest": _cmd_ingest,
+    "make-fixture": _cmd_make_fixture,
 }
 
 
@@ -547,6 +775,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        # Unreadable trace/fixture/telemetry paths surface as plain
+        # CLI errors, not tracebacks.
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except KeyboardInterrupt:

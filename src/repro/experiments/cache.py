@@ -152,13 +152,21 @@ def _trace_fingerprint(trace) -> str:
 
 
 def _scenario_fingerprint(scenario) -> Dict[str, Any]:
-    """Content fingerprint of a scenario: identity plus cluster + trace."""
+    """Content fingerprint of a scenario: identity plus cluster + trace.
+
+    Trace-replay scenarios (:class:`~repro.workload.traces.TraceScenario`)
+    carry a precomputed ``trace_digest`` — a SHA-256 of the *source trace
+    bytes plus the replay spec* — which already uniquely identifies the
+    materialised jobs.  Using it keeps cache-key construction O(1) in
+    trace size instead of re-hashing every job of a real-log replay.
+    """
+    digest = getattr(scenario, "trace_digest", None)
     return {
         "name": scenario.name,
         "seed": scenario.seed,
         "wait_threshold": scenario.wait_threshold,
         "cluster": stable_hash(tuple(scenario.cluster)),
-        "trace": _trace_fingerprint(scenario.trace),
+        "trace": digest if digest is not None else _trace_fingerprint(scenario.trace),
     }
 
 

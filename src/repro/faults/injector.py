@@ -273,6 +273,17 @@ class FaultInjector:
             for r in records
             if not r.rejected and r.finish_minute is not None
         )
+        return self.finalize_with_goodput(goodput)
+
+    def finalize_with_goodput(self, goodput: float) -> FaultStats:
+        """Freeze the counters around an externally accumulated goodput.
+
+        The streaming-results path (:class:`~repro.simulator.online.OnlineResults`)
+        accumulates completed demand record-by-record instead of keeping
+        the records, and hands the finished sum in here.  Both paths add
+        the same values in the same (completion) order, so the stats are
+        bit-identical.
+        """
         return FaultStats(
             machine_crashes=self.machine_crashes,
             machine_recoveries=self.machine_recoveries,

@@ -12,10 +12,11 @@ from .events import EventQueue
 from .job import Job, JobState
 from .machine import Machine
 from .observer import EventLog, EventObserver, JsonlEventWriter, SimEvent
+from .online import OnlineResults, StreamingHistogram
 from .pool import PhysicalPool, SubmitOutcome, SubmitResult
 from .queues import PriorityWaitQueue
 from .results import JobRecord, SimulationResult, StateSample
-from .simulation import run_simulation
+from .simulation import run_simulation, run_streaming
 from .virtual_pool import VirtualPoolManager
 
 __all__ = [
@@ -35,8 +36,11 @@ __all__ = [
     "SubmitResult",
     "PriorityWaitQueue",
     "JobRecord",
+    "OnlineResults",
+    "StreamingHistogram",
     "SimulationResult",
     "StateSample",
     "run_simulation",
+    "run_streaming",
     "VirtualPoolManager",
 ]

@@ -23,7 +23,7 @@ import random
 from collections import deque
 from dataclasses import replace
 from time import perf_counter
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..core.context import PoolSnapshot, SystemView
 from ..core.decisions import Action, Decision
@@ -66,7 +66,18 @@ from .observer import SimEvent
 from .results import JobRecord, SimulationResult, StateSample
 from .virtual_pool import VirtualPoolManager
 
-__all__ = ["SimulationEngine", "LiveSystemView"]
+__all__ = ["SimulationEngine", "LiveSystemView", "STREAMING_SHADOW_ID_BASE"]
+
+#: First shadow-job id in streaming mode.  A streaming feed's maximum
+#: job id is unknown until the feed is exhausted, so shadow attempts
+#: are numbered from a base no sane trace reaches instead of
+#: ``max(trace ids) + 1``.
+STREAMING_SHADOW_ID_BASE = 1 << 62
+
+#: Upper bound on entries in the engine-level eligibility memos.  Keeps
+#: replay RSS bounded even for traces whose requirement signatures never
+#: repeat; overflow degrades to recomputation, never to wrong answers.
+_SIGNATURE_CACHE_CAP = 8192
 
 
 class LiveSystemView(SystemView):
@@ -103,12 +114,33 @@ class SimulationEngine:
 
     def __init__(
         self,
-        trace: Trace,
+        trace: Union[Trace, Iterable[TraceJob]],
         cluster: ClusterSpec,
         policy: Optional[ReschedulingPolicy] = None,
         initial_scheduler: Optional[InitialScheduler] = None,
         config: Optional[SimulationConfig] = None,
+        sink=None,
     ) -> None:
+        """Build one single-use engine.
+
+        Args:
+            trace: the workload.  A :class:`~repro.workload.trace.Trace`
+                is bulk-loaded up front (the classic path); any other
+                iterable of :class:`TraceJob` is consumed **lazily** in
+                submission order during :meth:`run` — constant-memory
+                streaming ingestion for traces too large to materialise.
+                Streaming feeds must be sorted by ``submit_minute``.
+            cluster: the site to emulate.
+            policy: rescheduling policy (default: the NoRes baseline).
+            initial_scheduler: VPM initial scheduler (default round-robin).
+            config: engine knobs.
+            sink: optional result sink (e.g.
+                :class:`~repro.simulator.online.OnlineResults`).  When
+                given, per-job records and samples are folded into it as
+                they are produced instead of being materialised, and
+                :meth:`run` returns ``sink.finalize(...)``'s value
+                instead of a :class:`SimulationResult`.
+        """
         self.config = config or SimulationConfig()
         self.policy = policy or NoRescheduling()
         self.scheduler = initial_scheduler or RoundRobinScheduler()
@@ -144,7 +176,18 @@ class SimulationEngine:
         self._events = EventQueue()
         self._records: List[JobRecord] = []
         self._samples: List[StateSample] = []
-        self._outstanding = len(trace)
+        self._sink = sink
+        # Hot-path record/sample routing: bound once, so the recording
+        # sites need no per-record sink check.
+        self._add_record = self._records.append if sink is None else sink.add_record
+        self._add_sample = self._samples.append if sink is None else sink.add_sample
+        streaming = not isinstance(trace, Trace)
+        self._feed = iter(trace) if streaming else None
+        #: True once a streaming feed has yielded its last job (always
+        #: True in materialised mode: every submission is queued up
+        #: front, so the sampler's keep-alive check needs no feed term).
+        self._feed_exhausted = not streaming
+        self._outstanding = 0 if streaming else len(trace)
         # Eligible-pool tuples cached at two levels: per requirement
         # signature, and per (signature, whitelist) pair so whitelisted
         # jobs skip the per-call filter too.
@@ -156,17 +199,25 @@ class SimulationEngine:
         # failure) merges both attempts' accounting.
         self._dup_fallen: Dict[int, Job] = {}
         self._outage_depth: Dict[str, int] = {}
-        self._shadow_ids = itertools.count(
-            (max((j.job_id for j in trace), default=0) + 1) if len(trace) else 1
-        )
+        if streaming:
+            # The feed's maximum job id is unknown until it is drained;
+            # shadow attempts start from a base no real trace reaches.
+            self._shadow_ids = itertools.count(STREAMING_SHADOW_ID_BASE)
+            if self.config.record_samples:
+                self._events.push(0.0, EVENT_SAMPLE, None)
+        else:
+            self._shadow_ids = itertools.count(
+                (max((j.job_id for j in trace), default=0) + 1) if len(trace) else 1
+            )
         self._finished = False
 
-        events: List[Tuple[float, int, object]] = [
-            (spec.submit_minute, EVENT_SUBMIT, Job(spec)) for spec in trace
-        ]
-        if self.config.record_samples:
-            events.append((0.0, EVENT_SAMPLE, None))
-        self._events.push_many_unsorted(events)
+        if not streaming:
+            events: List[Tuple[float, int, object]] = [
+                (spec.submit_minute, EVENT_SUBMIT, Job(spec)) for spec in trace
+            ]
+            if self.config.record_samples:
+                events.append((0.0, EVENT_SAMPLE, None))
+            self._events.push_many_unsorted(events)
         self._faults: Optional[FaultInjector] = None
         if self.config.faults.enabled:
             self._faults = FaultInjector(
@@ -209,7 +260,12 @@ class SimulationEngine:
         return self._profiler.report()
 
     def run(self) -> SimulationResult:
-        """Execute until every job completes; return the result."""
+        """Execute until every job completes; return the result.
+
+        With a ``sink`` the return value is ``sink.finalize(...)``'s
+        result (an :class:`~repro.simulator.online.OnlineResults` for
+        the standard sink) instead of a :class:`SimulationResult`.
+        """
         if self._finished:
             raise SimulationError("engine instances are single-use; build a new one")
         max_minutes = self.config.max_minutes
@@ -221,7 +277,9 @@ class SimulationEngine:
         faults = self._faults
         dispatch = self._dispatch
         pop = events.pop
-        if telemetry is None and profiler is None:
+        if self._feed is not None:
+            self._drain_streaming()
+        elif telemetry is None and profiler is None:
             # Fast drain: no per-event instrumentation checks at all.
             # Fault renewal processes (machine crash/recover) outlive
             # the workload; once every job is accounted for, the
@@ -277,6 +335,24 @@ class SimulationEngine:
             close = getattr(observer, "close", None)
             if close is not None:
                 close()
+        fault_stats = None
+        if faults is not None:
+            # The sink accumulates completed demand record-by-record in
+            # the same order finalize() would sum it, so both paths
+            # produce bit-identical goodput.
+            fault_stats = (
+                faults.finalize_with_goodput(self._sink.goodput_minutes)
+                if self._sink is not None
+                else faults.finalize(self._records)
+            )
+        if self._sink is not None:
+            return self._sink.finalize(
+                pool_ids=self.pool_order,
+                policy_name=self.policy.name,
+                scheduler_name=self.scheduler.name,
+                total_cores=self.total_cores,
+                fault_stats=fault_stats,
+            )
         return SimulationResult(
             records=self._records,
             samples=self._samples,
@@ -284,10 +360,92 @@ class SimulationEngine:
             policy_name=self.policy.name,
             scheduler_name=self.scheduler.name,
             total_cores=self.total_cores,
-            fault_stats=(
-                faults.finalize(self._records) if faults is not None else None
-            ),
+            fault_stats=fault_stats,
         )
+
+    def _drain_streaming(self) -> None:
+        """The event loop for a lazily consumed (streaming) trace feed.
+
+        Submissions are *pulled* from the feed and processed directly —
+        never queued — so memory stays constant in the trace length:
+        only in-flight jobs and their runtime events are live at any
+        moment.  Pop order is nevertheless **bit-identical** to the
+        materialised path: bulk load gives every submission a lower seq
+        than any runtime event, so at equal times submissions fire
+        first, in trace order — exactly what processing the next
+        arrival whenever ``submit_minute <= peek_time()`` reproduces
+        (the clock is advanced to the submission time first, as a popped
+        event would have done).
+        """
+        events = self._events
+        max_minutes = self.config.max_minutes
+        telemetry = self._telemetry
+        profiler = self._profiler
+        instrumented = telemetry is not None or profiler is not None
+        faults = self._faults
+        dispatch = self._dispatch
+        pop = events.pop
+        peek = events.peek_time
+        advance = events.advance_to
+        on_submit = self._on_submit
+        feed = self._feed
+        next_spec = next(feed, None)
+        if next_spec is None:
+            self._feed_exhausted = True
+        last_submit = 0.0
+        while True:
+            if next_spec is not None:
+                queue_time = peek()
+                submit_minute = next_spec.submit_minute
+                if queue_time is None or submit_minute <= queue_time:
+                    if submit_minute < last_submit:
+                        raise SimulationError(
+                            f"streaming trace feed is not sorted by submission "
+                            f"time: job {next_spec.job_id} submits at minute "
+                            f"{submit_minute} after minute {last_submit}"
+                        )
+                    last_submit = submit_minute
+                    if max_minutes is not None and submit_minute > max_minutes:
+                        raise SimulationError(
+                            f"simulation exceeded max_minutes={max_minutes} "
+                            f"with {self._outstanding} jobs outstanding"
+                        )
+                    advance(submit_minute)
+                    self._outstanding += 1
+                    if instrumented:
+                        if telemetry is not None:
+                            telemetry.count_queue_event("submit")
+                        if profiler is not None:
+                            started_at = perf_counter()
+                        on_submit(Job(next_spec), submit_minute)
+                        if profiler is not None:
+                            profiler.record("submit", perf_counter() - started_at)
+                    else:
+                        on_submit(Job(next_spec), submit_minute)
+                    next_spec = next(feed, None)
+                    if next_spec is None:
+                        self._feed_exhausted = True
+                    continue
+            if not len(events):
+                break
+            if faults is not None and next_spec is None and self._outstanding == 0:
+                break
+            time, _, kind, payload = pop()
+            if max_minutes is not None and time > max_minutes:
+                raise SimulationError(
+                    f"simulation exceeded max_minutes={max_minutes} "
+                    f"with {self._outstanding} jobs outstanding"
+                )
+            if instrumented:
+                if telemetry is not None:
+                    telemetry.count_queue_event(EVENT_NAMES[kind])
+                if profiler is not None:
+                    started_at = perf_counter()
+                dispatch[kind](payload, time)
+                if profiler is not None:
+                    profiler.record(EVENT_NAMES[kind], perf_counter() - started_at)
+            else:
+                dispatch[kind](payload, time)
 
     def eligible_candidates(self, spec: TraceJob) -> Tuple[str, ...]:
         """Pools where ``spec`` is whitelisted and statically eligible.
@@ -296,8 +454,9 @@ class SimulationEngine:
         level up, by (signature, whitelist): traces contain few distinct
         signatures and whitelists, so both the per-pool machine scans
         and the whitelist filtering amortise to nothing.  Equal keys
-        return the *same tuple object*, which schedulers rely on when
-        keying round-robin state on the candidate tuple.
+        normally return the same tuple object; after a cache-cap clear
+        they return a new-but-equal tuple, which schedulers keying
+        round-robin state on the candidate tuple handle by value.
         """
         key = (spec.os_family, spec.cores, spec.memory_gb, spec.candidate_pools)
         cached = self._eligibility_cache.get(key)
@@ -314,12 +473,20 @@ class SimulationEngine:
                     for m in self.pools[pool_id].machines
                 )
             )
+            if len(self._signature_pools) >= _SIGNATURE_CACHE_CAP:
+                self._signature_pools.clear()
             self._signature_pools[signature] = eligible
         if spec.candidate_pools is None:
             result = eligible
         else:
             allowed = set(spec.candidate_pools)
             result = tuple(pool_id for pool_id in eligible if pool_id in allowed)
+        if len(self._eligibility_cache) >= _SIGNATURE_CACHE_CAP:
+            # Bounded so traces with unbounded signature diversity cost
+            # recomputes, not RSS.  Equal keys after a clear produce a
+            # new-but-equal tuple; schedulers key state by value, so
+            # round-robin positions survive.
+            self._eligibility_cache.clear()
         self._eligibility_cache[key] = result
         return result
 
@@ -480,7 +647,7 @@ class SimulationEngine:
             per_pool_busy.append(pool.busy_cores)
             per_pool_waiting.append(pool_waiting)
             per_pool_suspended.append(pool_suspended)
-        self._samples.append(
+        self._add_sample(
             StateSample(
                 minute=now,
                 busy_cores=busy,
@@ -507,7 +674,7 @@ class SimulationEngine:
         if self.config.check_invariants:
             for pool in self.pools.values():
                 pool.check_invariants()
-        if self._outstanding > 0:
+        if self._outstanding > 0 or not self._feed_exhausted:
             self._events.push(now + self.config.sample_interval, EVENT_SAMPLE, None)
 
     # -- fault handlers -----------------------------------------------------------------
@@ -888,7 +1055,7 @@ class SimulationEngine:
                 transient_failures=winner.transient_failures,
                 failed=False,
             )
-            self._records.append(record)
+            self._add_record(record)
             self._outstanding -= 1
             return
         identity = partner if winner.is_shadow else winner
@@ -918,7 +1085,7 @@ class SimulationEngine:
             transient_failures=sum(a.transient_failures for a in attempts),
             failed=False,
         )
-        self._records.append(record)
+        self._add_record(record)
         self._outstanding -= 1
 
     def _record_failure(self, job: Job, partner: Optional[Job], now: float) -> None:
@@ -929,7 +1096,7 @@ class SimulationEngine:
             attempts.append(partner)
             if job.is_shadow:
                 identity = partner
-        self._records.append(
+        self._add_record(
             JobRecord(
                 job_id=identity.job_id,
                 priority=identity.priority,
@@ -960,7 +1127,7 @@ class SimulationEngine:
         self._faults.note_permanent_failure()
 
     def _record_rejection(self, job: Job) -> None:
-        self._records.append(
+        self._add_record(
             JobRecord(
                 job_id=job.job_id,
                 priority=job.priority,

@@ -118,6 +118,8 @@ class CalendarEventQueue:
         "_seq",
         "_now",
         "_size",
+        "_peek_idx",
+        "_peek_time",
     )
 
     def __init__(self, bucket_width: float = DEFAULT_BUCKET_WIDTH) -> None:
@@ -139,6 +141,11 @@ class CalendarEventQueue:
         self._seq = 0
         self._now = 0.0
         self._size = 0
+        # Memoized (bucket key, earliest time) of the head *future*
+        # bucket, maintained by push/activate so the streaming-ingest
+        # loop can call peek_time() per iteration in O(1).
+        self._peek_idx: Optional[int] = None
+        self._peek_time = 0.0
 
     @property
     def now(self) -> float:
@@ -177,6 +184,17 @@ class CalendarEventQueue:
                 heapq.heappush(self._bucket_order, idx)
             else:
                 bucket.append(entry)
+            # Keep the head-bucket peek memo exact: a push into the
+            # memoized bucket can only lower its earliest time; a push
+            # creating an earlier bucket replaces the memo outright.
+            peek_idx = self._peek_idx
+            if peek_idx is not None:
+                if idx == peek_idx:
+                    if time < self._peek_time:
+                        self._peek_time = time
+                elif idx < peek_idx:
+                    self._peek_idx = idx
+                    self._peek_time = time
 
     def push_many_unsorted(self, events: List[Tuple[float, int, Any]]) -> None:
         """Bulk-load events (used once, for a trace's submissions).
@@ -242,7 +260,26 @@ class CalendarEventQueue:
             return self._current[self._cursor][0]
         if not self._bucket_order:
             return None
-        return min(self._buckets[self._bucket_order[0]])[0]
+        head = self._bucket_order[0]
+        if self._peek_idx != head:
+            self._peek_idx = head
+            self._peek_time = min(self._buckets[head])[0]
+        return self._peek_time
+
+    def advance_to(self, time: float) -> None:
+        """Advance the clock to ``time`` without popping an event.
+
+        Used by the streaming-ingest loop, which processes trace
+        submissions outside the queue: before handling a submission at
+        minute ``t`` the clock must read ``t``, exactly as it would had
+        the submission been a popped event.  Never moves time backwards.
+        """
+        if time < self._now - 1e-9:
+            raise SimulationError(
+                f"cannot advance the clock to {time} (current time {self._now})"
+            )
+        if time > self._now:
+            self._now = time
 
     def _activate_next_bucket(self) -> None:
         """Sort the earliest pending bucket and make it active."""
@@ -254,6 +291,8 @@ class CalendarEventQueue:
         self._current = bucket
         self._cursor = 0
         self._current_idx = idx
+        if self._peek_idx == idx:
+            self._peek_idx = None
 
 
 class HeapEventQueue:
@@ -316,6 +355,15 @@ class HeapEventQueue:
     def peek_time(self) -> Optional[float]:
         """Time of the earliest event, or ``None`` when empty."""
         return self._heap[0][0] if self._heap else None
+
+    def advance_to(self, time: float) -> None:
+        """Advance the clock without popping (see :meth:`CalendarEventQueue.advance_to`)."""
+        if time < self._now - 1e-9:
+            raise SimulationError(
+                f"cannot advance the clock to {time} (current time {self._now})"
+            )
+        if time > self._now:
+            self._now = time
 
 
 #: The engine's event queue implementation.

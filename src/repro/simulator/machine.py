@@ -21,6 +21,12 @@ from ..schedulers.eligibility import machine_eligible
 from ..workload.cluster import MachineSpec
 from .job import Job, JobState
 
+#: Upper bound on per-machine eligibility-memo entries.  Synthetic and
+#: quantised-replay workloads stay far below this; it exists so a trace
+#: with pathological signature diversity degrades to recomputation
+#: instead of unbounded RSS.
+_ELIGIBILITY_CACHE_CAP = 4096
+
 __all__ = ["Machine"]
 
 
@@ -84,6 +90,12 @@ class Machine:
         verdict = self._eligibility.get(sig)
         if verdict is None:
             verdict = machine_eligible(self.spec, job_spec)
+            if len(self._eligibility) >= _ELIGIBILITY_CACHE_CAP:
+                # A trace with unbounded distinct requirement signatures
+                # (e.g. unquantised per-job byte counts) must not grow
+                # this memo without bound; dropping it only costs a
+                # recompute of a cheap static check.
+                self._eligibility.clear()
             self._eligibility[sig] = verdict
         return verdict
 

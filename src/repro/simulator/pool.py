@@ -33,6 +33,10 @@ from .job import Job, JobState
 from .machine import Machine
 from .queues import PriorityWaitQueue
 
+#: Upper bound on per-pool eligibility-cache entries (the negative
+#: first-fit cache shares its keys, so bounding one bounds both).
+_SIGNATURE_CACHE_CAP = 4096
+
 __all__ = ["PhysicalPool", "SubmitOutcome", "SubmitResult"]
 
 
@@ -158,8 +162,18 @@ class PhysicalPool:
         machines = self._eligible_machines.get(sig)
         if machines is None:
             machines = tuple(m for m in self.machines if m.eligible(job_spec))
-            self._eligible_machines[sig] = machines
+            self._remember_eligible(sig, machines)
         return machines
+
+    def _remember_eligible(self, sig: tuple, machines: Tuple[Machine, ...]) -> None:
+        """Insert into the eligibility cache, clearing it at the cap so
+        signature-diverse traces degrade to rescans, not unbounded RSS.
+        The negative first-fit cache is keyed by the same signatures and
+        is dropped alongside (it is purely an optimisation)."""
+        if len(self._eligible_machines) >= _SIGNATURE_CACHE_CAP:
+            self._eligible_machines.clear()
+            self._no_first_fit.clear()
+        self._eligible_machines[sig] = machines
 
     def submit(self, job: Job, now: float) -> SubmitResult:
         """Dispatch an arriving job per the NetBatch pool-manager rules."""
@@ -168,7 +182,7 @@ class PhysicalPool:
         eligible = self._eligible_machines.get(sig)
         if eligible is None:
             eligible = tuple(m for m in self.machines if m.eligible(spec))
-            self._eligible_machines[sig] = eligible
+            self._remember_eligible(sig, eligible)
         if not eligible:
             return SubmitResult(SubmitOutcome.INELIGIBLE)
         cores = spec.cores

@@ -8,6 +8,7 @@ section 2 for the substitution rationale.
 
 from .arrivals import BurstProcess, BurstWindow, DiurnalPoissonProcess, PoissonProcess
 from .characterization import (
+    StreamingCharacterizer,
     TraceCharacterization,
     characterize,
     fano_factor,
@@ -45,12 +46,28 @@ from .scenarios import (
     year,
 )
 from .trace import Trace, TraceJob, TraceStats, jobs_by_task
+from .traces import (
+    GoogleTask,
+    SWFJob,
+    TraceReplaySpec,
+    TraceScenario,
+    default_replay_spec,
+    generate_google_fixture,
+    generate_swf_fixture,
+    iter_google_tasks,
+    iter_swf_jobs,
+    read_swf,
+    scenario_from_trace,
+    trace_digest,
+    write_swf,
+)
 
 __all__ = [
     "BurstProcess",
     "BurstWindow",
     "DiurnalPoissonProcess",
     "PoissonProcess",
+    "StreamingCharacterizer",
     "TraceCharacterization",
     "characterize",
     "fano_factor",
@@ -89,4 +106,17 @@ __all__ = [
     "TraceJob",
     "TraceStats",
     "jobs_by_task",
+    "SWFJob",
+    "GoogleTask",
+    "TraceReplaySpec",
+    "TraceScenario",
+    "default_replay_spec",
+    "iter_swf_jobs",
+    "iter_google_tasks",
+    "read_swf",
+    "write_swf",
+    "scenario_from_trace",
+    "trace_digest",
+    "generate_swf_fixture",
+    "generate_google_fixture",
 ]

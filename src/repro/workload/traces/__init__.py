@@ -1,0 +1,37 @@
+"""Real-trace ingestion: streaming SWF and Google cluster-trace adapters.
+
+This package is the bridge from archived real-world scheduler logs to
+the simulator: constant-memory parsers for the two dominant public
+formats, a declarative :class:`TraceReplaySpec` that deterministically
+projects them onto the paper's ownership model, and synthetic fixture
+generators so tests and CI can exercise the whole path without
+multi-gigabyte downloads.  See ``docs/traces.md`` for the full story.
+"""
+
+from .fixtures import generate_google_fixture, generate_swf_fixture
+from .googlecluster import GoogleTask, iter_google_tasks
+from .replay import (
+    TraceReplaySpec,
+    TraceScenario,
+    default_replay_spec,
+    scenario_from_trace,
+    trace_digest,
+)
+from .swf import SWFJob, format_swf_job, iter_swf_jobs, read_swf, write_swf
+
+__all__ = [
+    "SWFJob",
+    "iter_swf_jobs",
+    "read_swf",
+    "write_swf",
+    "format_swf_job",
+    "GoogleTask",
+    "iter_google_tasks",
+    "TraceReplaySpec",
+    "TraceScenario",
+    "default_replay_spec",
+    "scenario_from_trace",
+    "trace_digest",
+    "generate_swf_fixture",
+    "generate_google_fixture",
+]

@@ -1,0 +1,212 @@
+"""Standard Workload Format (SWF) streaming adapter.
+
+SWF is the Parallel Workloads Archive's interchange format for real
+scheduler logs (Feitelson et al.): one job per line, 18 whitespace-
+separated numeric fields, ``;``-prefixed comment/header lines, jobs
+ordered by submission time.  Reuther et al. (arXiv:1705.03102) motivate
+it as the standard carrier for HPC scheduler traces, which makes it the
+natural import path for replaying real logs through this reproduction.
+
+Everything here streams: :func:`iter_swf_jobs` parses one line at a
+time and never holds more than one job, so a multi-gigabyte archive
+trace replays in constant memory.  :func:`write_swf` emits the same
+canonical single-space formatting :mod:`repro.workload.traces.fixtures`
+uses, so generated fixtures round-trip **byte-for-byte** through
+parse + re-emit (pinned by ``tests/test_traces_swf.py``).
+
+Field reference (1-based, as in the SWF definition):
+
+==  =======================  ==  =======================
+ 1  job number                10  requested memory (KB)
+ 2  submit time (s)           11  status
+ 3  wait time (s)             12  user id
+ 4  run time (s)              13  group id
+ 5  allocated processors      14  executable number
+ 6  average CPU time (s)      15  queue number
+ 7  used memory (KB)          16  partition number
+ 8  requested processors      17  preceding job number
+ 9  requested time (s)        18  think time (s)
+==  =======================  ==  =======================
+
+Unknown values are ``-1`` throughout, per the SWF convention.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import astuple, dataclass
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Tuple, Union
+
+from ...errors import TraceError
+
+__all__ = [
+    "SWF_FIELD_COUNT",
+    "SWFJob",
+    "iter_swf_jobs",
+    "read_swf",
+    "write_swf",
+    "format_swf_job",
+]
+
+#: An SWF record always carries exactly this many fields.
+SWF_FIELD_COUNT = 18
+
+Source = Union[str, Path, IO[str]]
+
+#: SWF status values (field 11).
+STATUS_FAILED = 0
+STATUS_COMPLETED = 1
+STATUS_PARTIAL = 2
+STATUS_PARTIAL_FAILED = 3
+STATUS_CANCELLED = 5
+
+
+@dataclass(frozen=True)
+class SWFJob:
+    """One SWF record; field order matches the on-disk column order."""
+
+    job_number: int
+    submit_time: float
+    wait_time: float
+    run_time: float
+    allocated_procs: int
+    avg_cpu_time: float
+    used_memory_kb: float
+    requested_procs: int
+    requested_time: float
+    requested_memory_kb: float
+    status: int
+    user_id: int
+    group_id: int
+    executable: int
+    queue: int
+    partition: int
+    preceding_job: int
+    think_time: float
+
+
+#: Which of the 18 columns are integral (the rest may carry fractions).
+_INT_FIELDS = frozenset((0, 4, 7, 10, 11, 12, 13, 14, 15, 16))
+
+
+def _parse_field(token: str, index: int) -> Union[int, float]:
+    if index in _INT_FIELDS:
+        return int(token)
+    value = float(token)
+    # Keep integral values as ints so canonical re-emission preserves
+    # the common all-integer SWF encoding byte-for-byte.
+    if "." not in token and "e" not in token and "E" not in token:
+        return int(token)
+    return value
+
+
+def _format_field(value: Union[int, float]) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if float(value).is_integer() and abs(value) < 1e16:
+        return str(int(value))
+    return repr(value)
+
+
+def format_swf_job(job: SWFJob) -> str:
+    """The canonical (single-space separated) SWF line for ``job``."""
+    return " ".join(_format_field(v) for v in astuple(job))
+
+
+def _open(source: Source):
+    """``(file, should_close)`` for a path or an already-open stream."""
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="utf-8"), True
+    return source, False
+
+
+def iter_swf_jobs(source: Source) -> Iterator[SWFJob]:
+    """Yield :class:`SWFJob` records from ``source``, one line at a time.
+
+    ``source`` is a path or a text stream.  Comment lines (leading
+    ``;``) and blank lines are skipped.  A line with the wrong field
+    count or a non-numeric field raises :class:`~repro.errors.TraceError`
+    naming the offending line, so a corrupt download fails loudly at
+    the bad byte instead of poisoning the replay.
+    """
+    handle, should_close = _open(source)
+    name = getattr(handle, "name", "<swf>")
+    try:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(";"):
+                continue
+            fields = stripped.split()
+            if len(fields) != SWF_FIELD_COUNT:
+                raise TraceError(
+                    f"{name}:{line_number}: SWF line has {len(fields)} "
+                    f"fields, expected {SWF_FIELD_COUNT}"
+                )
+            try:
+                values = [
+                    _parse_field(token, index) for index, token in enumerate(fields)
+                ]
+            except ValueError as exc:
+                raise TraceError(
+                    f"{name}:{line_number}: non-numeric SWF field ({exc})"
+                ) from None
+            yield SWFJob(*values)
+    finally:
+        if should_close:
+            handle.close()
+
+
+def read_swf(source: Source) -> Tuple[List[str], List[SWFJob]]:
+    """Materialise ``source``: ``(comment lines, jobs)``.
+
+    Comment lines are preserved verbatim (without trailing newlines) so
+    a header-commented file written by :func:`write_swf` round-trips
+    byte-for-byte.  Convenience for tests and small fixtures — replay
+    paths should use the streaming :func:`iter_swf_jobs` instead.
+    """
+    comments: List[str] = []
+    jobs: List[SWFJob] = []
+    handle, should_close = _open(source)
+    try:
+        text = handle.read()
+    finally:
+        if should_close:
+            handle.close()
+    buffer = io.StringIO(text)
+    for line in buffer:
+        stripped = line.rstrip("\n")
+        if stripped.lstrip().startswith(";"):
+            comments.append(stripped)
+    jobs.extend(iter_swf_jobs(io.StringIO(text)))
+    return comments, jobs
+
+
+def write_swf(
+    dest: Source, jobs: Iterable[SWFJob], comments: Iterable[str] = ()
+) -> int:
+    """Write ``comments`` then ``jobs`` in canonical form; returns job count.
+
+    Comment lines are written verbatim (a leading ``;`` is added when
+    missing) before the job lines.  Output from ``write_swf(path,
+    *read_swf(path)[::-1])`` is byte-identical to a canonical input —
+    the round-trip property the fixture tests pin.
+    """
+    if isinstance(dest, (str, Path)):
+        handle: IO[str] = open(dest, "w", encoding="utf-8")
+        should_close = True
+    else:
+        handle, should_close = dest, False
+    count = 0
+    try:
+        for comment in comments:
+            if not comment.lstrip().startswith(";"):
+                comment = f"; {comment}"
+            handle.write(comment + "\n")
+        for job in jobs:
+            handle.write(format_swf_job(job) + "\n")
+            count += 1
+    finally:
+        if should_close:
+            handle.close()
+    return count

@@ -49,8 +49,9 @@ class TestCommands:
 
     def test_analyze_missing_file_fails_cleanly(self, tmp_path, capsys):
         missing = tmp_path / "nope.jsonl"
-        with pytest.raises(FileNotFoundError):
-            main(["analyze-trace", str(missing)])
+        code = main(["analyze-trace", str(missing)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
 
     def test_table_small_scale(self, capsys):
         code = main(["table", "1", "--scale", "0.05"])

@@ -1,0 +1,151 @@
+"""TraceReplaySpec: projection knobs, ownership mapping, digests."""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+
+import pytest
+
+from repro.errors import TraceError
+from repro.workload.trace import PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_MEDIUM
+from repro.workload.traces import (
+    TraceReplaySpec,
+    default_replay_spec,
+    generate_swf_fixture,
+    scenario_from_trace,
+    trace_digest,
+)
+from repro.workload.traces.swf import SWFJob, write_swf
+
+
+def _swf_source(jobs):
+    buffer = io.StringIO()
+    write_swf(buffer, jobs)
+    return io.StringIO(buffer.getvalue())
+
+
+def _job(number, submit_s, run_s=600, queue=0, user=0, cores=1, mem_kb=1_000_000,
+         status=1):
+    return SWFJob(
+        job_number=number, submit_time=submit_s, wait_time=-1, run_time=run_s,
+        allocated_procs=cores, avg_cpu_time=-1, used_memory_kb=mem_kb,
+        requested_procs=cores, requested_time=run_s, requested_memory_kb=mem_kb,
+        status=status, user_id=user, group_id=0, executable=1, queue=queue,
+        partition=1, preceding_job=-1, think_time=-1,
+    )
+
+
+class TestProjection:
+    def test_window_rebase_and_sequential_ids(self):
+        jobs = [_job(1, 0), _job(2, 6000), _job(3, 12000), _job(4, 60000)]
+        spec = TraceReplaySpec(window_start_minutes=90, window_end_minutes=500)
+        out = list(spec.replay_swf(_swf_source(jobs)))
+        # jobs 2 (100 min) and 3 (200 min) are inside; first kept job
+        # rebases to minute 0, ids restart from 0.
+        assert [j.job_id for j in out] == [0, 1]
+        assert [j.submit_minute for j in out] == [0.0, 100.0]
+
+    def test_window_end_stops_reading_sorted_source(self):
+        jobs = [_job(1, 0), _job(2, 600_000)]
+        spec = TraceReplaySpec(window_end_minutes=10.0)
+        out = list(spec.replay_swf(_swf_source(jobs)))
+        assert len(out) == 1
+
+    def test_stride_and_max_jobs(self):
+        jobs = [_job(i, i * 60) for i in range(1, 11)]
+        spec = TraceReplaySpec(stride=3, max_jobs=2, rebase=False)
+        out = list(spec.replay_swf(_swf_source(jobs)))
+        # Sources submit at minutes 1..10; stride keeps indices 0 and 3.
+        assert [j.submit_minute for j in out] == [1.0, 4.0]
+
+    def test_queue_priority_mapping(self):
+        jobs = [_job(1, 0, queue=0), _job(2, 60, queue=1), _job(3, 120, queue=2)]
+        spec = TraceReplaySpec(
+            queue_priorities=((1, PRIORITY_MEDIUM), (2, PRIORITY_HIGH))
+        )
+        out = list(spec.replay_swf(_swf_source(jobs)))
+        assert [j.priority for j in out] == [
+            PRIORITY_LOW, PRIORITY_MEDIUM, PRIORITY_HIGH,
+        ]
+
+    def test_status_filter_and_zero_runtime_skipped(self):
+        jobs = [_job(1, 0, status=1), _job(2, 60, status=0), _job(3, 120, run_s=0)]
+        spec = TraceReplaySpec(swf_statuses=(1,))
+        out = list(spec.replay_swf(_swf_source(jobs)))
+        assert len(out) == 1
+
+    def test_ownership_is_stable_and_high_priority_pins(self):
+        groups = (("p0", "p1"), ("p2",), ("p3", "p4"))
+        spec = TraceReplaySpec(
+            group_pool_sets=groups,
+            high_priority_pools=("big0", "big1"),
+            queue_priorities=((2, PRIORITY_HIGH),),
+        )
+        jobs = [_job(1, 0, user=7), _job(2, 60, user=7), _job(3, 120, user=7, queue=2)]
+        out = list(spec.replay_swf(_swf_source(jobs)))
+        # Same user -> same group set, deterministically.
+        assert out[0].candidate_pools == out[1].candidate_pools
+        assert out[0].candidate_pools in groups
+        # HIGH priority overrides the group set.
+        assert out[2].candidate_pools == ("big0", "big1")
+
+    def test_memory_is_quantized_to_a_bounded_signature_set(self):
+        # Near-unique per-job byte counts must collapse onto the quantum
+        # grid, otherwise the simulator's signature-keyed caches grow
+        # linearly with the trace (the constant-memory guarantee).
+        jobs = [_job(i, i * 60, mem_kb=1_000_000 + i * 13) for i in range(1, 201)]
+        spec = TraceReplaySpec(memory_quantum_gb=0.25)
+        out = list(spec.replay_swf(_swf_source(jobs)))
+        memories = {j.memory_gb for j in out}
+        assert len(memories) <= 2  # all ~0.95 GB -> 1.0 GB bucket
+        for m in memories:
+            assert m / 0.25 == pytest.approx(round(m / 0.25))
+
+    def test_memory_quantum_zero_disables_quantization(self):
+        jobs = [_job(i, i * 60, mem_kb=1_000_000 + i) for i in range(1, 21)]
+        spec = TraceReplaySpec(memory_quantum_gb=0.0)
+        out = list(spec.replay_swf(_swf_source(jobs)))
+        assert len({j.memory_gb for j in out}) == 20
+
+    def test_validation_errors(self):
+        with pytest.raises(TraceError):
+            TraceReplaySpec(stride=0)
+        with pytest.raises(TraceError):
+            TraceReplaySpec(window_start_minutes=10, window_end_minutes=5)
+        with pytest.raises(TraceError):
+            TraceReplaySpec(memory_quantum_gb=-1.0)
+        with pytest.raises(TraceError):
+            TraceReplaySpec(high_priority_pools=())
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(TraceError, match="unknown trace format"):
+            TraceReplaySpec().replay(io.StringIO(""), "xml")
+
+
+class TestDigest:
+    def test_digest_depends_on_bytes_spec_and_format(self, tmp_path):
+        a = tmp_path / "a.swf"
+        generate_swf_fixture(a, 50, seed=1)
+        spec = TraceReplaySpec()
+        base = trace_digest(a, spec, "swf")
+        assert base == trace_digest(a, spec, "swf")
+        assert base != trace_digest(a, spec, "google")
+        assert base != trace_digest(a, TraceReplaySpec(stride=2), "swf")
+        b = tmp_path / "b.swf"
+        generate_swf_fixture(b, 50, seed=2)
+        assert base != trace_digest(b, spec, "swf")
+
+    def test_scenario_from_trace_carries_digest(self, tmp_path):
+        import repro
+
+        path = tmp_path / "t.swf"
+        generate_swf_fixture(path, 80, seed=4)
+        template = repro.ClusterTemplate(scale=0.05)
+        cluster = template.build(repro.RandomStreams(2010))
+        spec = default_replay_spec(template)
+        scenario = scenario_from_trace("replay", path, cluster, spec, "swf")
+        assert scenario.trace_digest == trace_digest(path, spec, "swf")
+        assert len(scenario.trace.jobs) > 0
+        # Spec stays JSON-able (the digest canonicalisation requires it).
+        assert dataclasses.asdict(spec)["memory_quantum_gb"] == 0.25

@@ -1,0 +1,137 @@
+"""SWF adapter: canonical formatting round-trips and error paths."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.workload.traces import (
+    SWFJob,
+    format_swf_job,
+    generate_swf_fixture,
+    iter_swf_jobs,
+    read_swf,
+    write_swf,
+)
+
+# Field strategies mirror the SWF spec: integer fields take -1 (missing)
+# or small non-negative values; float-capable fields may carry decimals.
+_int_field = st.integers(min_value=-1, max_value=10**6)
+_float_field = st.one_of(
+    st.just(-1),
+    st.integers(min_value=0, max_value=10**6),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+@st.composite
+def swf_jobs(draw, number=None):
+    return SWFJob(
+        job_number=number if number is not None else draw(st.integers(1, 10**6)),
+        submit_time=draw(_int_field),
+        wait_time=draw(_float_field),
+        run_time=draw(_float_field),
+        allocated_procs=draw(_int_field),
+        avg_cpu_time=draw(_float_field),
+        used_memory_kb=draw(_float_field),
+        requested_procs=draw(_int_field),
+        requested_time=draw(_int_field),
+        requested_memory_kb=draw(_float_field),
+        status=draw(st.integers(-1, 5)),
+        user_id=draw(_int_field),
+        group_id=draw(_int_field),
+        executable=draw(_int_field),
+        queue=draw(_int_field),
+        partition=draw(_int_field),
+        preceding_job=draw(_int_field),
+        think_time=draw(_int_field),
+    )
+
+
+class TestRoundTrip:
+    @given(st.lists(swf_jobs(), min_size=0, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_write_parse_write_is_byte_identical(self, jobs):
+        """Canonical output is a fixed point: format -> parse -> format."""
+        first = io.StringIO()
+        write_swf(first, jobs, comments=("; generated",))
+        reparsed = list(iter_swf_jobs(io.StringIO(first.getvalue())))
+        second = io.StringIO()
+        write_swf(second, reparsed, comments=("; generated",))
+        assert first.getvalue() == second.getvalue()
+
+    @given(swf_jobs())
+    @settings(max_examples=60, deadline=None)
+    def test_single_line_round_trip(self, job):
+        line = format_swf_job(job)
+        (parsed,) = iter_swf_jobs(io.StringIO(line + "\n"))
+        assert format_swf_job(parsed) == line
+
+    def test_read_swf_preserves_comments_verbatim(self, tmp_path):
+        path = tmp_path / "t.swf"
+        comments = ("; Computer: somewhere", "; UnixStartTime: 0")
+        write_swf(path, [SWFJob(*([1] * 18))], comments)
+        got_comments, jobs = read_swf(path)
+        assert tuple(got_comments) == comments
+        assert len(jobs) == 1
+
+    def test_write_swf_prefixes_bare_comments(self, tmp_path):
+        path = tmp_path / "t.swf"
+        write_swf(path, [], comments=("bare note",))
+        comments, _ = read_swf(path)
+        assert comments == ["; bare note"]
+
+
+class TestErrors:
+    def test_short_line_names_file_and_line(self, tmp_path):
+        path = tmp_path / "bad.swf"
+        path.write_text("; header\n1 2 3\n", encoding="utf-8")
+        with pytest.raises(TraceError, match=r"bad\.swf:2: .*3 fields, expected 18"):
+            list(iter_swf_jobs(path))
+
+    def test_long_line_rejected(self):
+        line = " ".join(["1"] * 19)
+        with pytest.raises(TraceError, match="19 fields"):
+            list(iter_swf_jobs(io.StringIO(line + "\n")))
+
+    def test_non_numeric_field_rejected(self):
+        fields = ["1"] * 18
+        fields[3] = "banana"
+        with pytest.raises(TraceError, match="banana"):
+            list(iter_swf_jobs(io.StringIO(" ".join(fields) + "\n")))
+
+    def test_blank_lines_and_comments_skipped(self):
+        text = ";c\n\n   \n" + " ".join(["7"] * 18) + "\n"
+        jobs = list(iter_swf_jobs(io.StringIO(text)))
+        assert [j.job_number for j in jobs] == [7]
+
+
+class TestFixture:
+    def test_fixture_is_deterministic_and_parseable(self, tmp_path):
+        a, b = tmp_path / "a.swf", tmp_path / "b.swf"
+        totals = generate_swf_fixture(a, 300, seed=9)
+        generate_swf_fixture(b, 300, seed=9)
+        assert a.read_bytes() == b.read_bytes()
+        assert totals["jobs"] == 300
+        jobs = list(iter_swf_jobs(a))
+        assert len(jobs) == 300
+        submits = [j.submit_time for j in jobs]
+        assert submits == sorted(submits)
+
+    def test_fixture_seed_changes_content(self, tmp_path):
+        a, b = tmp_path / "a.swf", tmp_path / "b.swf"
+        generate_swf_fixture(a, 100, seed=1)
+        generate_swf_fixture(b, 100, seed=2)
+        assert a.read_bytes() != b.read_bytes()
+
+    def test_fixture_round_trips_byte_identically(self, tmp_path):
+        path = tmp_path / "f.swf"
+        generate_swf_fixture(path, 150, seed=3)
+        comments, jobs = read_swf(path)
+        rewritten = tmp_path / "g.swf"
+        write_swf(rewritten, jobs, comments)
+        assert path.read_bytes() == rewritten.read_bytes()
