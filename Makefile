@@ -1,4 +1,4 @@
-.PHONY: ci test lint smoke faults bench bench-record bench-check ingest
+.PHONY: ci test lint smoke faults bench bench-record bench-check ingest fabric
 
 # Everything CI runs, in one command (tests + lint + smoke + faults).
 ci:
@@ -20,6 +20,12 @@ faults:
 # replayed under the RSS ceiling, and the BENCH_ingest.json check.
 ingest:
 	scripts/ci.sh ingest
+
+# Distributed-fabric gate: lease/worker/coordinator tests, a 2-worker
+# subprocess fleet that must match serial bit-for-bit, the CLI
+# run-grid/cache round trip, and the BENCH_grid.json check.
+fabric:
+	scripts/ci.sh fabric
 
 # Full reproduction log: every table/figure benchmark at current scale,
 # then a refreshed point on the engine-throughput trajectory.

@@ -1,0 +1,102 @@
+"""CI smoke gate for the distributed experiment fabric.
+
+The fabric's contract, asserted end to end with real worker
+subprocesses:
+
+1. **Sharded == serial.** A 2-worker subprocess fleet racing the smoke
+   grid through the lease protocol must produce per-cell summaries
+   bit-identical to the serial run — same digests, same derived seeds.
+2. **Work actually distributes.** Both workers claim and compute cells
+   (no silent fallback to one worker doing everything), and every cell
+   is computed exactly once across the fleet.
+3. **Warm cache short-circuits the fleet.** A rerun against the
+   populated cache resolves every cell as a hit during the
+   coordinator's pre-scan; no worker computes anything.
+
+``scripts/ci.sh fabric`` runs this file plus the grid regression gate
+(``scripts/bench_record.py --grid --check --quick``).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.cache import ResultCache, stable_hash
+from repro.experiments.parallel import run_grid_parallel
+from repro.fabric import SubprocessWorkerBackend, build_grid, run_grid_fabric
+
+from conftest import banner, run_once
+
+
+def digests(report):
+    return [stable_hash(o.summary) for o in report.completed]
+
+
+def test_sharded_fleet_matches_serial(benchmark, tmp_path):
+    tasks = build_grid("smoke")
+    serial = run_grid_parallel(tasks, n_workers=1)
+
+    fabric = run_once(
+        benchmark,
+        run_grid_fabric,
+        build_grid("smoke"),
+        SubprocessWorkerBackend(2, poll_interval=0.05),
+        ResultCache(tmp_path),
+        poll_interval=0.05,
+    )
+
+    totals = dict(fabric.worker_totals)
+    print(banner("CI fabric smoke: smoke grid, serial vs 2-worker fleet"))
+    print(
+        f"cells: {len(tasks)}   provenance: {fabric.provenance_counts()}   "
+        f"fleet: {totals}"
+    )
+    assert fabric.ok
+    assert digests(fabric) == digests(serial), (
+        "2-worker fabric run diverged from serial — the lease protocol "
+        "or per-cell seeding broke"
+    )
+    assert [o.seed for o in fabric.completed] == [
+        o.seed for o in serial.completed
+    ]
+    assert totals["computed"] == len(tasks), (
+        f"fleet computed {totals['computed']} cells for a {len(tasks)}-cell "
+        "grid — cells were duplicated or lost"
+    )
+    assert totals["failed"] == 0
+
+    # warm rerun: the coordinator's pre-scan must resolve everything
+    rerun = run_grid_fabric(
+        build_grid("smoke"),
+        SubprocessWorkerBackend(2, poll_interval=0.05),
+        ResultCache(tmp_path),
+        poll_interval=0.05,
+    )
+    assert rerun.provenance_counts() == {"cache_hit": len(tasks)}
+    assert digests(rerun) == digests(serial)
+
+
+def test_static_sharding_covers_the_grid(benchmark, tmp_path):
+    from repro.fabric import shard_tasks
+
+    tasks = build_grid("smoke")
+    serial = run_grid_parallel(tasks, n_workers=1)
+    by_index = {}
+
+    def run_shards():
+        for shard_id in range(2):
+            report = run_grid_parallel(
+                shard_tasks(build_grid("smoke"), shard_id, 2),
+                n_workers=1,
+                cache=ResultCache(tmp_path / f"shard{shard_id}"),
+            )
+            for outcome in report.completed:
+                by_index[outcome.index] = outcome
+        return by_index
+
+    run_once(benchmark, run_shards)
+    print(banner("CI fabric smoke: static 2-way sharding, no coordination"))
+    print(f"cells: {len(tasks)}   covered: {len(by_index)}")
+    assert sorted(by_index) == [t.index for t in tasks]
+    for outcome in serial.completed:
+        assert stable_hash(by_index[outcome.index].summary) == stable_hash(
+            outcome.summary
+        ), f"shard cell {outcome.index} diverged from serial"

@@ -20,6 +20,15 @@ growth:
     PYTHONPATH=src python scripts/bench_record.py --ingest
     PYTHONPATH=src python scripts/bench_record.py --ingest --check
 
+Distributed-fabric trajectory (BENCH_grid.json) — run the experiment
+grids through the serial baseline and 1/2/4-subprocess-worker fleets,
+recording cells/sec per backend, the warm-cache rerun and a per-cell
+digest; the check gates digest flips, throughput drops and the padded
+grid's 4-worker overlap speedup:
+
+    PYTHONPATH=src python scripts/bench_record.py --grid
+    PYTHONPATH=src python scripts/bench_record.py --grid --check --quick
+
 The file format and comparison rules live in :mod:`repro.benchtrack`;
 this script only adds argument parsing, git labelling and reporting.
 """
@@ -109,6 +118,79 @@ def run_ingest(args) -> int:
     return 0
 
 
+def run_grid(args) -> int:
+    """Measure the fabric grid matrix; write or gate BENCH_grid.json."""
+    specs = (
+        benchtrack.QUICK_GRID_WORKLOADS if args.quick
+        else benchtrack.GRID_WORKLOADS
+    )
+
+    print("calibrating interpreter ...", flush=True)
+    calibration = benchtrack.calibrate()
+    cores = os.cpu_count() or 1
+    print(
+        f"calibration score: {calibration:,.0f} iterations/sec "
+        f"({cores} core(s) available)"
+    )
+
+    grids = benchtrack.measure_grid_matrix(
+        specs, progress=lambda msg: print(msg, flush=True)
+    )
+    for g in grids:
+        floor = f", floor {g.spec.cell_floor}s" if g.spec.cell_floor else ""
+        print(f"  {g.spec.name}: {g.cells} cells{floor} [{g.digest[:12]}]")
+        for t in g.timings:
+            print(
+                f"    {t.backend}: {t.wall_seconds:.2f}s "
+                f"= {t.cells_per_second:.2f} cells/sec"
+            )
+        speedup = g.speedup(4)
+        if speedup is not None:
+            print(f"    subprocess:4 vs :1 speedup: {speedup:.2f}x")
+        print(f"    warm rerun: {g.warm_seconds:.2f}s")
+
+    record = benchtrack.GridRecord(
+        schema_version=benchtrack.SCHEMA_VERSION,
+        label=args.label or git_label(),
+        recorded_at=datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        calibration_score=calibration,
+        available_cores=cores,
+        grids=grids,
+        notes=args.notes,
+    )
+
+    if args.check:
+        history = benchtrack.load_grid_history(args.output)
+        if not history:
+            print(f"no committed trajectory in {args.output}; nothing to gate")
+            return 0
+        previous = history[-1]
+        failures = benchtrack.check_grid_regression(
+            previous, record, threshold=args.threshold
+        )
+        if failures:
+            print(
+                f"fabric regression vs record {previous.label!r}:",
+                file=sys.stderr,
+            )
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"fabric OK vs record {previous.label!r} "
+            f"(threshold {args.threshold:.0%})"
+        )
+        return 0
+
+    count = benchtrack.write_grid_record(
+        args.output, record, append=not args.overwrite
+    )
+    print(f"wrote grid record {record.label!r} to {args.output} ({count} total)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -153,12 +235,24 @@ def main(argv=None) -> int:
         help="measure the streaming-ingestion matrix instead of the engine "
              "matrix (trajectory file defaults to BENCH_ingest.json)",
     )
+    parser.add_argument(
+        "--grid", action="store_true",
+        help="measure the distributed-fabric grid matrix instead of the "
+             "engine matrix (trajectory file defaults to BENCH_grid.json; "
+             "--quick keeps only the padded scheduling-bound grid)",
+    )
     args = parser.parse_args(argv)
 
+    if args.ingest and args.grid:
+        parser.error("--ingest and --grid are mutually exclusive")
     if args.ingest:
         if args.output == "BENCH_engine.json":
             args.output = "BENCH_ingest.json"
         return run_ingest(args)
+    if args.grid:
+        if args.output == "BENCH_engine.json":
+            args.output = "BENCH_grid.json"
+        return run_grid(args)
 
     specs = benchtrack.QUICK_WORKLOADS if args.quick else benchtrack.WORKLOADS
 

@@ -2,7 +2,7 @@
 # CI entry point — the same commands run locally (`make ci`) and in
 # .github/workflows/ci.yml, so a green local run means a green pipeline.
 #
-# Usage: scripts/ci.sh [tests|lint|smoke|faults|bench|ingest|all]
+# Usage: scripts/ci.sh [tests|lint|smoke|faults|bench|ingest|fabric|all]
 #
 # Subcommands:
 #   tests   tier-1 test suite (the gate every PR must keep green)
@@ -29,8 +29,18 @@
 #           JSON-output schema check; finally the BENCH_ingest.json
 #           regression gate (throughput drop > 20% normalised, or RSS
 #           growth past the recorded baseline, fails the leg)
-#   all     tests + lint + smoke + faults (default; bench and ingest
-#           are their own CI jobs because they are timing-sensitive)
+#   fabric  distributed-fabric gate: lease/worker/coordinator test
+#           files, then a real 2-worker subprocess fleet racing the
+#           smoke grid (benchmarks/bench_fabric_smoke.py — sharded
+#           results must be bit-identical to serial), a CLI run-grid +
+#           cache stats/gc round trip, and the BENCH_grid.json
+#           regression gate (scripts/bench_record.py --grid --check
+#           --quick: digest flips, >20% cells/sec drops, or the padded
+#           grid's 4-worker overlap speedup falling under 3x fail the
+#           leg)
+#   all     tests + lint + smoke + faults (default; bench, ingest and
+#           fabric are their own CI jobs because they are
+#           timing-sensitive)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -165,6 +175,42 @@ EOF
         --threshold "${BENCH_THRESHOLD:-0.20}" --output BENCH_ingest.json
 }
 
+run_fabric() {
+    echo "== fabric: lease protocol + worker + coordinator tests =="
+    python -m pytest tests/test_fabric_lease.py tests/test_fabric.py \
+        tests/test_cache_gc.py -q
+
+    echo "== fabric: 2-worker subprocess fleet vs serial (bit-identical) =="
+    python -m pytest benchmarks/bench_fabric_smoke.py -q -s
+
+    echo "== fabric: CLI run-grid + cache stats/gc round trip =="
+    local fdir
+    fdir="$(mktemp -d)"
+    trap 'rm -rf "$fdir"' RETURN
+    python -m repro run-grid --preset smoke --backend subprocess:2 \
+        --cache-dir "$fdir/cache" > "$fdir/cold.txt"
+    python -m repro run-grid --preset smoke --backend subprocess:2 \
+        --cache-dir "$fdir/cache" > "$fdir/warm.txt"
+    if ! grep -q 'cells: .*cache' "$fdir/warm.txt" \
+            || grep -q 'simulated' "$fdir/warm.txt"; then
+        echo "error: warm run-grid rerun did not hit the cache" >&2
+        cat "$fdir/warm.txt" >&2
+        exit 1
+    fi
+    python -m repro cache stats "$fdir/cache" > /dev/null
+    python -m repro cache gc "$fdir/cache" --max-age 0s > /dev/null
+    if ! python -m repro cache stats "$fdir/cache" \
+            | grep -q ': 0 entries, .* 0 lease file(s)'; then
+        echo "error: cache gc --max-age 0s left entries behind" >&2
+        exit 1
+    fi
+    echo "CLI run-grid round trip OK"
+
+    echo "== fabric: BENCH_grid.json regression gate =="
+    python scripts/bench_record.py --grid --check --quick \
+        --threshold "${BENCH_THRESHOLD:-0.20}" --output BENCH_grid.json
+}
+
 case "${1:-all}" in
     tests)  run_tests ;;
     lint)   run_lint ;;
@@ -172,9 +218,10 @@ case "${1:-all}" in
     faults) run_faults ;;
     bench)  run_bench ;;
     ingest) run_ingest ;;
+    fabric) run_fabric ;;
     all)    run_tests; run_lint; run_smoke; run_faults ;;
     *)
-        echo "usage: scripts/ci.sh [tests|lint|smoke|faults|bench|ingest|all]" >&2
+        echo "usage: scripts/ci.sh [tests|lint|smoke|faults|bench|ingest|fabric|all]" >&2
         exit 2
         ;;
 esac

@@ -67,6 +67,19 @@ __all__ = [
     "load_ingest_history",
     "write_ingest_record",
     "check_ingest_regression",
+    "GridSpec",
+    "GridBackendTiming",
+    "GridResult",
+    "GridRecord",
+    "GRID_WORKLOADS",
+    "QUICK_GRID_WORKLOADS",
+    "measure_grid",
+    "measure_grid_matrix",
+    "grid_record_to_dict",
+    "grid_record_from_dict",
+    "load_grid_history",
+    "write_grid_record",
+    "check_grid_regression",
 ]
 
 #: Bumped when the JSON layout changes incompatibly.
@@ -767,4 +780,436 @@ def check_regression(
                 f"(limit {threshold:.0%}; {prev:.4f} -> {cur:.4f} jobs/sec "
                 f"per calibration unit)"
             )
+    return failures
+
+
+# -- distributed-fabric grid trajectory (BENCH_grid.json) ----------------------------
+#
+# The engine matrix times one simulation; the grid trajectory times the
+# *fabric* — a whole experiment grid executed through the distributed
+# backends (serial baseline, then N subprocess workers racing cells via
+# the lease protocol).  Each measurement records cells/sec per backend,
+# the warm-cache rerun wall, and a digest over every cell's summary:
+# a sharded run that is not bit-identical to the serial run is a
+# correctness failure, never a timing.
+#
+# Two cells:
+#
+# * ``fault_sweep`` — the real CPU-bound grid.  Its speedup is honest
+#   and therefore bounded by ``available_cores`` (recorded in every
+#   record): on a 1-core CI box N workers time-slice one CPU and the
+#   speedup is ~1x by construction.
+# * ``smoke_padded`` — cheap cells padded to a fixed wall floor via
+#   ``REPRO_FABRIC_CELL_FLOOR``, making the grid scheduling-bound
+#   rather than CPU-bound.  This isolates the quantity the fabric
+#   itself controls — claim/publish overlap — so the >= 3x @ 4 workers
+#   gate holds even on single-core runners, and a fabric-layer
+#   serialisation bug (workers accidentally convoying on a lock or a
+#   lease) shows up as a speedup collapse no matter the host.
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """One fixed cell of the fabric grid matrix.
+
+    Attributes:
+        name: stable identifier; comparisons join records on it.
+        preset: fabric grid preset (``fault-sweep``, ``smoke``,
+            ``table1``).
+        scale: workload scale handed to the preset builder (``None``
+            for the preset default).
+        seed: base workload seed.
+        cell_floor: seconds each computed cell is padded to via
+            ``REPRO_FABRIC_CELL_FLOOR`` (0 = unpadded, CPU-bound).
+        worker_counts: subprocess worker fleets to measure.
+    """
+
+    name: str
+    preset: str
+    scale: Optional[float] = None
+    seed: int = 2010
+    cell_floor: float = 0.0
+    worker_counts: Tuple[int, ...] = (1, 2, 4)
+
+
+@dataclass(frozen=True)
+class GridBackendTiming:
+    """One backend's wall clock over one grid."""
+
+    backend: str
+    wall_seconds: float
+    cells_per_second: float
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """Measured execution of one grid across its backends.
+
+    ``digest`` hashes the ordered per-cell summary digests; every
+    backend (and the serial baseline) must produce the same value.
+    ``warm_seconds`` is a rerun against the already-populated cache.
+    """
+
+    spec: GridSpec
+    cells: int
+    digest: str
+    timings: Tuple[GridBackendTiming, ...]
+    warm_seconds: float
+
+    def timing(self, backend: str) -> Optional[GridBackendTiming]:
+        for entry in self.timings:
+            if entry.backend == backend:
+                return entry
+        return None
+
+    def speedup(self, workers: int) -> Optional[float]:
+        """Cells/sec at ``workers`` subprocess workers vs one."""
+        one = self.timing("subprocess:1")
+        many = self.timing(f"subprocess:{workers}")
+        if one is None or many is None or one.cells_per_second <= 0:
+            return None
+        return many.cells_per_second / one.cells_per_second
+
+
+@dataclass(frozen=True)
+class GridRecord:
+    """One point on the fabric-performance trajectory."""
+
+    schema_version: int
+    label: str
+    recorded_at: Optional[str]
+    calibration_score: float
+    available_cores: int
+    grids: Tuple[GridResult, ...]
+    notes: str = ""
+
+
+#: Minimum subprocess:4 / subprocess:1 speedup for padded grids.
+GRID_MIN_SPEEDUP = 3.0
+
+#: The tracked fabric matrix (see the section comment above).
+GRID_WORKLOADS: Tuple[GridSpec, ...] = (
+    GridSpec(name="fault_sweep", preset="fault-sweep", scale=0.06, seed=2010),
+    # The 3s floor is sized so the 12 padded cells dominate worker
+    # startup (4 interpreters booting on one shared core costs ~1.6s
+    # of wall): expected speedup ~(0.4 + 12*F) / (1.6 + 3*F) ≈ 3.4x
+    # at F=3, comfortably above the 3x overlap gate.
+    GridSpec(
+        name="smoke_padded", preset="smoke", seed=2010, cell_floor=3.0,
+        worker_counts=(1, 2, 4),
+    ),
+)
+
+#: The cheap subset CI gates on every push: the padded grid is
+#: sleep-bound, so it is fast, noise-tolerant and core-count-agnostic.
+QUICK_GRID_WORKLOADS: Tuple[GridSpec, ...] = tuple(
+    spec for spec in GRID_WORKLOADS if spec.cell_floor > 0
+)
+
+
+def _grid_digest(report) -> str:
+    """Order-sensitive digest over every completed cell's summary."""
+    from .experiments.cache import stable_hash
+
+    hasher = hashlib.sha256()
+    for outcome in report.completed:
+        hasher.update(stable_hash(outcome.summary).encode("ascii"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def measure_grid(
+    spec: GridSpec,
+    progress: Optional[Callable[[str], None]] = None,
+) -> GridResult:
+    """Execute one grid serially and through each subprocess fleet.
+
+    Every backend gets a fresh cache directory (cold run); the largest
+    fleet's cache is reused for the warm-rerun measurement.  A digest
+    mismatch between any two runs raises — the fabric's determinism
+    contract is a precondition for the timings meaning anything.
+    """
+    import shutil
+    import tempfile
+
+    from .experiments.cache import ResultCache
+    from .experiments.parallel import run_grid_parallel
+    from .fabric import SubprocessWorkerBackend, build_grid, run_grid_fabric
+    from .fabric.worker import CELL_FLOOR_ENV
+
+    def build():
+        return build_grid(spec.preset, scale=spec.scale, seed=spec.seed)
+
+    def say(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    timings: List[GridBackendTiming] = []
+    digest: Optional[str] = None
+    cells = len(build())
+
+    def note(report, backend: str, wall: float) -> None:
+        nonlocal digest
+        if not report.ok:
+            raise BenchFormatError(
+                f"grid {spec.name}: {len(report.failures)} cell(s) failed "
+                f"under {backend}"
+            )
+        run_digest = _grid_digest(report)
+        if digest is None:
+            digest = run_digest
+        elif run_digest != digest:
+            raise BenchFormatError(
+                f"grid {spec.name}: {backend} diverged from the serial "
+                f"baseline ({digest[:12]} vs {run_digest[:12]}) — the "
+                "fabric broke bit-identical sharding"
+            )
+        timings.append(
+            GridBackendTiming(
+                backend=backend,
+                wall_seconds=wall,
+                cells_per_second=cells / wall if wall > 0 else 0.0,
+            )
+        )
+
+    old_floor = os.environ.get(CELL_FLOOR_ENV)
+    warm_seconds = 0.0
+    try:
+        if spec.cell_floor > 0:
+            os.environ[CELL_FLOOR_ENV] = str(spec.cell_floor)
+        elif CELL_FLOOR_ENV in os.environ:
+            del os.environ[CELL_FLOOR_ENV]
+
+        if spec.cell_floor == 0:
+            # CPU-bound grids get a pool-free serial baseline; padded
+            # grids skip it (run_grid_parallel has no floor, so the
+            # comparison would be meaningless) and use subprocess:1.
+            say(f"grid {spec.name}: serial baseline ({cells} cells)")
+            start = time.perf_counter()
+            report = run_grid_parallel(build(), n_workers=1)
+            note(report, "serial", time.perf_counter() - start)
+
+        for workers in spec.worker_counts:
+            backend = SubprocessWorkerBackend(workers, poll_interval=0.05)
+            say(f"grid {spec.name}: {backend.name}")
+            cache_dir = tempfile.mkdtemp(prefix=f"benchtrack-grid-{spec.name}-")
+            try:
+                start = time.perf_counter()
+                report = run_grid_fabric(
+                    build(), backend, ResultCache(cache_dir), poll_interval=0.05
+                )
+                note(report, backend.name, time.perf_counter() - start)
+                if workers == max(spec.worker_counts):
+                    start = time.perf_counter()
+                    warm = run_grid_fabric(
+                        build(), backend, ResultCache(cache_dir),
+                        poll_interval=0.05,
+                    )
+                    warm_seconds = time.perf_counter() - start
+                    counts = warm.provenance_counts()
+                    if counts.get("cache_hit", 0) != cells:
+                        raise BenchFormatError(
+                            f"grid {spec.name}: warm rerun recomputed cells "
+                            f"(provenance {counts!r}) — the cache key broke"
+                        )
+                    if _grid_digest(warm) != digest:
+                        raise BenchFormatError(
+                            f"grid {spec.name}: warm rerun diverged from "
+                            "the cold digest"
+                        )
+            finally:
+                shutil.rmtree(cache_dir, ignore_errors=True)
+    finally:
+        if old_floor is None:
+            os.environ.pop(CELL_FLOOR_ENV, None)
+        else:
+            os.environ[CELL_FLOOR_ENV] = old_floor
+
+    return GridResult(
+        spec=spec,
+        cells=cells,
+        digest=digest or "",
+        timings=tuple(timings),
+        warm_seconds=warm_seconds,
+    )
+
+
+def measure_grid_matrix(
+    specs: Sequence[GridSpec] = GRID_WORKLOADS,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Tuple[GridResult, ...]:
+    """Measure every grid cell (matrix order preserved)."""
+    return tuple(measure_grid(spec, progress=progress) for spec in specs)
+
+
+def grid_record_to_dict(record: GridRecord) -> Dict:
+    """Plain-JSON form (inverse of :func:`grid_record_from_dict`)."""
+    return {
+        "schema_version": record.schema_version,
+        "label": record.label,
+        "recorded_at": record.recorded_at,
+        "calibration_score": record.calibration_score,
+        "available_cores": record.available_cores,
+        "notes": record.notes,
+        "grids": [
+            {
+                "name": g.spec.name,
+                "preset": g.spec.preset,
+                "scale": g.spec.scale,
+                "seed": g.spec.seed,
+                "cell_floor": g.spec.cell_floor,
+                "worker_counts": list(g.spec.worker_counts),
+                "cells": g.cells,
+                "digest": g.digest,
+                "warm_seconds": g.warm_seconds,
+                "timings": [
+                    {
+                        "backend": t.backend,
+                        "wall_seconds": t.wall_seconds,
+                        "cells_per_second": t.cells_per_second,
+                    }
+                    for t in g.timings
+                ],
+            }
+            for g in record.grids
+        ],
+    }
+
+
+def grid_record_from_dict(data: Dict) -> GridRecord:
+    """Parse one grid record dict, validating the schema."""
+    try:
+        version = data["schema_version"]
+        if version != SCHEMA_VERSION:
+            raise BenchFormatError(f"unsupported bench schema version {version!r}")
+        grids = tuple(
+            GridResult(
+                spec=GridSpec(
+                    name=g["name"],
+                    preset=g["preset"],
+                    scale=g["scale"],
+                    seed=g["seed"],
+                    cell_floor=g["cell_floor"],
+                    worker_counts=tuple(g["worker_counts"]),
+                ),
+                cells=g["cells"],
+                digest=g["digest"],
+                timings=tuple(
+                    GridBackendTiming(
+                        backend=t["backend"],
+                        wall_seconds=t["wall_seconds"],
+                        cells_per_second=t["cells_per_second"],
+                    )
+                    for t in g["timings"]
+                ),
+                warm_seconds=g["warm_seconds"],
+            )
+            for g in data["grids"]
+        )
+        return GridRecord(
+            schema_version=version,
+            label=data["label"],
+            recorded_at=data["recorded_at"],
+            calibration_score=data["calibration_score"],
+            available_cores=data["available_cores"],
+            grids=grids,
+            notes=data.get("notes", ""),
+        )
+    except KeyError as exc:
+        raise BenchFormatError(f"grid record is missing field {exc}") from None
+
+
+def load_grid_history(path: str) -> List[GridRecord]:
+    """All grid records in ``path``, oldest first; ``[]`` when absent."""
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "records" not in data:
+        raise BenchFormatError(f"{path}: expected an object with a 'records' list")
+    return [grid_record_from_dict(entry) for entry in data["records"]]
+
+
+def write_grid_record(path: str, record: GridRecord, append: bool = True) -> int:
+    """Persist a grid record; returns the new history length."""
+    history = load_grid_history(path) if append else []
+    history.append(record)
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "records": [grid_record_to_dict(entry) for entry in history],
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return len(history)
+
+
+def check_grid_regression(
+    previous: GridRecord,
+    current: GridRecord,
+    threshold: float = 0.20,
+    min_speedup: float = GRID_MIN_SPEEDUP,
+) -> List[str]:
+    """Compare two grid records; returns failures (empty = pass).
+
+    Three gates, per grid joined by name (skipped when the spec
+    changed):
+
+    * **digest** — the per-cell summary digest must match the
+      committed record exactly; the fabric's entire value proposition
+      is bit-identical sharding, so a flip is a hard failure whatever
+      the timings say.
+    * **throughput** — per backend joined by name, cells/sec may not
+      drop more than ``threshold``.  CPU-bound grids
+      (``cell_floor == 0``) are calibration-normalised like the engine
+      matrix; padded grids compare raw cells/sec, which is already
+      machine-comparable because the cells are wall-clock-bound.
+    * **overlap** — padded grids must keep their 4-vs-1-worker speedup
+      at or above ``min_speedup``; a collapse means the fabric started
+      serialising its workers.
+    """
+    failures: List[str] = []
+    if previous.calibration_score <= 0 or current.calibration_score <= 0:
+        raise BenchFormatError("grid record has a non-positive calibration score")
+    prev_grids = {g.spec.name: g for g in previous.grids}
+    for grid in current.grids:
+        prev = prev_grids.get(grid.spec.name)
+        if prev is None or prev.spec != grid.spec:
+            continue
+        if prev.digest and grid.digest and prev.digest != grid.digest:
+            failures.append(
+                f"{grid.spec.name}: per-cell digest flipped "
+                f"({prev.digest[:12]} -> {grid.digest[:12]}) — sharded "
+                "results no longer reproduce the committed grid"
+            )
+        normalise = grid.spec.cell_floor == 0
+        prev_timings = {t.backend: t for t in prev.timings}
+        for timing in grid.timings:
+            before = prev_timings.get(timing.backend)
+            if before is None or before.cells_per_second <= 0:
+                continue
+            if normalise:
+                prev_rate = before.cells_per_second / previous.calibration_score
+                cur_rate = timing.cells_per_second / current.calibration_score
+            else:
+                prev_rate = before.cells_per_second
+                cur_rate = timing.cells_per_second
+            drop = 1.0 - cur_rate / prev_rate
+            if drop > threshold:
+                unit = "normalised " if normalise else ""
+                failures.append(
+                    f"{grid.spec.name}/{timing.backend}: {unit}cells/sec "
+                    f"dropped {drop:.1%} (limit {threshold:.0%}; "
+                    f"{prev_rate:.4f} -> {cur_rate:.4f})"
+                )
+        if grid.spec.cell_floor > 0:
+            speedup = grid.speedup(4)
+            if speedup is not None and speedup < min_speedup:
+                failures.append(
+                    f"{grid.spec.name}: subprocess:4 speedup fell to "
+                    f"{speedup:.2f}x (floor {min_speedup:.1f}x) — fabric "
+                    "workers are serialising"
+                )
     return failures

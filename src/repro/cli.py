@@ -9,6 +9,10 @@ Usage (installed as ``repro``, or ``python -m repro``)::
     repro run --scenario smoke --telemetry-dir out/telemetry --profile
     repro run --policy ResSusUtil --machine-mtbf 4000 --machine-mttr 120
     repro faults --mtbf 2000 --mtbf 8000    # churn sweep per policy
+    repro run-grid --preset fault-sweep --backend subprocess:4 --cache-dir /shared/cache
+    repro run-grid --preset fault-sweep --shard-id 0 --num-shards 4   # static shard
+    repro cache stats ~/.cache/repro
+    repro cache gc ~/.cache/repro --max-bytes 512M --max-age 7d
     repro stats out/telemetry     # render the telemetry snapshot
     repro generate-trace out.jsonl --scenario busy-week --scale 0.1
     repro analyze-trace out.jsonl
@@ -165,6 +169,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-execution-segment transient job failure probability",
     )
     _add_scale_seed(faults)
+
+    run_grid = sub.add_parser(
+        "run-grid",
+        help="run a named experiment grid on an execution backend "
+        "(cache-coordinated workers; see docs/distributed.md)",
+    )
+    run_grid.add_argument(
+        "--preset",
+        choices=["fault-sweep", "smoke", "table1"],
+        default="fault-sweep",
+        help="which grid to run (default: fault-sweep)",
+    )
+    run_grid.add_argument(
+        "--backend",
+        default="local",
+        metavar="SPEC",
+        help="execution backend: local[:N], subprocess[:N] or "
+        "ssh:host1,host2 (default: local)",
+    )
+    run_grid.add_argument(
+        "--shard-id", type=int, default=None, metavar="K",
+        help="compute only static shard K of --num-shards (cells with "
+        "index %% num_shards == K); the coordination-free fallback for "
+        "fleets without a shared cache directory",
+    )
+    run_grid.add_argument(
+        "--num-shards", type=int, default=None, metavar="N",
+        help="total static shards (requires --shard-id)",
+    )
+    run_grid.add_argument(
+        "--lease-ttl", type=float, default=60.0, metavar="SEC",
+        help="heartbeat age after which a dead worker's cell is taken "
+        "over (default 60)",
+    )
+    run_grid.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="grid checkpoint file; an interrupted run resumes from it",
+    )
+    run_grid.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="shared result cache directory — the fabric's coordination "
+        "medium (default: REPRO_CACHE_DIR)",
+    )
+    run_grid.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the cache; only the local backend (serial/pool) "
+        "can run cache-less",
+    )
+    run_grid.add_argument(
+        "--progress", action="store_true",
+        help="print a per-cell heartbeat (done/total, ETA, provenance) to stderr",
+    )
+    run_grid.add_argument(
+        "--telemetry-dir", default=None, metavar="DIR",
+        help="write cells.jsonl and fabric gauges (repro_fabric_cells) into DIR",
+    )
+    _add_scale_seed(run_grid)
+
+    cache_cmd = sub.add_parser(
+        "cache",
+        help="inspect or garbage-collect a result cache directory",
+    )
+    cache_cmd.add_argument("action", choices=["stats", "gc"])
+    cache_cmd.add_argument(
+        "directory", nargs="?", default=None,
+        help="cache directory (default: REPRO_CACHE_DIR)",
+    )
+    cache_cmd.add_argument(
+        "--max-bytes", default=None, metavar="SIZE",
+        help="gc: evict oldest entries until the cache fits SIZE "
+        "(accepts 512M, 2G, plain bytes)",
+    )
+    cache_cmd.add_argument(
+        "--max-age", default=None, metavar="AGE",
+        help="gc: evict entries older than AGE (accepts 90m, 36h, 7d, "
+        "plain seconds)",
+    )
+    cache_cmd.add_argument(
+        "--dry-run", action="store_true",
+        help="gc: report what would be evicted without deleting anything",
+    )
 
     stats = sub.add_parser(
         "stats", help="render a telemetry directory written by --telemetry-dir"
@@ -360,20 +445,37 @@ def _execution_kwargs(
     }
 
 
+_PROVENANCE_SOURCES = {
+    "computed": "simulated",
+    "cache_hit": "cache",
+    "checkpoint": "checkpoint",
+    "claimed_elsewhere": "elsewhere",
+}
+
+
 def _print_cell_stats(cells) -> None:
-    """Per-cell wall-time / cache-provenance lines (the observable speedup)."""
+    """Per-cell wall-time / provenance lines (the observable speedup)."""
+    from .telemetry import cell_provenance
+
     if not cells:
         return
-    for cell in cells:
-        source = "cache" if cell.from_cache else "simulated"
+    provenances = [cell_provenance(c) for c in cells]
+    for cell, provenance in zip(cells, provenances):
+        source = _PROVENANCE_SOURCES.get(provenance, provenance)
         print(
             f"  [{cell.policy_name} @ {cell.scenario_name}] "
             f"{cell.wall_seconds:.2f}s {source}"
         )
-    hits = sum(1 for c in cells if c.from_cache)
-    saved = sum(c.wall_seconds for c in cells if c.from_cache)
+    saved = sum(
+        c.wall_seconds for c, p in zip(cells, provenances) if p != "computed"
+    )
+    split = ", ".join(
+        f"{provenances.count(kind)} {label}"
+        for kind, label in _PROVENANCE_SOURCES.items()
+        if provenances.count(kind)
+    )
     print(
-        f"  cells: {len(cells)}, cache hits: {hits}, "
+        f"  cells: {len(cells)} ({split}), "
         f"simulation seconds saved: {saved:.2f}"
     )
 
@@ -552,6 +654,158 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from .telemetry import load_telemetry_dir, render_stats
 
     print(render_stats(load_telemetry_dir(args.directory)))
+    return 0
+
+
+def _cmd_run_grid(args: argparse.Namespace) -> int:
+    from .experiments.cache import open_cache
+    from .experiments.checkpoint import GridCheckpoint
+    from .experiments.parallel import run_grid_parallel
+    from .fabric import (
+        LocalPoolBackend,
+        backend_from_spec,
+        build_grid,
+        run_grid_fabric,
+        shard_tasks,
+    )
+
+    if (args.shard_id is None) != (args.num_shards is None):
+        raise ReproError("--shard-id and --num-shards must be given together")
+    tasks = build_grid(args.preset, scale=args.scale, seed=args.seed)
+    total_cells = len(tasks)
+    if args.num_shards is not None:
+        tasks = shard_tasks(tasks, args.shard_id, args.num_shards)
+        print(
+            f"static shard {args.shard_id}/{args.num_shards}: "
+            f"{len(tasks)} of {total_cells} cells"
+        )
+    backend = backend_from_spec(args.backend)
+    cache = open_cache(args.cache_dir, False if args.no_cache else None)
+    checkpoint = GridCheckpoint(args.checkpoint) if args.checkpoint else None
+    feed = _make_cell_feed(args)
+    registry = None
+    if args.telemetry_dir:
+        from .telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+
+    if cache is None:
+        # No shared cache, no coordination medium: only the local
+        # backend can run, serially or pooled.  Static sharding still
+        # applies, which is exactly the degraded multi-host mode.
+        if not isinstance(backend, LocalPoolBackend):
+            raise ReproError(
+                f"backend {backend.name!r} needs a shared cache directory "
+                "(--cache-dir or REPRO_CACHE_DIR); cache-less runs support "
+                "--backend local[:N] with --shard-id/--num-shards"
+            )
+        grid = run_grid_parallel(
+            tasks,
+            n_workers=backend.n_workers,
+            checkpoint=checkpoint,
+            keep_going=True,
+            progress=feed,
+        )
+        backend_name = backend.name
+        worker_totals = ()
+    else:
+        report = run_grid_fabric(
+            tasks,
+            backend,
+            cache,
+            checkpoint=checkpoint,
+            progress=feed,
+            registry=registry,
+            keep_going=True,
+            lease_ttl=args.lease_ttl,
+        )
+        grid = report
+        backend_name = report.backend
+        worker_totals = report.worker_totals
+
+    _print_cell_stats(list(grid.completed))
+    split = ", ".join(
+        f"{count} {_PROVENANCE_SOURCES.get(kind, kind)}"
+        for kind, count in grid.provenance_counts().items()
+    )
+    print(
+        f"  backend {backend_name}: {len(grid.completed)}/{len(tasks)} "
+        f"cells ({split or 'none'})"
+    )
+    if worker_totals:
+        print(
+            "  fleet: "
+            + ", ".join(f"{k}={v}" for k, v in worker_totals)
+        )
+    if cache is not None:
+        print(f"  {cache.stats.as_line()}")
+    for failure in grid.failures:
+        print(
+            f"  FAILED {failure.cell_id}: {failure.error_type}: "
+            f"{failure.message}",
+            file=sys.stderr,
+        )
+    if registry is not None and args.telemetry_dir:
+        from .telemetry import write_telemetry_dir
+
+        prom, jsonl = write_telemetry_dir(registry, args.telemetry_dir)
+        print(f"wrote {prom} and {jsonl}")
+    _write_cell_telemetry(feed, args)
+    return 0 if grid.ok else 1
+
+
+def _parse_size(text: str) -> int:
+    """``512M`` / ``2G`` / ``1048576`` -> bytes."""
+    text = text.strip()
+    units = {"K": 1024, "M": 1024**2, "G": 1024**3, "T": 1024**4}
+    suffix = text[-1:].upper()
+    try:
+        if suffix in units:
+            return int(float(text[:-1]) * units[suffix])
+        return int(text)
+    except ValueError:
+        raise ReproError(
+            f"bad size {text!r} (expected bytes or K/M/G/T suffix)"
+        ) from None
+
+
+def _parse_age(text: str) -> float:
+    """``90m`` / ``36h`` / ``7d`` / ``3600`` -> seconds."""
+    text = text.strip()
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+    suffix = text[-1:].lower()
+    try:
+        if suffix in units:
+            return float(text[:-1]) * units[suffix]
+        return float(text)
+    except ValueError:
+        raise ReproError(
+            f"bad age {text!r} (expected seconds or s/m/h/d/w suffix)"
+        ) from None
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .experiments.cache import ResultCache, resolve_cache_dir
+
+    directory = resolve_cache_dir(args.directory)
+    if directory is None:
+        raise ReproError(
+            "no cache directory (pass one or set REPRO_CACHE_DIR)"
+        )
+    if not directory.is_dir():
+        raise ReproError(f"cache directory not found: {directory}")
+    cache = ResultCache(directory)
+    if args.action == "stats":
+        print(f"cache {directory}: {cache.disk_stats().as_line()}")
+        return 0
+    max_bytes = _parse_size(args.max_bytes) if args.max_bytes else None
+    max_age = _parse_age(args.max_age) if args.max_age else None
+    if max_bytes is None and max_age is None:
+        raise ReproError("cache gc needs --max-bytes and/or --max-age")
+    report = cache.gc(
+        max_bytes=max_bytes, max_age_seconds=max_age, dry_run=args.dry_run
+    )
+    print(f"cache {directory}: {report.as_line()}")
     return 0
 
 
@@ -758,6 +1012,8 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "run": _cmd_run,
     "faults": _cmd_faults,
+    "run-grid": _cmd_run_grid,
+    "cache": _cmd_cache,
     "stats": _cmd_stats,
     "generate-trace": _cmd_generate_trace,
     "analyze-trace": _cmd_analyze_trace,

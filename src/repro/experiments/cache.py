@@ -41,6 +41,7 @@ import hashlib
 import json
 import os
 import pickle
+import time
 import weakref
 from pathlib import Path
 from typing import Any, Dict, Optional
@@ -51,6 +52,8 @@ from ..fsutil import atomic_write_bytes
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "CacheDiskStats",
+    "CacheGcReport",
     "CacheStats",
     "ResultCache",
     "cell_cache_key",
@@ -305,6 +308,50 @@ class CacheStats:
         )
 
 
+@dataclasses.dataclass(frozen=True)
+class CacheDiskStats:
+    """What one cache directory holds on disk right now."""
+
+    entries: int
+    total_bytes: int
+    oldest_age_seconds: float
+    newest_age_seconds: float
+    lease_files: int
+
+    def as_line(self) -> str:
+        """One-line human-readable rendering for the CLI."""
+        mb = self.total_bytes / (1024.0 * 1024.0)
+        return (
+            f"{self.entries} entr{'y' if self.entries == 1 else 'ies'}, "
+            f"{mb:.1f} MB, oldest {self.oldest_age_seconds / 3600.0:.1f}h, "
+            f"{self.lease_files} lease file(s)"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheGcReport:
+    """What one :meth:`ResultCache.gc` pass did (or would do)."""
+
+    scanned: int
+    evicted: int
+    bytes_freed: int
+    bytes_remaining: int
+    lease_files_removed: int
+    dry_run: bool = False
+
+    def as_line(self) -> str:
+        """One-line human-readable rendering for the CLI."""
+        verb = "would evict" if self.dry_run else "evicted"
+        freed = self.bytes_freed / (1024.0 * 1024.0)
+        kept = self.bytes_remaining / (1024.0 * 1024.0)
+        return (
+            f"{verb} {self.evicted}/{self.scanned} entr"
+            f"{'y' if self.evicted == 1 else 'ies'} ({freed:.1f} MB), "
+            f"{kept:.1f} MB remaining, "
+            f"{self.lease_files_removed} lease file(s) removed"
+        )
+
+
 class ResultCache:
     """A directory of self-verifying pickled experiment results.
 
@@ -313,7 +360,14 @@ class ResultCache:
     with the payload a pickle of ``{"schema": .., "salt": ..,
     "value": ..}``.  Writes are atomic (temp file + ``os.replace``) so a
     crashed or concurrent writer can never publish a torn entry.
+
+    ``<root>/leases/`` (when present) belongs to the distributed fabric
+    (:mod:`repro.fabric`): one small JSON file per in-flight or
+    completed work claim.  :meth:`gc` cleans both populations.
     """
+
+    #: Subdirectory the fabric's work-claiming protocol writes into.
+    LEASES_DIRNAME = "leases"
 
     def __init__(self, root) -> None:
         if root is None:
@@ -325,6 +379,11 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         """On-disk path of the entry for ``key``."""
         return self.root / key[:2] / f"{key}.bin"
+
+    @property
+    def leases_dir(self) -> Path:
+        """Directory the fabric's lease files live in (may not exist)."""
+        return self.root / self.LEASES_DIRNAME
 
     def get(self, key: str) -> Optional[Any]:
         """Load the value for ``key``; ``None`` (and a miss) if absent.
@@ -381,6 +440,159 @@ class ResultCache:
         if envelope.get("salt") != engine_salt():
             return None
         return envelope.get("value")
+
+    def peek(self, key: str) -> Optional[Any]:
+        """Load the value for ``key`` without touching :attr:`stats`.
+
+        The fabric coordinator polls the cache while workers publish
+        results; those polls must not distort the run's hit/miss
+        economics.  Unlike :meth:`get`, a defective entry is left on
+        disk untouched (the next real :meth:`get` evicts it).
+        """
+        try:
+            blob = self.path_for(key).read_bytes()
+        except OSError:
+            return None
+        return self._decode(blob)
+
+    def iter_entries(self):
+        """Yield ``(key, path, size_bytes, mtime)`` for every entry on disk.
+
+        Deterministic order (sorted by key); skips files that vanish
+        mid-scan (a concurrent gc or eviction), tmp droppings, and
+        anything that is not shaped like ``<2-hex>/<key>.bin``.
+        """
+        shards = sorted(
+            p
+            for p in self.root.iterdir()
+            if p.is_dir() and len(p.name) == 2 and p.name != self.LEASES_DIRNAME
+        )
+        for shard in shards:
+            for path in sorted(shard.glob("*.bin")):
+                key = path.stem
+                if not key.startswith(shard.name):
+                    continue
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue
+                yield key, path, st.st_size, st.st_mtime
+
+    def _lease_files(self):
+        """All fabric lease files under this cache root (sorted)."""
+        if not self.leases_dir.is_dir():
+            return []
+        return sorted(p for p in self.leases_dir.iterdir() if p.is_file())
+
+    def disk_stats(self, now: Optional[float] = None) -> CacheDiskStats:
+        """Scan the directory and report what it holds."""
+        now = time.time() if now is None else now
+        entries = 0
+        total = 0
+        oldest = None
+        newest = None
+        for _key, _path, size, mtime in self.iter_entries():
+            entries += 1
+            total += size
+            oldest = mtime if oldest is None else min(oldest, mtime)
+            newest = mtime if newest is None else max(newest, mtime)
+        return CacheDiskStats(
+            entries=entries,
+            total_bytes=total,
+            oldest_age_seconds=max(0.0, now - oldest) if oldest is not None else 0.0,
+            newest_age_seconds=max(0.0, now - newest) if newest is not None else 0.0,
+            lease_files=len(self._lease_files()),
+        )
+
+    def gc(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+        now: Optional[float] = None,
+        dry_run: bool = False,
+    ) -> CacheGcReport:
+        """Evict entries until the cache satisfies the given bounds.
+
+        Age-based eviction (``max_age_seconds``) runs first, then
+        size-based eviction (``max_bytes``) removes the
+        oldest-modified entries until the directory fits.  Each file is
+        removed individually with :meth:`Path.unlink` — readers racing
+        the gc either see the complete entry or a clean miss, never a
+        torn file.  Orphaned atomic-write temp files and *settled*
+        fabric lease files (older than ``max_age_seconds``, or all of
+        them when only ``max_bytes`` is given and the entry they
+        journal is gone) are cleaned up alongside.
+        """
+        now = time.time() if now is None else now
+        entries = list(self.iter_entries())
+        total = sum(size for _k, _p, size, _m in entries)
+        doomed = []
+        survivors = []
+        for entry in entries:
+            _key, _path, _size, mtime = entry
+            if max_age_seconds is not None and now - mtime > max_age_seconds:
+                doomed.append(entry)
+            else:
+                survivors.append(entry)
+        if max_bytes is not None:
+            kept_bytes = sum(size for _k, _p, size, _m in survivors)
+            survivors.sort(key=lambda e: e[3])  # oldest mtime first
+            while survivors and kept_bytes > max_bytes:
+                victim = survivors.pop(0)
+                doomed.append(victim)
+                kept_bytes -= victim[2]
+        freed = 0
+        evicted = 0
+        doomed_keys = set()
+        for key, path, size, _mtime in doomed:
+            doomed_keys.add(key)
+            if dry_run:
+                evicted += 1
+                freed += size
+                continue
+            try:
+                path.unlink(missing_ok=True)
+                evicted += 1
+                freed += size
+                self.stats.evictions += 1
+            except OSError:
+                continue
+        lease_removed = 0
+        for lease_path in self._lease_files():
+            try:
+                age = now - lease_path.stat().st_mtime
+            except OSError:
+                continue
+            stale = max_age_seconds is not None and age > max_age_seconds
+            orphaned = lease_path.stem in doomed_keys
+            if not (stale or orphaned):
+                continue
+            if dry_run:
+                lease_removed += 1
+                continue
+            try:
+                lease_path.unlink(missing_ok=True)
+                lease_removed += 1
+            except OSError:
+                continue
+        if not dry_run:
+            self._sweep_tmp_files()
+        return CacheGcReport(
+            scanned=len(entries),
+            evicted=evicted,
+            bytes_freed=freed,
+            bytes_remaining=total - freed,
+            lease_files_removed=lease_removed,
+            dry_run=dry_run,
+        )
+
+    def _sweep_tmp_files(self) -> None:
+        """Remove orphaned atomic-write temp files (crashed writers)."""
+        for path in self.root.glob("*/*.tmp.*"):
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
 
     def _evict(self, path: Path) -> None:
         try:

@@ -68,10 +68,24 @@ __all__ = [
     "CellOutcome",
     "CellFailure",
     "GridReport",
+    "PROVENANCE_COMPUTED",
+    "PROVENANCE_CACHE_HIT",
+    "PROVENANCE_CHECKPOINT",
+    "PROVENANCE_CLAIMED_ELSEWHERE",
     "make_cell_task",
     "execute_cells",
     "run_grid_parallel",
 ]
+
+#: This invocation actually ran the simulation.
+PROVENANCE_COMPUTED = "computed"
+#: Served from the content-addressed result cache (entry predates this run).
+PROVENANCE_CACHE_HIT = "cache_hit"
+#: Resumed from a grid checkpoint written by an earlier interrupted run.
+PROVENANCE_CHECKPOINT = "checkpoint"
+#: Computed during this run by a *different* worker/host sharing the
+#: cache (the fabric's work-claiming protocol; see :mod:`repro.fabric`).
+PROVENANCE_CLAIMED_ELSEWHERE = "claimed_elsewhere"
 
 
 @dataclass(frozen=True)
@@ -111,8 +125,13 @@ class CellOutcome:
 
     ``wall_seconds`` is always the cell's *simulation* cost — for a
     cache or checkpoint hit, the cost recorded when the entry was
-    computed — so logs can show how much time was saved; ``from_cache``
-    / ``from_checkpoint`` say whether this invocation actually paid it.
+    computed — so logs can show how much time was saved; ``provenance``
+    says whether this invocation actually paid it and, if not, where
+    the result came from: one of :data:`PROVENANCE_COMPUTED`,
+    :data:`PROVENANCE_CACHE_HIT`, :data:`PROVENANCE_CHECKPOINT` or
+    :data:`PROVENANCE_CLAIMED_ELSEWHERE`.  ``from_cache`` /
+    ``from_checkpoint`` are the pre-provenance booleans, kept in sync
+    for backward compatibility.
     """
 
     index: int
@@ -125,6 +144,7 @@ class CellOutcome:
     from_cache: bool
     seed: int
     from_checkpoint: bool = False
+    provenance: str = PROVENANCE_COMPUTED
 
 
 @dataclass(frozen=True)
@@ -177,6 +197,24 @@ class GridReport:
         """The completed outcomes, grid order, holes removed."""
         return tuple(o for o in self.outcomes if o is not None)
 
+    def provenance_counts(self) -> Dict[str, int]:
+        """How many completed cells came from each provenance.
+
+        Keys are the ``PROVENANCE_*`` values that actually occurred,
+        in fixed order, so two identical runs render identically.
+        """
+        counts: Dict[str, int] = {}
+        for kind in (
+            PROVENANCE_COMPUTED,
+            PROVENANCE_CACHE_HIT,
+            PROVENANCE_CHECKPOINT,
+            PROVENANCE_CLAIMED_ELSEWHERE,
+        ):
+            n = sum(1 for o in self.completed if o.provenance == kind)
+            if n:
+                counts[kind] = n
+        return counts
+
 
 def make_cell_task(
     index: int,
@@ -185,6 +223,7 @@ def make_cell_task(
     scheduler,
     config: SimulationConfig,
     keep_result: bool = False,
+    variant: str = "",
 ) -> CellTask:
     """Freeze one grid cell into a :class:`CellTask`.
 
@@ -193,9 +232,17 @@ def make_cell_task(
     from call order — so two cells sharing a scenario but differing in
     policy never share a random stream, and re-running one cell alone
     reproduces its grid result exactly.
+
+    ``variant`` extends the cell identity for grids where the *config*
+    (not the scenario/policy/scheduler triple) distinguishes cells —
+    e.g. the fault sweep's MTBF ladder — so such cells get distinct
+    seeds and checkpoint entries.  Empty (the default) keeps cell ids
+    bit-identical to pre-variant builds.
     """
     scheduler_name = scheduler.name if scheduler is not None else "RoundRobin"
     cell_id = f"{scenario.name}#{scenario.seed}|{policy.name}|{scheduler_name}"
+    if variant:
+        cell_id += f"|{variant}"
     cell_config = replace(config, seed=derive_cell_seed(config.seed, cell_id))
     return CellTask(
         index=index,
@@ -234,7 +281,15 @@ def _outcome(
     wall: float,
     from_cache: bool,
     from_checkpoint: bool = False,
+    provenance: Optional[str] = None,
 ) -> CellOutcome:
+    if provenance is None:
+        if from_cache:
+            provenance = PROVENANCE_CACHE_HIT
+        elif from_checkpoint:
+            provenance = PROVENANCE_CHECKPOINT
+        else:
+            provenance = PROVENANCE_COMPUTED
     return CellOutcome(
         index=task.index,
         scenario_name=task.scenario.name,
@@ -246,6 +301,7 @@ def _outcome(
         from_cache=from_cache,
         seed=task.config.seed,
         from_checkpoint=from_checkpoint,
+        provenance=provenance,
     )
 
 

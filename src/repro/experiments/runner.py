@@ -50,6 +50,10 @@ class ExperimentCell:
             and worker orderings).
         from_checkpoint: True when the cell was resumed from a grid
             checkpoint instead of being simulated.
+        provenance: where the result came from — one of the
+            ``PROVENANCE_*`` constants in
+            :mod:`repro.experiments.parallel` (``computed``,
+            ``cache_hit``, ``checkpoint`` or ``claimed_elsewhere``).
     """
 
     scenario_name: str
@@ -61,6 +65,7 @@ class ExperimentCell:
     from_cache: bool = False
     seed: Optional[int] = None
     from_checkpoint: bool = False
+    provenance: str = "computed"
 
 
 def _factory_name(factory: Callable) -> str:
@@ -295,6 +300,7 @@ class ExperimentRunner:
             from_cache=outcome.from_cache,
             seed=outcome.seed,
             from_checkpoint=outcome.from_checkpoint,
+            provenance=getattr(outcome, "provenance", "computed"),
         )
 
     @staticmethod

@@ -1,0 +1,14 @@
+"""Spawn-only entry point for fabric workers.
+
+``python -m repro.fabric.worker`` works but trips the interpreter's
+runpy warning (the package ``__init__`` imports :mod:`.worker` before
+runpy executes it).  Backends therefore spawn
+``python -m repro.fabric._worker_main``, which nothing imports.
+"""
+
+import sys
+
+from .worker import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,260 @@
+"""The cache-coordinated work-claiming protocol.
+
+One small JSON file per cell under ``<cache_root>/leases/``, named
+``<cache_key>.lease``.  The protocol has exactly three moves:
+
+* **claim** — create the file with ``O_CREAT | O_EXCL``.  The
+  filesystem arbitrates: exactly one racing worker wins, everyone else
+  sees ``FileExistsError`` and moves on.
+* **heartbeat** — the holder periodically rewrites the lease (atomic
+  replace) with a fresh ``heartbeat_at``.  A lease whose heartbeat is
+  older than the TTL is *stale*: its holder is presumed dead and any
+  worker may take the lease over (again via atomic replace, so two
+  racing stealers leave exactly one coherent winner on disk — the
+  loser's write is simply overwritten, and the loser discovers it on
+  the next :meth:`LeaseStore.refresh`).
+* **release** — on success the holder replaces the lease with a
+  ``done`` marker recording who computed the cell and how long it
+  took; the marker is the fabric's provenance journal and is cleaned
+  up by ``repro cache gc``.  On failure the holder deletes the lease
+  so another worker can retry immediately.
+
+Safety does **not** depend on the protocol: cells are deterministic
+and published through the cache's atomic write, so the worst outcome
+of any race (two holders after a partition, a stale TTL that was
+merely slow) is the same bytes written twice.  The protocol only
+exists to make duplicated work rare.
+
+All timestamps are wall-clock ``time.time()`` — leases must be
+comparable across hosts sharing the cache directory; the TTL is
+minutes-scale, so NTP-grade skew is irrelevant.  The clock is
+injectable for tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import socket
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from ..errors import ReproError
+
+__all__ = [
+    "CLAIMED",
+    "DONE",
+    "DEFAULT_TTL_SECONDS",
+    "Lease",
+    "LeaseError",
+    "LeaseStore",
+]
+
+#: Lease states on disk.
+CLAIMED = "claimed"
+DONE = "done"
+
+#: Heartbeat age after which a claimed lease may be taken over.
+DEFAULT_TTL_SECONDS = 60.0
+
+
+class LeaseError(ReproError):
+    """A lease file was unreadable or the store was misused."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Lease:
+    """One parsed lease file."""
+
+    key: str
+    status: str
+    run_id: str
+    worker_id: str
+    pid: int
+    host: str
+    claimed_at: float
+    heartbeat_at: float
+    takeovers: int = 0
+    wall_seconds: float = 0.0
+
+    def age(self, now: float) -> float:
+        """Seconds since the holder last heartbeat."""
+        return now - self.heartbeat_at
+
+    def is_stale(self, now: float, ttl: float) -> bool:
+        """Whether the holder is presumed dead (claimed + heartbeat old)."""
+        return self.status == CLAIMED and self.age(now) > ttl
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Lease":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in fields})
+
+
+class LeaseStore:
+    """Claim/heartbeat/release operations over one leases directory.
+
+    Args:
+        root: the *cache* root; leases live in ``<root>/leases``.
+        run_id: identity of the coordinating run — done-markers from a
+            different ``run_id`` render a cell ``claimed_elsewhere``.
+        worker_id: identity of this claimant (one store per worker).
+        ttl_seconds: heartbeat age beyond which claims are stealable.
+        clock: wall-clock source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        run_id: str,
+        worker_id: str,
+        ttl_seconds: float = DEFAULT_TTL_SECONDS,
+        clock=time.time,
+    ) -> None:
+        from ..experiments.cache import ResultCache
+
+        self.dir = Path(root) / ResultCache.LEASES_DIRNAME
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.run_id = run_id
+        self.worker_id = worker_id
+        self.ttl = float(ttl_seconds)
+        self._clock = clock
+        self._host = socket.gethostname()
+
+    def path_for(self, key: str) -> Path:
+        """On-disk path of the lease for cache key ``key``."""
+        return self.dir / f"{key}.lease"
+
+    def read(self, key: str) -> Optional[Lease]:
+        """The current lease for ``key``, or ``None``.
+
+        A torn or garbage lease file (only possible from non-atomic
+        external writers) reads as ``None`` — i.e. as claimable.
+        """
+        try:
+            text = self.path_for(key).read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            data = json.loads(text)
+            return Lease.from_dict({"key": key, **data})
+        except (ValueError, TypeError):
+            return None
+
+    def claim(self, key: str) -> bool:
+        """Try to claim ``key``; ``True`` exactly for the one winner.
+
+        A fresh claim uses ``O_CREAT | O_EXCL`` so the filesystem picks
+        the winner.  If a lease already exists it is claimable only
+        when stale (holder heartbeat older than the TTL); takeover is
+        an atomic replace and is confirmed by reading the file back —
+        of N racing stealers, the one whose write landed last owns the
+        lease and everyone else reports failure.
+        """
+        now = self._clock()
+        path = self.path_for(key)
+        body = self._render(key, CLAIMED, claimed_at=now, takeovers=0)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            existing = self.read(key)
+            if existing is None:
+                # Garbage or vanished-underneath-us: retry the exclusive
+                # create on the next poll rather than racing blind now.
+                return False
+            if existing.status == DONE or not existing.is_stale(now, self.ttl):
+                return False
+            return self._takeover(key, existing, now)
+        try:
+            os.write(fd, body.encode("utf-8"))
+        finally:
+            os.close(fd)
+        return True
+
+    def _takeover(self, key: str, stale: Lease, now: float) -> bool:
+        """Steal a stale lease; ``True`` if our write won the race."""
+        from ..fsutil import atomic_write_text
+
+        body = self._render(
+            key, CLAIMED, claimed_at=now, takeovers=stale.takeovers + 1
+        )
+        atomic_write_text(self.path_for(key), body)
+        winner = self.read(key)
+        return (
+            winner is not None
+            and winner.worker_id == self.worker_id
+            and winner.run_id == self.run_id
+        )
+
+    def heartbeat(self, key: str) -> bool:
+        """Refresh our claim on ``key``; ``False`` if we lost it.
+
+        Losing a lease (another worker stole it after our heartbeat
+        stalled) is survivable — the holder keeps computing and both
+        publish identical bytes — but the caller should stop counting
+        the cell as exclusively theirs.
+        """
+        current = self.read(key)
+        if current is None or current.status == DONE:
+            return False
+        if current.worker_id != self.worker_id or current.run_id != self.run_id:
+            return False
+        from ..fsutil import atomic_write_text
+
+        body = self._render(
+            key,
+            CLAIMED,
+            claimed_at=current.claimed_at,
+            takeovers=current.takeovers,
+        )
+        atomic_write_text(self.path_for(key), body)
+        return True
+
+    def release_done(self, key: str, wall_seconds: float = 0.0) -> None:
+        """Replace our claim with a ``done`` marker (provenance journal)."""
+        from ..fsutil import atomic_write_text
+
+        now = self._clock()
+        body = self._render(
+            key, DONE, claimed_at=now, takeovers=0, wall_seconds=wall_seconds
+        )
+        atomic_write_text(self.path_for(key), body)
+
+    def release_failed(self, key: str) -> None:
+        """Drop our claim so another worker may retry immediately."""
+        current = self.read(key)
+        if current is None or current.worker_id != self.worker_id:
+            return
+        try:
+            self.path_for(key).unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    def _render(
+        self,
+        key: str,
+        status: str,
+        claimed_at: float,
+        takeovers: int,
+        wall_seconds: float = 0.0,
+    ) -> str:
+        now = self._clock()
+        return json.dumps(
+            {
+                "status": status,
+                "run_id": self.run_id,
+                "worker_id": self.worker_id,
+                "pid": os.getpid(),
+                "host": self._host,
+                "claimed_at": claimed_at,
+                "heartbeat_at": now,
+                "takeovers": takeovers,
+                "wall_seconds": round(wall_seconds, 6),
+            },
+            sort_keys=True,
+        )

@@ -1,0 +1,158 @@
+"""Named grid builders for the fabric CLI and benchmarks.
+
+A fabric run needs a grid of
+:class:`~repro.experiments.parallel.CellTask` — fully specified,
+picklable, content-addressed cells.  This module builds the three
+grids the CLI (``repro run-grid --preset``), the CI smoke leg and the
+committed benchmark all share, so "the fault-sweep grid" means the
+same cells everywhere a digest is compared.
+
+Every builder is deterministic in its arguments: same preset + scale
++ seed → same cell ids, same cache keys, same derived per-cell seeds,
+whichever host builds it.  That property is what lets a coordinator
+and its workers (or two static shards) construct the grid
+independently and still agree on every cell.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.policies import (
+    no_res,
+    res_sus_rand,
+    res_sus_util,
+    res_sus_wait_rand,
+    res_sus_wait_util,
+)
+from ..errors import ConfigurationError
+from ..experiments import presets as exp_presets
+from ..experiments.fault_sweep import FAULT_POLICY_FAMILY
+from ..experiments.parallel import CellTask, make_cell_task
+from ..faults import FaultConfig
+from ..schedulers.initial import RoundRobinScheduler
+from ..simulator.config import SimulationConfig
+from ..workload.scenarios import busy_week, high_load, smoke
+
+__all__ = ["GRID_PRESETS", "build_grid", "fault_sweep_grid", "smoke_grid", "table_grid"]
+
+
+def fault_sweep_grid(
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    mtbf_minutes: Optional[Sequence[float]] = None,
+    mttr_minutes: Optional[float] = None,
+) -> List[CellTask]:
+    """The (MTBF x policy) churn grid of ``repro faults``, as cells.
+
+    One scenario, the three-policy fault family, and one cell per rung
+    of the MTBF ladder.  The MTBF lives in the *config* (the fault
+    model), not the scenario/policy/scheduler triple, so each rung is
+    distinguished through the cell-id ``variant`` — distinct seeds,
+    distinct cache keys, distinct checkpoint entries.
+    """
+    mtbfs = tuple(
+        mtbf_minutes if mtbf_minutes is not None else exp_presets.fault_mtbfs()
+    )
+    mttr = mttr_minutes if mttr_minutes is not None else exp_presets.fault_mttr()
+    scenario = high_load(
+        scale or exp_presets.table_scale(), seed or exp_presets.seed()
+    )
+    tasks: List[CellTask] = []
+    for mtbf in mtbfs:
+        config = SimulationConfig(
+            strict=False,
+            faults=FaultConfig.with_exponential_churn(mtbf, mttr),
+        )
+        for policy in FAULT_POLICY_FAMILY():
+            tasks.append(
+                make_cell_task(
+                    index=len(tasks),
+                    scenario=scenario,
+                    policy=policy,
+                    scheduler=RoundRobinScheduler(),
+                    config=config,
+                    variant=f"mtbf={mtbf:g}",
+                )
+            )
+    return tasks
+
+
+def table_grid(
+    scale: Optional[float] = None, seed: Optional[int] = None
+) -> List[CellTask]:
+    """The paper's five policies under normal load (the Table 1/4 axis)."""
+    scenario = busy_week(
+        scale or exp_presets.table_scale(), seed or exp_presets.seed()
+    )
+    config = SimulationConfig(strict=False)
+    tasks: List[CellTask] = []
+    for factory in (
+        no_res,
+        res_sus_util,
+        res_sus_rand,
+        res_sus_wait_util,
+        res_sus_wait_rand,
+    ):
+        tasks.append(
+            make_cell_task(
+                index=len(tasks),
+                scenario=scenario,
+                policy=factory(),
+                scheduler=RoundRobinScheduler(),
+                config=config,
+            )
+        )
+    return tasks
+
+
+def smoke_grid(
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    n_seeds: int = 4,
+) -> List[CellTask]:
+    """Many cheap cells: the smoke scenario across seeds x 3 policies.
+
+    Millisecond-scale cells (``scale`` is accepted for signature
+    uniformity but the smoke scenario is fixed-size), sized for CI
+    smoke runs and for the scheduling-bound fabric benchmark where
+    per-cell cost is padded via ``REPRO_FABRIC_CELL_FLOOR``.
+    """
+    base_seed = seed or exp_presets.seed()
+    config = SimulationConfig(strict=False)
+    tasks: List[CellTask] = []
+    for i in range(n_seeds):
+        scenario = smoke(seed=base_seed + i)
+        for factory in (no_res, res_sus_util, res_sus_wait_util):
+            tasks.append(
+                make_cell_task(
+                    index=len(tasks),
+                    scenario=scenario,
+                    policy=factory(),
+                    scheduler=RoundRobinScheduler(),
+                    config=config,
+                )
+            )
+    return tasks
+
+
+#: Preset name -> grid builder (scale, seed) -> tasks.
+GRID_PRESETS: Dict[str, Callable[..., List[CellTask]]] = {
+    "fault-sweep": fault_sweep_grid,
+    "table1": table_grid,
+    "smoke": smoke_grid,
+}
+
+
+def build_grid(
+    preset: str, scale: Optional[float] = None, seed: Optional[int] = None
+) -> List[CellTask]:
+    """Build a named grid, raising on unknown names."""
+    try:
+        builder = GRID_PRESETS[preset]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown grid preset {preset!r} "
+            f"(available: {', '.join(sorted(GRID_PRESETS))})"
+        ) from None
+    return builder(scale=scale, seed=seed)

@@ -45,6 +45,7 @@ from .profiler import EngineProfiler, HandlerStats, ProfileReport
 from .progress import (
     CELLS_FILENAME,
     ProgressReporter,
+    cell_provenance,
     read_cells_jsonl,
     write_cells_jsonl,
 )
@@ -84,6 +85,7 @@ __all__ = [
     "JSONL_FILENAME",
     # progress / per-cell telemetry
     "ProgressReporter",
+    "cell_provenance",
     "write_cells_jsonl",
     "read_cells_jsonl",
     "CELLS_FILENAME",

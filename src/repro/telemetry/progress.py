@@ -23,9 +23,34 @@ from typing import List, Optional, TextIO, Union
 
 from ..fsutil import atomic_write_text
 
-__all__ = ["ProgressReporter", "write_cells_jsonl", "read_cells_jsonl", "CELLS_FILENAME"]
+__all__ = [
+    "ProgressReporter",
+    "cell_provenance",
+    "write_cells_jsonl",
+    "read_cells_jsonl",
+    "CELLS_FILENAME",
+]
 
 CELLS_FILENAME = "cells.jsonl"
+
+
+def cell_provenance(cell) -> str:
+    """The provenance of anything cell-shaped, ``"computed"`` if unknown.
+
+    Reads the explicit ``provenance`` attribute when present
+    (:class:`~repro.experiments.parallel.CellOutcome`,
+    :class:`~repro.experiments.runner.ExperimentCell`), otherwise falls
+    back to the legacy ``from_cache`` / ``from_checkpoint`` booleans so
+    duck-typed callers keep working.
+    """
+    provenance = getattr(cell, "provenance", None)
+    if provenance:
+        return provenance
+    if getattr(cell, "from_cache", False):
+        return "cache_hit"
+    if getattr(cell, "from_checkpoint", False):
+        return "checkpoint"
+    return "computed"
 
 
 class ProgressReporter:
@@ -59,6 +84,7 @@ class ProgressReporter:
         self.total = 0
         self.done = 0
         self.cached = 0
+        self.elsewhere = 0
         self.sim_seconds = 0.0
 
     def add_total(self, count: int) -> None:
@@ -68,8 +94,11 @@ class ProgressReporter:
     def __call__(self, outcome) -> None:
         """Record one finished cell and maybe print a heartbeat."""
         self.done += 1
-        if getattr(outcome, "from_cache", False):
+        provenance = cell_provenance(outcome)
+        if provenance in ("cache_hit", "checkpoint"):
             self.cached += 1
+        elif provenance == "claimed_elsewhere":
+            self.elsewhere += 1
         else:
             self.sim_seconds += getattr(outcome, "wall_seconds", 0.0)
         now = self._clock()
@@ -93,7 +122,10 @@ class ProgressReporter:
         else:
             head = f"[repro] {self.done} cells"
             tail = f"elapsed {elapsed:.1f}s"
-        return f"{head} ({self.cached} cached), {tail}"
+        split = f"{self.cached} cached"
+        if self.elsewhere:
+            split += f", {self.elsewhere} elsewhere"
+        return f"{head} ({split}), {tail}"
 
 
 def write_cells_jsonl(cells, directory: Union[str, Path]) -> Path:
@@ -116,6 +148,7 @@ def write_cells_jsonl(cells, directory: Union[str, Path]) -> Path:
                     "scheduler": cell.scheduler_name,
                     "wall_seconds": round(cell.wall_seconds, 6),
                     "from_cache": bool(cell.from_cache),
+                    "provenance": cell_provenance(cell),
                     "seed": cell.seed,
                 },
                 sort_keys=True,

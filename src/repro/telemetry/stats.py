@@ -192,9 +192,11 @@ def render_stats(stats: TelemetryStats) -> str:
         lines.append(f"  throughput {eps:,.0f} events/sec{wall_text}")
 
     if stats.cells:
-        cached = sum(1 for c in stats.cells if c.get("from_cache"))
+        provenances = [_cell_provenance(c) for c in stats.cells]
         sim_seconds = sum(
-            c.get("wall_seconds", 0.0) for c in stats.cells if not c.get("from_cache")
+            c.get("wall_seconds", 0.0)
+            for c, p in zip(stats.cells, provenances)
+            if p == "computed"
         )
         lines += [
             "",
@@ -202,15 +204,37 @@ def render_stats(stats: TelemetryStats) -> str:
             f"  {'scenario':<18} {'policy':<16} {'scheduler':<14} {'seconds':>8} {'source':>10}",
             "  " + "-" * 70,
         ]
-        for c in stats.cells:
-            source = "cache" if c.get("from_cache") else "simulated"
+        for c, provenance in zip(stats.cells, provenances):
             lines.append(
                 f"  {c.get('scenario', ''):<18} {c.get('policy', ''):<16} "
-                f"{c.get('scheduler', ''):<14} {c.get('wall_seconds', 0.0):>8.2f} {source:>10}"
+                f"{c.get('scheduler', ''):<14} {c.get('wall_seconds', 0.0):>8.2f} "
+                f"{_PROVENANCE_LABELS.get(provenance, provenance):>10}"
             )
+        split = ", ".join(
+            f"{provenances.count(kind)} {label}"
+            for kind, label in _PROVENANCE_LABELS.items()
+            if provenances.count(kind)
+        )
         lines.append(
-            f"  {len(stats.cells)} cells, {cached} from cache, "
+            f"  {len(stats.cells)} cells ({split}), "
             f"{sim_seconds:.2f}s simulated this run"
         )
 
     return "\n".join(lines)
+
+
+#: Provenance value -> rendered source label, in summary-line order.
+_PROVENANCE_LABELS = {
+    "computed": "simulated",
+    "cache_hit": "cache",
+    "checkpoint": "checkpoint",
+    "claimed_elsewhere": "elsewhere",
+}
+
+
+def _cell_provenance(record: dict) -> str:
+    """Provenance of one cells.jsonl record, tolerating pre-provenance files."""
+    provenance = record.get("provenance")
+    if provenance:
+        return provenance
+    return "cache_hit" if record.get("from_cache") else "computed"

@@ -1,0 +1,192 @@
+"""Tests for the fabric's work-claiming lease protocol.
+
+The contract under test (see ``repro/fabric/lease.py``):
+
+* exactly one of N racing claimants wins a fresh cell;
+* a live holder's lease is not stealable, a stale one is;
+* takeover is atomic and self-confirming (the loser of a takeover
+  race discovers it);
+* done markers journal who computed a cell and survive as provenance
+  until ``cache gc`` removes them;
+* torn/garbage lease files read as claimable, never crash.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.fabric.lease import CLAIMED, DONE, Lease, LeaseStore
+
+
+def make_store(tmp_path, worker="w0", run="run-a", ttl=60.0, clock=None):
+    kwargs = {"ttl_seconds": ttl}
+    if clock is not None:
+        kwargs["clock"] = clock
+    return LeaseStore(tmp_path, run_id=run, worker_id=worker, **kwargs)
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+KEY = "ab" + "0" * 62
+
+
+class TestClaim:
+    def test_first_claim_wins(self, tmp_path):
+        a = make_store(tmp_path, "a")
+        b = make_store(tmp_path, "b")
+        assert a.claim(KEY)
+        assert not b.claim(KEY)
+        lease = b.read(KEY)
+        assert lease.status == CLAIMED
+        assert lease.worker_id == "a"
+
+    def test_claim_is_exclusive_under_thread_race(self, tmp_path):
+        stores = [make_store(tmp_path, f"w{i}") for i in range(8)]
+        barrier = threading.Barrier(len(stores))
+        wins = []
+
+        def race(store):
+            barrier.wait()
+            if store.claim(KEY):
+                wins.append(store.worker_id)
+
+        threads = [threading.Thread(target=race, args=(s,)) for s in stores]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(wins) == 1
+
+    def test_done_lease_is_never_claimable(self, tmp_path):
+        a = make_store(tmp_path, "a")
+        b = make_store(tmp_path, "b")
+        assert a.claim(KEY)
+        a.release_done(KEY, wall_seconds=1.5)
+        assert not b.claim(KEY)
+        lease = b.read(KEY)
+        assert lease.status == DONE
+        assert lease.wall_seconds == 1.5
+
+    def test_garbage_lease_file_reads_as_none(self, tmp_path):
+        a = make_store(tmp_path, "a")
+        a.path_for(KEY).write_text("{not json", encoding="utf-8")
+        assert a.read(KEY) is None
+        # and does not crash claim (retries next poll)
+        assert not a.claim(KEY)
+
+
+class TestStaleTakeover:
+    def test_fresh_lease_not_stealable(self, tmp_path):
+        clock = FakeClock()
+        a = make_store(tmp_path, "a", ttl=60.0, clock=clock)
+        b = make_store(tmp_path, "b", ttl=60.0, clock=clock)
+        assert a.claim(KEY)
+        clock.advance(30.0)
+        assert not b.claim(KEY)
+
+    def test_stale_lease_taken_over(self, tmp_path):
+        clock = FakeClock()
+        a = make_store(tmp_path, "a", ttl=60.0, clock=clock)
+        b = make_store(tmp_path, "b", ttl=60.0, clock=clock)
+        assert a.claim(KEY)
+        clock.advance(61.0)
+        assert b.claim(KEY)
+        lease = b.read(KEY)
+        assert lease.worker_id == "b"
+        assert lease.takeovers == 1
+
+    def test_heartbeat_keeps_lease_fresh(self, tmp_path):
+        clock = FakeClock()
+        a = make_store(tmp_path, "a", ttl=60.0, clock=clock)
+        b = make_store(tmp_path, "b", ttl=60.0, clock=clock)
+        assert a.claim(KEY)
+        for _ in range(5):
+            clock.advance(40.0)
+            assert a.heartbeat(KEY)
+            assert not b.claim(KEY)
+
+    def test_original_holder_discovers_theft_via_heartbeat(self, tmp_path):
+        clock = FakeClock()
+        a = make_store(tmp_path, "a", ttl=60.0, clock=clock)
+        b = make_store(tmp_path, "b", ttl=60.0, clock=clock)
+        assert a.claim(KEY)
+        clock.advance(61.0)
+        assert b.claim(KEY)
+        assert not a.heartbeat(KEY)
+
+    def test_takeover_race_has_exactly_one_winner(self, tmp_path):
+        clock = FakeClock()
+        holder = make_store(tmp_path, "dead", ttl=10.0, clock=clock)
+        assert holder.claim(KEY)
+        clock.advance(11.0)
+        stealers = [
+            make_store(tmp_path, f"s{i}", ttl=10.0, clock=clock) for i in range(6)
+        ]
+        results = [s.claim(KEY) for s in stealers]
+        # every successful claim() must agree with the file's final owner
+        final = stealers[0].read(KEY)
+        winners = [
+            s.worker_id for s, ok in zip(stealers, results) if ok
+        ]
+        assert winners == [final.worker_id]
+
+
+class TestRelease:
+    def test_release_failed_clears_own_lease(self, tmp_path):
+        a = make_store(tmp_path, "a")
+        b = make_store(tmp_path, "b")
+        assert a.claim(KEY)
+        a.release_failed(KEY)
+        assert a.read(KEY) is None
+        assert b.claim(KEY)
+
+    def test_release_failed_never_clears_others(self, tmp_path):
+        a = make_store(tmp_path, "a")
+        b = make_store(tmp_path, "b")
+        assert a.claim(KEY)
+        b.release_failed(KEY)
+        assert a.read(KEY) is not None
+
+    def test_done_marker_records_run_identity(self, tmp_path):
+        a = make_store(tmp_path, "a", run="run-a")
+        assert a.claim(KEY)
+        a.release_done(KEY)
+        other = make_store(tmp_path, "x", run="run-b")
+        lease = other.read(KEY)
+        assert lease.run_id == "run-a"
+        assert lease.status == DONE
+
+
+class TestLeaseSerialization:
+    def test_round_trip(self):
+        lease = Lease(
+            key=KEY, status=CLAIMED, run_id="r", worker_id="w", pid=1,
+            host="h", claimed_at=1.0, heartbeat_at=2.0, takeovers=3,
+            wall_seconds=4.0,
+        )
+        assert Lease.from_dict(lease.to_dict()) == lease
+
+    def test_from_dict_ignores_unknown_fields(self):
+        data = {
+            "key": KEY, "status": DONE, "run_id": "r", "worker_id": "w",
+            "pid": 1, "host": "h", "claimed_at": 1.0, "heartbeat_at": 2.0,
+            "future_field": "ignored",
+        }
+        lease = Lease.from_dict(data)
+        assert lease.status == DONE
+
+    def test_lease_file_is_sorted_json(self, tmp_path):
+        a = make_store(tmp_path, "a")
+        assert a.claim(KEY)
+        data = json.loads(a.path_for(KEY).read_text(encoding="utf-8"))
+        assert list(data) == sorted(data)
