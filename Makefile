@@ -1,4 +1,4 @@
-.PHONY: ci test lint smoke faults bench bench-record bench-check ingest fabric
+.PHONY: ci test lint smoke faults bench bench-record bench-check ingest fabric policies
 
 # Everything CI runs, in one command (tests + lint + smoke + faults).
 ci:
@@ -26,6 +26,12 @@ ingest:
 # run-grid/cache round trip, and the BENCH_grid.json check.
 fabric:
 	scripts/ci.sh fabric
+
+# Policy-registry gate: registry/spec/plugin tests, the registry-vs-
+# direct golden grid plus fractional-determinism smoke, and the CLI
+# `--policy SPEC` round trip.
+policies:
+	scripts/ci.sh policies
 
 # Full reproduction log: every table/figure benchmark at current scale,
 # then a refreshed point on the engine-throughput trajectory.

@@ -1,0 +1,73 @@
+"""CI policies gate: the invariants the policy registry promises.
+
+1. **Registry == direct construction.** The paper baselines addressed
+   through spec strings (``"NoRes"``, ``"ResSusUtil"``, ...) must be
+   bit-identical to the same grid built from the core factories — the
+   registry adds an addressing layer, never a behaviour change.
+2. **New families are deterministic.** A fractional-vs-baseline smoke
+   grid (``NoRes`` against ``dfrs:share=0.5,floor=0.1``) run twice
+   must produce identical seeds and summaries, pinning the determinism
+   of the EXPERIMENTS.md fractional comparison.
+
+CI runs this file from ``scripts/ci.sh policies``; it holds at any
+scale.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.core.policies import no_res, res_sus_util, res_sus_wait_util
+from repro.experiments.runner import ExperimentRunner
+
+from conftest import banner, run_once
+
+BASELINE_SPECS = ("NoRes", "ResSusUtil", "ResSusWaitUtil")
+FRACTIONAL_SPECS = ("NoRes", "dfrs:share=0.5,floor=0.1")
+
+
+def _cell_key(cell):
+    return (cell.scenario_name, cell.policy_name, cell.scheduler_name, cell.seed, cell.summary)
+
+
+def test_registry_baselines_match_direct(benchmark):
+    scenario = repro.smoke(seed=7)
+    direct_factories = (
+        no_res,
+        res_sus_util,
+        lambda: res_sus_wait_util(scenario.wait_threshold),
+    )
+    direct = ExperimentRunner().run([scenario], direct_factories)
+    registry = run_once(
+        benchmark, ExperimentRunner().run, [scenario], BASELINE_SPECS
+    )
+    print(banner("CI policies: registry specs vs direct factories"))
+    for cell in registry:
+        print(f"  {cell.policy_name:<16} spec={cell.policy_spec!r}  avg_st={cell.summary.avg_st:.1f}")
+    assert [_cell_key(c) for c in registry] == [_cell_key(c) for c in direct], (
+        "registry-routed baselines diverged from direct construction"
+    )
+    assert [c.policy_spec for c in registry] == list(BASELINE_SPECS)
+
+
+def test_fractional_grid_deterministic(benchmark):
+    scenario = repro.smoke(seed=7)
+
+    def fractional_grid():
+        return ExperimentRunner().run([scenario], FRACTIONAL_SPECS)
+
+    first = fractional_grid()
+    second = run_once(benchmark, fractional_grid)
+    print(banner("CI policies: NoRes vs dfrs smoke grid, twice"))
+    by_name = {c.policy_name: c.summary for c in first}
+    for name, summary in by_name.items():
+        print(f"  {name:<28} avg_st={summary.avg_st:.1f}  suspend_rate={summary.suspend_rate:.2%}")
+    assert [c.seed for c in first] == [c.seed for c in second], (
+        "same-seed fractional grid produced different cell seeds"
+    )
+    assert [c.summary for c in first] == [c.summary for c in second], (
+        "same-seed fractional grid produced different summaries"
+    )
+    dfrs_name = next(n for n in by_name if n.startswith("DFRS["))
+    assert by_name[dfrs_name].avg_restarts == 0, (
+        "fractional sharing must never restart a job"
+    )

@@ -18,7 +18,7 @@ from repro.schedulers import RoundRobinScheduler
 
 
 def evaluate(scenario) -> None:
-    policies = [repro.policy_from_name(name) for name in repro.PAPER_POLICY_NAMES]
+    policies = [repro.policy_from_spec(name) for name in repro.PAPER_POLICY_NAMES]
     comparison = compare_strategies(
         scenario,
         policies,

@@ -2,7 +2,7 @@
 # CI entry point — the same commands run locally (`make ci`) and in
 # .github/workflows/ci.yml, so a green local run means a green pipeline.
 #
-# Usage: scripts/ci.sh [tests|lint|smoke|faults|bench|ingest|fabric|all]
+# Usage: scripts/ci.sh [tests|lint|smoke|faults|bench|ingest|fabric|policies|all]
 #
 # Subcommands:
 #   tests   tier-1 test suite (the gate every PR must keep green)
@@ -38,9 +38,17 @@
 #           --quick: digest flips, >20% cells/sec drops, or the padded
 #           grid's 4-worker overlap speedup falling under 3x fail the
 #           leg)
+#   policies  policy-registry gate: the registry/spec/plugin test
+#           file, then benchmarks/bench_policies_smoke.py (registry-
+#           routed baselines bit-identical to direct construction, and
+#           the NoRes-vs-dfrs fractional smoke grid deterministic
+#           across two runs); finally `repro policies list` and a
+#           same-spec `repro run --policy dfrs:...` pair that must be
+#           byte-identical
 #   all     tests + lint + smoke + faults (default; bench, ingest and
 #           fabric are their own CI jobs because they are
-#           timing-sensitive)
+#           timing-sensitive, and policies is its own job so a
+#           registry regression is named in the check list)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -211,6 +219,40 @@ run_fabric() {
         --threshold "${BENCH_THRESHOLD:-0.20}" --output BENCH_grid.json
 }
 
+run_policies() {
+    echo "== policies: registry / spec / plugin tests =="
+    python -m pytest tests/test_policy_registry.py -q
+
+    echo "== policies: registry == direct + fractional grid determinism =="
+    python -m pytest benchmarks/bench_policies_smoke.py -q -s
+
+    echo "== policies: CLI spec round trip is reproducible =="
+    local pdir
+    pdir="$(mktemp -d)"
+    trap 'rm -rf "$pdir"' RETURN
+    python -m repro policies list > "$pdir/list.txt"
+    if ! grep -q 'dfrs' "$pdir/list.txt" \
+            || ! grep -q 'migration_cost' "$pdir/list.txt"; then
+        echo "error: 'repro policies list' is missing the new families" >&2
+        cat "$pdir/list.txt" >&2
+        exit 1
+    fi
+    python -m repro run --scenario smoke \
+        --policy dfrs:share=0.5,floor=0.1 > "$pdir/a.txt"
+    python -m repro run --scenario smoke \
+        --policy dfrs:share=0.5,floor=0.1 > "$pdir/b.txt"
+    if ! diff -u "$pdir/a.txt" "$pdir/b.txt"; then
+        echo "error: same-spec fractional CLI runs diverged" >&2
+        exit 1
+    fi
+    if ! grep -q 'DFRS\[share=0.5,floor=0.1\]' "$pdir/a.txt"; then
+        echo "error: fractional run did not report the DFRS policy name" >&2
+        cat "$pdir/a.txt" >&2
+        exit 1
+    fi
+    echo "CLI policy spec round trip OK"
+}
+
 case "${1:-all}" in
     tests)  run_tests ;;
     lint)   run_lint ;;
@@ -219,9 +261,10 @@ case "${1:-all}" in
     bench)  run_bench ;;
     ingest) run_ingest ;;
     fabric) run_fabric ;;
+    policies) run_policies ;;
     all)    run_tests; run_lint; run_smoke; run_faults ;;
     *)
-        echo "usage: scripts/ci.sh [tests|lint|smoke|faults|bench|ingest|fabric|all]" >&2
+        echo "usage: scripts/ci.sh [tests|lint|smoke|faults|bench|ingest|fabric|policies|all]" >&2
         exit 2
         ;;
 esac

@@ -9,6 +9,9 @@ The package provides:
   simulator of the NetBatch middleware (the ASCA stand-in);
 * :mod:`repro.core` — the paper's contribution: dynamic rescheduling
   policies for suspended and waiting jobs;
+* :mod:`repro.policies` — the policy plugin registry: spec strings
+  (``"dfrs:share=0.5"``), entry-point discovery, and the fractional /
+  migration-cost policy families (see ``docs/policies.md``);
 * :mod:`repro.schedulers` — the VPM initial schedulers;
 * :mod:`repro.metrics` / :mod:`repro.analysis` — the paper's metrics
   and trace analyses;
@@ -74,6 +77,18 @@ from .errors import (
     TraceError,
     UnknownPolicyError,
     UnschedulableJobError,
+)
+from .policies import (
+    FractionalSharePolicy,
+    MigrationCostPolicy,
+    PolicySpec,
+    available_policies,
+    available_selectors,
+    canonical_spec,
+    policy_from_spec,
+    register_policy,
+    register_selector,
+    selector_from_spec,
 )
 from .metrics import (
     EmpiricalCDF,
@@ -177,6 +192,17 @@ __all__ = [
     "res_sus_util",
     "res_sus_wait_rand",
     "res_sus_wait_util",
+    # policy registry
+    "FractionalSharePolicy",
+    "MigrationCostPolicy",
+    "PolicySpec",
+    "available_policies",
+    "available_selectors",
+    "canonical_spec",
+    "policy_from_spec",
+    "register_policy",
+    "register_selector",
+    "selector_from_spec",
     # errors
     "ClusterError",
     "ConfigurationError",

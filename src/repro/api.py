@@ -26,10 +26,10 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, List, Optional, Sequence, Union
 
-from .core.policies import policy_from_name
 from .core.policy import ReschedulingPolicy
 from .errors import ConfigurationError
 from .experiments.runner import ExperimentCell, ExperimentRunner
+from .policies import canonical_spec, policy_from_spec
 from .schedulers.initial import InitialScheduler, initial_scheduler_from_name
 from .simulator.config import SimulationConfig
 from .simulator.engine import SimulationEngine
@@ -44,7 +44,9 @@ def _resolve_policy(
     policy: Union[ReschedulingPolicy, str, None], scenario: Scenario
 ) -> Optional[ReschedulingPolicy]:
     if isinstance(policy, str):
-        return policy_from_name(policy, wait_threshold=scenario.wait_threshold)
+        return policy_from_spec(
+            policy, defaults={"wait_threshold": scenario.wait_threshold}
+        )
     return policy
 
 
@@ -153,9 +155,9 @@ def run_experiment(
 
     def _named_factory(name: str) -> Callable[[], ReschedulingPolicy]:
         def factory() -> ReschedulingPolicy:
-            return policy_from_name(name, wait_threshold=wait_threshold)
+            return policy_from_spec(name, defaults={"wait_threshold": wait_threshold})
 
-        factory.__name__ = name
+        factory.__name__ = canonical_spec(name)
         return factory
 
     policy_factories = [
@@ -170,6 +172,6 @@ def run_experiment(
         use_cache=use_cache,
         progress=progress,
     )
-    return runner.run_grid(
+    return runner.run(
         scenarios, policy_factories, scheduler_factories=scheduler_factories
     )

@@ -215,7 +215,7 @@ def result_digest(result) -> str:
 def _build_workload(spec: WorkloadSpec):
     """Resolve a spec to ``(trace, cluster, policy_factory, config)``."""
     from . import busy_week, high_load, high_suspension
-    from .core.policies import policy_from_name
+    from .policies import policy_from_spec
 
     scenarios = {
         "busy_week": busy_week,
@@ -227,7 +227,7 @@ def _build_workload(spec: WorkloadSpec):
     except KeyError:
         raise BenchFormatError(f"unknown scenario {spec.scenario!r}") from None
     scenario = factory(scale=spec.scale)
-    policy = None if spec.policy == "none" else policy_from_name(spec.policy)
+    policy = None if spec.policy == "none" else policy_from_spec(spec.policy)
     faults = None
     if spec.faults:
         from .faults import FaultConfig, MachineChurn

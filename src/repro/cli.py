@@ -5,11 +5,16 @@ Usage (installed as ``repro``, or ``python -m repro``)::
     repro table 1                 # reproduce paper Table 1
     repro table all               # all five tables + high-suspension
     repro figure 2                # reproduce paper Figure 2
+    repro policies list           # registered policies and selectors
     repro run --policy ResSusUtil --scenario high-load --scale 0.1
+    repro run --policy dfrs:share=0.5,floor=0.1 --scenario high-suspension
+    repro run --policy "migration_cost:transfer_minutes=5" --scenario high-load
     repro run --scenario smoke --telemetry-dir out/telemetry --profile
     repro run --policy ResSusUtil --machine-mtbf 4000 --machine-mttr 120
+    repro table 2 --policy NoRes --policy dfrs:share=0.5   # custom strategy set
     repro faults --mtbf 2000 --mtbf 8000    # churn sweep per policy
     repro run-grid --preset fault-sweep --backend subprocess:4 --cache-dir /shared/cache
+    repro run-grid --preset smoke --policy NoRes --policy dfrs:share=0.5
     repro run-grid --preset fault-sweep --shard-id 0 --num-shards 4   # static shard
     repro cache stats ~/.cache/repro
     repro cache gc ~/.cache/repro --max-bytes 512M --max-age 7d
@@ -24,6 +29,10 @@ Usage (installed as ``repro``, or ``python -m repro``)::
 Real-trace ingestion (``make-fixture`` / ``ingest`` / ``run --trace``)
 streams SWF or Google cluster-trace logs through the engine in constant
 memory; see ``docs/traces.md``.
+
+``--policy`` flags take registry spec strings — ``name`` or
+``name:key=value,...`` (``repro policies list`` shows what is
+registered; grammar and plugin guide in ``docs/policies.md``).
 
 All experiment commands honour ``--scale`` and ``--seed`` (and the
 ``REPRO_SCALE`` / ``REPRO_SEED`` environment variables).  The ``table``
@@ -42,11 +51,11 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional
 
-from .core.policies import PAPER_POLICY_NAMES, policy_from_name
 from .errors import ReproError
 from .experiments import figures, tables
 from .metrics.report import render_table, render_waste_components
 from .metrics.summary import summarize
+from .policies import policy_from_spec
 from .schedulers.initial import INITIAL_SCHEDULER_NAMES, initial_scheduler_from_name
 from .simulator.config import SimulationConfig
 from .simulator.simulation import run_simulation
@@ -91,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("which", choices=list(_TABLES) + ["all"])
     _add_scale_seed(table)
     _add_execution_opts(table)
+    _add_policy_override(table)
 
     figure = sub.add_parser("figure", help="reproduce one of the paper's figures")
     figure.add_argument("which", choices=["2", "3", "4"])
@@ -105,7 +115,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one simulation and print its summary")
     run.add_argument("--scenario", choices=list(_SCENARIOS), default="busy-week")
-    run.add_argument("--policy", choices=list(PAPER_POLICY_NAMES), default="NoRes")
+    run.add_argument(
+        "--policy", default="NoRes", metavar="SPEC",
+        help="policy spec: NAME or NAME:key=value,... "
+        "(see 'repro policies list'; default: NoRes)",
+    )
     run.add_argument(
         "--initial-scheduler",
         choices=list(INITIAL_SCHEDULER_NAMES),
@@ -226,6 +240,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="write cells.jsonl and fabric gauges (repro_fabric_cells) into DIR",
     )
     _add_scale_seed(run_grid)
+    _add_policy_override(run_grid)
+
+    policies_cmd = sub.add_parser(
+        "policies", help="inspect the policy plugin registry"
+    )
+    policies_cmd.add_argument(
+        "action", choices=["list"], nargs="?", default="list",
+        help="what to do (default: list)",
+    )
 
     cache_cmd = sub.add_parser(
         "cache",
@@ -280,7 +303,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export.add_argument("outdir", help="directory to write CSV files into")
     export.add_argument("--scenario", choices=list(_SCENARIOS), default="busy-week")
-    export.add_argument("--policy", choices=list(PAPER_POLICY_NAMES), default="NoRes")
+    export.add_argument(
+        "--policy", default="NoRes", metavar="SPEC",
+        help="policy spec (see 'repro policies list'; default: NoRes)",
+    )
     _add_scale_seed(export)
 
     ingest = sub.add_parser(
@@ -293,7 +319,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=["swf", "google"], default="swf", dest="trace_format",
         help="trace format (default: swf)",
     )
-    ingest.add_argument("--policy", choices=list(PAPER_POLICY_NAMES), default="NoRes")
+    ingest.add_argument(
+        "--policy", default="NoRes", metavar="SPEC",
+        help="policy spec (see 'repro policies list'; default: NoRes)",
+    )
     ingest.add_argument(
         "--window", nargs=2, type=float, default=None, metavar=("START", "END"),
         help="replay only jobs submitted in [START, END) minutes of the "
@@ -348,6 +377,14 @@ def build_parser() -> argparse.ArgumentParser:
 def _add_scale_seed(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=None, help="cluster scale factor")
     parser.add_argument("--seed", type=int, default=None, help="workload seed")
+
+
+def _add_policy_override(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--policy", action="append", default=None, metavar="SPEC",
+        help="replace the default strategy set with this policy spec "
+        "(repeatable; see 'repro policies list')",
+    )
 
 
 def _add_execution_opts(parser: argparse.ArgumentParser) -> None:
@@ -462,8 +499,12 @@ def _print_cell_stats(cells) -> None:
     provenances = [cell_provenance(c) for c in cells]
     for cell, provenance in zip(cells, provenances):
         source = _PROVENANCE_SOURCES.get(provenance, provenance)
+        spec = getattr(cell, "policy_spec", None)
+        label = cell.policy_name
+        if spec and spec != cell.policy_name:
+            label = f"{cell.policy_name} <{spec}>"
         print(
-            f"  [{cell.policy_name} @ {cell.scenario_name}] "
+            f"  [{label} @ {cell.scenario_name}] "
             f"{cell.wall_seconds:.2f}s {source}"
         )
     saved = sum(
@@ -486,7 +527,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
     for name in names:
         build, title = _TABLES[name]
         comparison = build(
-            scale=args.scale, seed=args.seed, **_execution_kwargs(args, feed)
+            scale=args.scale, seed=args.seed, policies=args.policy,
+            **_execution_kwargs(args, feed)
         )
         print(render_table(list(comparison.summaries), title))
         _print_cell_stats(comparison.cells)
@@ -549,7 +591,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .telemetry import Instrumentation, MetricsRegistry, write_telemetry_dir
 
     scenario = None if args.trace else _build_scenario(args)
-    policy = policy_from_name(args.policy, args.wait_threshold)
+    policy = policy_from_spec(
+        args.policy, defaults={"wait_threshold": args.wait_threshold}
+    )
     scheduler = initial_scheduler_from_name(args.initial_scheduler)
     observer = None
     observers = ()
@@ -657,6 +701,31 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_policies(args: argparse.Namespace) -> int:
+    from .policies import available_policies, available_selectors
+
+    def _render(kind, entries) -> None:
+        print(f"{kind}:")
+        width = max((len(e.name) for e in entries), default=0)
+        for entry in entries:
+            context = (
+                f"  [needs context: {', '.join(entry.context)}]"
+                if entry.context
+                else ""
+            )
+            print(f"  {entry.name:<{width}}  {entry.description}{context}")
+
+    _render("policies", available_policies())
+    print()
+    _render("selectors", available_selectors())
+    print()
+    print(
+        "spec grammar: NAME or NAME:key=value,...  (nested selectors: "
+        "selector=name(key=value)); see docs/policies.md"
+    )
+    return 0
+
+
 def _cmd_run_grid(args: argparse.Namespace) -> int:
     from .experiments.cache import open_cache
     from .experiments.checkpoint import GridCheckpoint
@@ -671,7 +740,9 @@ def _cmd_run_grid(args: argparse.Namespace) -> int:
 
     if (args.shard_id is None) != (args.num_shards is None):
         raise ReproError("--shard-id and --num-shards must be given together")
-    tasks = build_grid(args.preset, scale=args.scale, seed=args.seed)
+    tasks = build_grid(
+        args.preset, scale=args.scale, seed=args.seed, policies=args.policy
+    )
     total_cells = len(tasks)
     if args.num_shards is not None:
         tasks = shard_tasks(tasks, args.shard_id, args.num_shards)
@@ -842,7 +913,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from .analysis.utilization import analyze_utilization
 
     scenario = _build_scenario(args)
-    policy = policy_from_name(args.policy)
+    policy = policy_from_spec(args.policy)
     result = run_simulation(
         scenario.trace,
         scenario.cluster,
@@ -911,7 +982,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         overrides["window_start_minutes"] = args.window[0]
         overrides["window_end_minutes"] = args.window[1]
     spec = default_replay_spec(None if args.unrestricted else template, **overrides)
-    policy = policy_from_name(args.policy)
+    policy = policy_from_spec(args.policy)
     characterizer = StreamingCharacterizer()
 
     from .simulator.simulation import run_streaming
@@ -1013,6 +1084,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "faults": _cmd_faults,
     "run-grid": _cmd_run_grid,
+    "policies": _cmd_policies,
     "cache": _cmd_cache,
     "stats": _cmd_stats,
     "generate-trace": _cmd_generate_trace,

@@ -7,7 +7,7 @@ duplication, checkpoint migration, multi-metric selection).
 """
 
 from .context import JobView, PoolSnapshot, StaticSystemView, SystemView
-from .decisions import STAY, Action, Decision, duplicate, migrate, restart
+from .decisions import STAY, Action, Decision, duplicate, fractional, migrate, restart
 from .overheads import NO_OVERHEAD, RestartOverhead
 from .policies import (
     DEFAULT_WAIT_THRESHOLD,
@@ -44,6 +44,7 @@ __all__ = [
     "Action",
     "Decision",
     "duplicate",
+    "fractional",
     "migrate",
     "restart",
     "NO_OVERHEAD",

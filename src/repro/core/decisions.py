@@ -15,6 +15,11 @@ with the job in question:
   progress*, Condor-checkpoint / VM-migration style (the alternative
   the paper discusses in Section 2.3 and rejects for NetBatch on
   overhead grounds; implemented here so the trade-off is measurable).
+* ``fractional(share)`` — keep the job suspended in place but let it
+  progress at ``share`` of its machine's speed instead of stopping
+  entirely (Dynamic Fractional Resource Scheduling, arXiv:1106.4985).
+  Only meaningful from ``on_suspend``; the engine ignores it from
+  ``on_wait_timeout`` (a waiting job has no machine to share).
 """
 
 from __future__ import annotations
@@ -25,7 +30,15 @@ from typing import Optional
 
 from ..errors import ConfigurationError
 
-__all__ = ["Action", "Decision", "STAY", "restart", "duplicate", "migrate"]
+__all__ = [
+    "Action",
+    "Decision",
+    "STAY",
+    "restart",
+    "duplicate",
+    "migrate",
+    "fractional",
+]
 
 
 class Action(enum.Enum):
@@ -35,16 +48,37 @@ class Action(enum.Enum):
     RESTART = "restart"
     DUPLICATE = "duplicate"
     MIGRATE = "migrate"
+    FRACTION = "fraction"
 
 
 @dataclass(frozen=True)
 class Decision:
-    """An action plus, for move actions, the target pool."""
+    """An action plus, for move actions, the target pool.
+
+    FRACTION decisions carry a ``share`` in ``(0, 1]`` instead of a
+    target pool: the job stays put and runs at that fraction of its
+    host's speed.
+    """
 
     action: Action
     target_pool: Optional[str] = None
+    share: Optional[float] = None
 
     def __post_init__(self) -> None:
+        if self.action is Action.FRACTION:
+            if self.target_pool is not None:
+                raise ConfigurationError(
+                    "FRACTION decisions must not carry a target pool"
+                )
+            if self.share is None or not (0.0 < self.share <= 1.0):
+                raise ConfigurationError(
+                    f"FRACTION decisions need a share in (0, 1], got {self.share!r}"
+                )
+            return
+        if self.share is not None:
+            raise ConfigurationError(
+                f"{self.action.value} decisions must not carry a share"
+            )
         if self.action is Action.STAY and self.target_pool is not None:
             raise ConfigurationError("STAY decisions must not carry a target pool")
         if self.action is not Action.STAY and not self.target_pool:
@@ -53,7 +87,7 @@ class Decision:
     @property
     def moves(self) -> bool:
         """Whether this decision relocates (or clones) the job."""
-        return self.action is not Action.STAY
+        return self.action is not Action.STAY and self.action is not Action.FRACTION
 
 
 #: The do-nothing decision.
@@ -73,3 +107,8 @@ def duplicate(pool_id: str) -> Decision:
 def migrate(pool_id: str) -> Decision:
     """Move to ``pool_id`` preserving progress (checkpoint/VM migration)."""
     return Decision(Action.MIGRATE, pool_id)
+
+
+def fractional(share: float) -> Decision:
+    """Keep running in place at ``share`` of the host's speed while suspended."""
+    return Decision(Action.FRACTION, share=share)

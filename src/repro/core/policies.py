@@ -13,11 +13,13 @@ Paper name                Construction
 ``ResSusWaitRand``        :class:`RescheduleSuspendedAndWaiting` + random
 ========================  ==============================================
 
-:func:`policy_from_name` builds any of them by paper name, which is what
-the experiment runner and the CLI use.  Two extensions go beyond the
-paper: :class:`DuplicateSuspended` (the future-work job-duplication
-technique) and :class:`RescheduleWaitingOnly` (an ablation isolating
-the waiting-job mechanism).
+The experiment runner and the CLI address these (and every other
+registered family) through spec strings via
+:mod:`repro.policies`; :func:`policy_from_name` remains as a
+deprecated shim over the five paper names.  Two extensions go beyond
+the paper: :class:`DuplicateSuspended` (the future-work
+job-duplication technique) and :class:`RescheduleWaitingOnly` (an
+ablation isolating the waiting-job mechanism).
 """
 
 from __future__ import annotations
@@ -253,11 +255,24 @@ def policy_from_name(
 ) -> ReschedulingPolicy:
     """Build one of the paper's strategies by its table name.
 
+    .. deprecated::
+        Use :func:`repro.policies.policy_from_spec`, which accepts the
+        same five names plus every registered policy family and spec
+        parameters (``"dfrs:share=0.5"``).
+
     Args:
         name: one of :data:`PAPER_POLICY_NAMES` (case-sensitive).
         wait_threshold: threshold for the ``...Wait...`` strategies;
             ignored by the others.
     """
+    import warnings
+
+    warnings.warn(
+        "policy_from_name is deprecated; use repro.policy_from_spec "
+        "(same paper names, plus registered families and parameters)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     try:
         factory = _FACTORIES[name]
     except KeyError:

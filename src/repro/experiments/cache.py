@@ -201,9 +201,7 @@ def _scheduler_fingerprint(scheduler) -> Dict[str, Any]:
 def _config_fingerprint(config) -> Optional[Dict[str, Any]]:
     """Fingerprint of a SimulationConfig; ``None`` = not cacheable."""
     instrumentation = getattr(config, "instrumentation", None)
-    if config.observer is not None or (
-        instrumentation is not None and instrumentation.enabled
-    ):
+    if instrumentation is not None and instrumentation.enabled:
         # Observers and metrics registries consume a live event stream;
         # a cache hit would silently swallow it.
         return None

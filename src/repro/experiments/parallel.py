@@ -107,6 +107,11 @@ class CellTask:
             cell must not be cached.
         keep_result: ship the full :class:`SimulationResult` back (not
             just the summary).
+        policy_spec: the canonical registry spec string the policy was
+            built from (see :mod:`repro.policies`), or ``None`` when it
+            was constructed directly.  Carried for provenance and
+            telemetry labels only — never part of the cell identity,
+            seed or cache key.
     """
 
     index: int
@@ -117,6 +122,7 @@ class CellTask:
     cell_id: str
     cache_key: Optional[str]
     keep_result: bool = False
+    policy_spec: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -145,6 +151,7 @@ class CellOutcome:
     seed: int
     from_checkpoint: bool = False
     provenance: str = PROVENANCE_COMPUTED
+    policy_spec: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -224,6 +231,7 @@ def make_cell_task(
     config: SimulationConfig,
     keep_result: bool = False,
     variant: str = "",
+    policy_spec: Optional[str] = None,
 ) -> CellTask:
     """Freeze one grid cell into a :class:`CellTask`.
 
@@ -238,6 +246,10 @@ def make_cell_task(
     e.g. the fault sweep's MTBF ladder — so such cells get distinct
     seeds and checkpoint entries.  Empty (the default) keeps cell ids
     bit-identical to pre-variant builds.
+
+    ``policy_spec`` (or, absent that, a ``spec`` attribute left on the
+    policy by :func:`repro.policies.policy_from_spec`) rides along on
+    the task for provenance records; it never enters the cell identity.
     """
     scheduler_name = scheduler.name if scheduler is not None else "RoundRobin"
     cell_id = f"{scenario.name}#{scenario.seed}|{policy.name}|{scheduler_name}"
@@ -253,6 +265,7 @@ def make_cell_task(
         cell_id=cell_id,
         cache_key=cell_cache_key(scenario, policy, scheduler, cell_config),
         keep_result=keep_result,
+        policy_spec=policy_spec or getattr(policy, "spec", None),
     )
 
 
@@ -302,6 +315,7 @@ def _outcome(
         seed=task.config.seed,
         from_checkpoint=from_checkpoint,
         provenance=provenance,
+        policy_spec=task.policy_spec,
     )
 
 

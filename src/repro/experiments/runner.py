@@ -13,11 +13,13 @@ in parallel, or from cache.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.policy import ReschedulingPolicy
 from ..errors import ConfigurationError, ExperimentExecutionError
+from ..policies import canonical_spec, policy_from_spec
 from ..metrics.summary import PerformanceSummary
 from ..schedulers.initial import InitialScheduler, RoundRobinScheduler
 from ..simulator.config import SimulationConfig
@@ -54,6 +56,8 @@ class ExperimentCell:
             ``PROVENANCE_*`` constants in
             :mod:`repro.experiments.parallel` (``computed``,
             ``cache_hit``, ``checkpoint`` or ``claimed_elsewhere``).
+        policy_spec: the canonical registry spec string the policy was
+            built from (``None`` when it was constructed directly).
     """
 
     scenario_name: str
@@ -66,6 +70,7 @@ class ExperimentCell:
     seed: Optional[int] = None
     from_checkpoint: bool = False
     provenance: str = "computed"
+    policy_spec: Optional[str] = None
 
 
 def _factory_name(factory: Callable) -> str:
@@ -78,9 +83,9 @@ class ExperimentRunner:
     Example:
         >>> from repro import busy_week, no_res, res_sus_util
         >>> runner = ExperimentRunner(n_workers=4)          # doctest: +SKIP
-        >>> cells = runner.run_grid(
+        >>> cells = runner.run(
         ...     scenarios=[busy_week(scale=0.05)],
-        ...     policy_factories=[no_res, res_sus_util],
+        ...     policies=[no_res, "ResSusUtil", "dfrs:share=0.5"],
         ... )   # doctest: +SKIP
 
     Args:
@@ -174,15 +179,44 @@ class ExperimentRunner:
         """
         return self._last_failures
 
-    def run_grid(
+    def run(
         self,
         scenarios: Sequence[Scenario],
-        policy_factories: Sequence[Callable[[], ReschedulingPolicy]],
+        policies: Sequence[Union[Callable[[], ReschedulingPolicy], str]],
         scheduler_factories: Optional[
             Sequence[Callable[[], InitialScheduler]]
         ] = None,
+        *,
+        backend: Optional[str] = None,
     ) -> List[ExperimentCell]:
         """Run the full cross product and return one cell per run.
+
+        The one grid entry point: serial, process-pool parallel and
+        fabric execution all route through here, selected by
+        ``backend``.  Results are bit-identical across backends — the
+        per-cell seed derives from the cell's identity, never from how
+        or where it ran.
+
+        Args:
+            scenarios: the scenarios to sweep.
+            policies: zero-arg policy factories and/or registry spec
+                strings (``"ResSusUtil"``, ``"dfrs:share=0.5"``, ...);
+                strings resolve through :mod:`repro.policies` with the
+                first scenario's ``wait_threshold`` as the default.
+            scheduler_factories: initial-scheduler factories; defaults
+                to round-robin only.
+            backend: execution backend spec —
+
+                * ``None`` (default): the runner's ``n_workers``
+                  (serial for 1, else an in-process pool);
+                * ``"serial"``: force in-process serial execution;
+                * ``"local"`` / ``"local:N"``: process pool with the
+                  runner's / ``N`` workers;
+                * ``"subprocess:N"`` / ``"ssh:host1,host2"``: the
+                  distributed fabric
+                  (:func:`~repro.fabric.coordinator.run_grid_fabric`);
+                  requires the runner to have a result cache, the
+                  fabric's coordination medium.
 
         Raises:
             ExperimentExecutionError: when building or running any cell
@@ -194,13 +228,17 @@ class ExperimentRunner:
                 :class:`ExperimentCell` completed before the failure in
                 ``completed_cells``, so a long sweep's finished work is
                 never lost.
+            ConfigurationError: for an empty grid, an unknown
+                ``backend`` spec, or a fabric backend without a cache.
         """
         self._last_failures = ()
         if not scenarios:
-            raise ConfigurationError("run_grid needs at least one scenario")
-        if not policy_factories:
-            raise ConfigurationError("run_grid needs at least one policy factory")
+            raise ConfigurationError("run needs at least one scenario")
+        if not policies:
+            raise ConfigurationError("run needs at least one policy")
+        policy_factories = self._policy_factories(scenarios, policies)
         scheduler_factories = scheduler_factories or [RoundRobinScheduler]
+        n_workers, fabric_spec = self._resolve_backend(backend)
 
         # Register the whole grid with the reporter here (the serial
         # path below executes cell-by-cell, which would otherwise feed
@@ -218,7 +256,7 @@ class ExperimentRunner:
             def notify(outcome) -> None:
                 progress(outcome)
 
-        serial = self._n_workers == 1
+        serial = fabric_spec is None and n_workers == 1
         cells: List[ExperimentCell] = []
         tasks = []
         index = 0
@@ -253,13 +291,104 @@ class ExperimentRunner:
                         )
                     else:
                         tasks.append(task)
+        if fabric_spec is not None:
+            return self._execute_fabric(tasks, fabric_spec, progress=notify)
         if tasks:
             cells.extend(
                 self._execute(
-                    tasks, n_workers=self._n_workers, done=cells, progress=notify
+                    tasks, n_workers=n_workers, done=cells, progress=notify
                 )
             )
         return cells
+
+    def run_grid(
+        self,
+        scenarios: Sequence[Scenario],
+        policy_factories: Sequence[Callable[[], ReschedulingPolicy]],
+        scheduler_factories: Optional[
+            Sequence[Callable[[], InitialScheduler]]
+        ] = None,
+    ) -> List[ExperimentCell]:
+        """Deprecated alias for :meth:`run` (same behaviour, no ``backend``)."""
+        warnings.warn(
+            "ExperimentRunner.run_grid is deprecated; use ExperimentRunner.run "
+            "(same arguments, plus backend=)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run(
+            scenarios, policy_factories, scheduler_factories=scheduler_factories
+        )
+
+    def _policy_factories(
+        self,
+        scenarios: Sequence[Scenario],
+        policies: Sequence[Union[Callable[[], ReschedulingPolicy], str]],
+    ) -> List[Callable[[], ReschedulingPolicy]]:
+        """Resolve spec-string entries through the policy registry."""
+        wait_threshold = scenarios[0].wait_threshold
+
+        def spec_factory(spec: str) -> Callable[[], ReschedulingPolicy]:
+            def factory() -> ReschedulingPolicy:
+                return policy_from_spec(
+                    spec, defaults={"wait_threshold": wait_threshold}
+                )
+
+            factory.__name__ = canonical_spec(spec)
+            return factory
+
+        return [
+            spec_factory(entry) if isinstance(entry, str) else entry
+            for entry in policies
+        ]
+
+    def _resolve_backend(
+        self, backend: Optional[str]
+    ) -> Tuple[Optional[int], Optional[str]]:
+        """Split a backend spec into (local worker count, fabric spec)."""
+        if backend is None:
+            return self._n_workers, None
+        kind, _, arg = backend.partition(":")
+        kind = kind.strip().lower()
+        if kind == "serial":
+            if arg:
+                raise ConfigurationError(
+                    f"backend 'serial' takes no argument, got {backend!r}"
+                )
+            return 1, None
+        if kind == "local":
+            try:
+                return (int(arg) if arg else self._n_workers), None
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad worker count in backend spec {backend!r}"
+                ) from None
+        # anything else is a fabric backend spec, validated at dispatch
+        return None, backend
+
+    def _execute_fabric(self, tasks, spec: str, progress=None) -> List[ExperimentCell]:
+        """Dispatch a built grid onto the distributed fabric."""
+        # imported here: the fabric package is heavyweight and only
+        # needed when a fabric backend is actually requested.
+        from ..fabric.backends import backend_from_spec
+        from ..fabric.coordinator import run_grid_fabric
+
+        if self._cache is None:
+            raise ConfigurationError(
+                "fabric backends coordinate through the result cache; "
+                "construct the runner with cache_dir=... to use one"
+            )
+        backend = backend_from_spec(spec)
+        report = run_grid_fabric(
+            tasks,
+            backend,
+            self._cache,
+            checkpoint=self._checkpoint,
+            progress=progress,
+            keep_going=self._keep_going,
+        )
+        self._last_failures = self._last_failures + report.failures
+        return [self._to_cell(outcome) for outcome in report.completed]
 
     def _execute(
         self, tasks, n_workers: int, done: Sequence[ExperimentCell], progress=None
@@ -301,6 +430,7 @@ class ExperimentRunner:
             seed=outcome.seed,
             from_checkpoint=outcome.from_checkpoint,
             provenance=getattr(outcome, "provenance", "computed"),
+            policy_spec=getattr(outcome, "policy_spec", None),
         )
 
     @staticmethod

@@ -22,7 +22,7 @@ Table 5    high load, utilization-based initial, same as Table 4
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from ..analysis.comparison import StrategyComparison, compare_strategies
 from ..core.policies import (
@@ -32,6 +32,7 @@ from ..core.policies import (
     res_sus_wait_rand,
     res_sus_wait_util,
 )
+from ..policies import policy_from_spec
 from ..metrics.report import render_table
 from ..schedulers.initial import (
     InitialScheduler,
@@ -74,8 +75,19 @@ def _run(
     (``REPRO_WORKERS`` / ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE``), so
     the benchmark suite and CI parallelize and memoize without touching
     each call site.
+
+    ``policy_factories`` entries may be zero-arg factories or registry
+    spec strings (``"dfrs:share=0.5"``); strings resolve with the
+    scenario's ``wait_threshold`` as the default.
     """
-    policies = [factory() for factory in policy_factories]
+    policies = [
+        policy_from_spec(
+            entry, defaults={"wait_threshold": scenario.wait_threshold}
+        )
+        if isinstance(entry, str)
+        else entry()
+        for entry in policy_factories
+    ]
     return compare_strategies(
         scenario,
         policies,
@@ -95,11 +107,12 @@ def table1(
     cache_dir=None,
     use_cache: Optional[bool] = None,
     progress: Optional[Callable] = None,
+    policies: Optional[Sequence] = None,
 ) -> StrategyComparison:
     """Table 1: rescheduling of suspended jobs under normal load (RR initial)."""
     scenario = busy_week(scale or presets.table_scale(), seed or presets.seed())
     return _run(
-        scenario, _SUSPENDED_ONLY, RoundRobinScheduler, config,
+        scenario, policies or _SUSPENDED_ONLY, RoundRobinScheduler, config,
         workers, cache_dir, use_cache, progress,
     )
 
@@ -112,11 +125,12 @@ def table2(
     cache_dir=None,
     use_cache: Optional[bool] = None,
     progress: Optional[Callable] = None,
+    policies: Optional[Sequence] = None,
 ) -> StrategyComparison:
     """Table 2: the same strategies under high load (cores halved)."""
     scenario = high_load(scale or presets.table_scale(), seed or presets.seed())
     return _run(
-        scenario, _SUSPENDED_ONLY, RoundRobinScheduler, config,
+        scenario, policies or _SUSPENDED_ONLY, RoundRobinScheduler, config,
         workers, cache_dir, use_cache, progress,
     )
 
@@ -129,11 +143,12 @@ def table3(
     cache_dir=None,
     use_cache: Optional[bool] = None,
     progress: Optional[Callable] = None,
+    policies: Optional[Sequence] = None,
 ) -> StrategyComparison:
     """Table 3: high load with the utilization-based initial scheduler."""
     scenario = high_load(scale or presets.table_scale(), seed or presets.seed())
     return _run(
-        scenario, _SUSPENDED_ONLY, UtilizationBasedScheduler, config,
+        scenario, policies or _SUSPENDED_ONLY, UtilizationBasedScheduler, config,
         workers, cache_dir, use_cache, progress,
     )
 
@@ -146,11 +161,12 @@ def table4(
     cache_dir=None,
     use_cache: Optional[bool] = None,
     progress: Optional[Callable] = None,
+    policies: Optional[Sequence] = None,
 ) -> StrategyComparison:
     """Table 4: waiting-job + suspended-job rescheduling, RR initial, high load."""
     scenario = high_load(scale or presets.table_scale(), seed or presets.seed())
     return _run(
-        scenario, _WITH_WAITING, RoundRobinScheduler, config,
+        scenario, policies or _WITH_WAITING, RoundRobinScheduler, config,
         workers, cache_dir, use_cache, progress,
     )
 
@@ -163,11 +179,12 @@ def table5(
     cache_dir=None,
     use_cache: Optional[bool] = None,
     progress: Optional[Callable] = None,
+    policies: Optional[Sequence] = None,
 ) -> StrategyComparison:
     """Table 5: waiting-job + suspended-job rescheduling, util-based initial."""
     scenario = high_load(scale or presets.table_scale(), seed or presets.seed())
     return _run(
-        scenario, _WITH_WAITING, UtilizationBasedScheduler, config,
+        scenario, policies or _WITH_WAITING, UtilizationBasedScheduler, config,
         workers, cache_dir, use_cache, progress,
     )
 
@@ -180,6 +197,7 @@ def high_suspension_experiment(
     cache_dir=None,
     use_cache: Optional[bool] = None,
     progress: Optional[Callable] = None,
+    policies: Optional[Sequence] = None,
 ) -> StrategyComparison:
     """The in-text high-suspension experiment of Section 3.2.1.
 
@@ -189,7 +207,7 @@ def high_suspension_experiment(
     """
     scenario = high_suspension(scale or presets.table_scale(), seed or presets.seed())
     return _run(
-        scenario, (no_res, res_sus_util), RoundRobinScheduler, config,
+        scenario, policies or (no_res, res_sus_util), RoundRobinScheduler, config,
         workers, cache_dir, use_cache, progress,
     )
 

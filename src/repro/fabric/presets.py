@@ -18,23 +18,34 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..core.policies import (
-    no_res,
-    res_sus_rand,
-    res_sus_util,
-    res_sus_wait_rand,
-    res_sus_wait_util,
-)
 from ..errors import ConfigurationError
 from ..experiments import presets as exp_presets
-from ..experiments.fault_sweep import FAULT_POLICY_FAMILY
 from ..experiments.parallel import CellTask, make_cell_task
 from ..faults import FaultConfig
+from ..policies import policy_from_spec
 from ..schedulers.initial import RoundRobinScheduler
 from ..simulator.config import SimulationConfig
 from ..workload.scenarios import busy_week, high_load, smoke
 
 __all__ = ["GRID_PRESETS", "build_grid", "fault_sweep_grid", "smoke_grid", "table_grid"]
+
+#: Default policy families per preset, as registry spec strings.  Going
+#: through the registry keeps the instances bit-identical to direct
+#: construction (the builtins delegate to the same factories) while
+#: stamping each cell with its ``policy_spec`` for telemetry/provenance.
+_FAULT_POLICY_SPECS = ("NoRes", "ResSusUtil", "ResSusWaitUtil")
+_TABLE_POLICY_SPECS = (
+    "NoRes", "ResSusUtil", "ResSusRand", "ResSusWaitUtil", "ResSusWaitRand"
+)
+_SMOKE_POLICY_SPECS = ("NoRes", "ResSusUtil", "ResSusWaitUtil")
+
+
+def _build_policies(specs: Sequence[str], scenario) -> List[object]:
+    """Fresh policy instances for one scenario, from registry specs."""
+    return [
+        policy_from_spec(spec, defaults={"wait_threshold": scenario.wait_threshold})
+        for spec in specs
+    ]
 
 
 def fault_sweep_grid(
@@ -42,11 +53,13 @@ def fault_sweep_grid(
     seed: Optional[int] = None,
     mtbf_minutes: Optional[Sequence[float]] = None,
     mttr_minutes: Optional[float] = None,
+    policies: Optional[Sequence[str]] = None,
 ) -> List[CellTask]:
     """The (MTBF x policy) churn grid of ``repro faults``, as cells.
 
-    One scenario, the three-policy fault family, and one cell per rung
-    of the MTBF ladder.  The MTBF lives in the *config* (the fault
+    One scenario, the three-policy fault family (override with
+    ``policies``, a sequence of registry spec strings), and one cell per
+    rung of the MTBF ladder.  The MTBF lives in the *config* (the fault
     model), not the scenario/policy/scheduler triple, so each rung is
     distinguished through the cell-id ``variant`` — distinct seeds,
     distinct cache keys, distinct checkpoint entries.
@@ -58,13 +71,14 @@ def fault_sweep_grid(
     scenario = high_load(
         scale or exp_presets.table_scale(), seed or exp_presets.seed()
     )
+    specs = tuple(policies) if policies else _FAULT_POLICY_SPECS
     tasks: List[CellTask] = []
     for mtbf in mtbfs:
         config = SimulationConfig(
             strict=False,
             faults=FaultConfig.with_exponential_churn(mtbf, mttr),
         )
-        for policy in FAULT_POLICY_FAMILY():
+        for policy in _build_policies(specs, scenario):
             tasks.append(
                 make_cell_task(
                     index=len(tasks),
@@ -79,7 +93,9 @@ def fault_sweep_grid(
 
 
 def table_grid(
-    scale: Optional[float] = None, seed: Optional[int] = None
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    policies: Optional[Sequence[str]] = None,
 ) -> List[CellTask]:
     """The paper's five policies under normal load (the Table 1/4 axis)."""
     scenario = busy_week(
@@ -87,18 +103,12 @@ def table_grid(
     )
     config = SimulationConfig(strict=False)
     tasks: List[CellTask] = []
-    for factory in (
-        no_res,
-        res_sus_util,
-        res_sus_rand,
-        res_sus_wait_util,
-        res_sus_wait_rand,
-    ):
+    for policy in _build_policies(policies or _TABLE_POLICY_SPECS, scenario):
         tasks.append(
             make_cell_task(
                 index=len(tasks),
                 scenario=scenario,
-                policy=factory(),
+                policy=policy,
                 scheduler=RoundRobinScheduler(),
                 config=config,
             )
@@ -110,6 +120,7 @@ def smoke_grid(
     scale: Optional[float] = None,
     seed: Optional[int] = None,
     n_seeds: int = 4,
+    policies: Optional[Sequence[str]] = None,
 ) -> List[CellTask]:
     """Many cheap cells: the smoke scenario across seeds x 3 policies.
 
@@ -120,15 +131,16 @@ def smoke_grid(
     """
     base_seed = seed or exp_presets.seed()
     config = SimulationConfig(strict=False)
+    specs = tuple(policies) if policies else _SMOKE_POLICY_SPECS
     tasks: List[CellTask] = []
     for i in range(n_seeds):
         scenario = smoke(seed=base_seed + i)
-        for factory in (no_res, res_sus_util, res_sus_wait_util):
+        for policy in _build_policies(specs, scenario):
             tasks.append(
                 make_cell_task(
                     index=len(tasks),
                     scenario=scenario,
-                    policy=factory(),
+                    policy=policy,
                     scheduler=RoundRobinScheduler(),
                     config=config,
                 )
@@ -145,9 +157,16 @@ GRID_PRESETS: Dict[str, Callable[..., List[CellTask]]] = {
 
 
 def build_grid(
-    preset: str, scale: Optional[float] = None, seed: Optional[int] = None
+    preset: str,
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    policies: Optional[Sequence[str]] = None,
 ) -> List[CellTask]:
-    """Build a named grid, raising on unknown names."""
+    """Build a named grid, raising on unknown names.
+
+    ``policies`` (registry spec strings, e.g. ``["NoRes",
+    "dfrs:share=0.5"]``) replaces the preset's default policy family.
+    """
     try:
         builder = GRID_PRESETS[preset]
     except KeyError:
@@ -155,4 +174,4 @@ def build_grid(
             f"unknown grid preset {preset!r} "
             f"(available: {', '.join(sorted(GRID_PRESETS))})"
         ) from None
-    return builder(scale=scale, seed=seed)
+    return builder(scale=scale, seed=seed, policies=policies)

@@ -1,0 +1,57 @@
+"""The policy plugin registry: address rescheduling policies by spec string.
+
+Quick tour::
+
+    from repro.policies import policy_from_spec, available_policies
+
+    policy = policy_from_spec("ResSusWaitUtil:wait_threshold=45")
+    policy = policy_from_spec("dfrs:share=0.5,floor=0.1")
+    policy = policy_from_spec(
+        "res_sus:selector=weighted(queue_weight=2)",
+    )
+    for entry in available_policies():
+        print(entry.name, "-", entry.description)
+
+Spec strings are plain, picklable, hashable addresses — the parallel
+runner, fabric workers, cache keys, CLI flags and provenance records
+all carry them instead of live objects.  Third-party packages add
+policies through the ``repro.policies`` entry-point group (see
+``docs/policies.md``).
+"""
+
+from .fractional import FractionalSharePolicy
+from .migration_cost import MigrationCostPolicy
+from .registry import (
+    ENTRY_POINT_GROUP,
+    PolicyRegistration,
+    available_policies,
+    available_selectors,
+    load_plugins,
+    policy_from_spec,
+    register_policy,
+    register_selector,
+    selector_from_spec,
+)
+from .spec import PolicySpec, canonical_spec, format_spec, parse_spec
+
+from . import builtin  # noqa: E402  (import registers the built-in entries)
+
+__all__ = [
+    "ENTRY_POINT_GROUP",
+    "PolicyRegistration",
+    "PolicySpec",
+    "FractionalSharePolicy",
+    "MigrationCostPolicy",
+    "available_policies",
+    "available_selectors",
+    "canonical_spec",
+    "format_spec",
+    "load_plugins",
+    "parse_spec",
+    "policy_from_spec",
+    "register_policy",
+    "register_selector",
+    "selector_from_spec",
+]
+
+del builtin

@@ -1,0 +1,198 @@
+"""Built-in registry entries: the paper's strategies and the extensions.
+
+Importing this module (which ``repro.policies`` does eagerly) registers
+everything below, so the registry works under a plain ``PYTHONPATH``
+checkout where entry-point metadata is not installed.  The
+``register_builtins`` entry point in ``pyproject.toml`` resolves here
+too, making an installed copy behave identically.
+
+Identity guarantee: the five paper names delegate to the *same*
+factories in :mod:`repro.core.policies` that direct callers use, so a
+registry-routed ``ResSusUtil`` has the same class, name, selector and
+wait threshold — hence the same derived cell seed and cache key — as
+``res_sus_util()``.  The golden-matrix tests pin this down.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import policies as core_policies
+from ..core.policies import (
+    DuplicateSuspended,
+    MigrateSuspended,
+    RescheduleSuspended,
+    RescheduleSuspendedAndWaiting,
+    RescheduleWaitingOnly,
+)
+from ..core.selectors import (
+    LowestUtilizationSelector,
+    PoolSelector,
+    PredictedWaitSelector,
+    RandomSelector,
+    ShortestQueueSelector,
+    WeightedSelector,
+)
+from ..sites.selectors import LocalFirstSelector, TransferAwareSelector
+from .fractional import FractionalSharePolicy
+from .migration_cost import MigrationCostPolicy
+from .registry import register_policy, register_selector
+
+__all__ = ["register_builtins"]
+
+
+def register_builtins() -> None:
+    """Entry-point hook; registration happens at import, so this is a no-op."""
+
+
+# -- selectors ---------------------------------------------------------------
+
+register_selector("util", description="Lowest-utilization pool (guarded by default)")(
+    LowestUtilizationSelector
+)
+register_selector("random", description="Uniformly random alternate pool")(
+    RandomSelector
+)
+register_selector("shortest_queue", description="Shortest wait-queue pool")(
+    ShortestQueueSelector
+)
+register_selector(
+    "weighted", description="Weighted blend of utilization, queue depth and suspensions"
+)(WeightedSelector)
+register_selector(
+    "predicted_wait", description="Lowest predicted queue-wait (backlog model)"
+)(PredictedWaitSelector)
+
+
+@register_selector(
+    "local_first",
+    description="Prefer same-site pools, falling back to remote sites",
+    context=("topology",),
+)
+def _local_first(
+    topology, inner: Optional[PoolSelector] = None, allow_remote: bool = True
+) -> LocalFirstSelector:
+    return LocalFirstSelector(
+        topology, inner=inner or LowestUtilizationSelector(), allow_remote=allow_remote
+    )
+
+
+@register_selector(
+    "transfer_aware",
+    description="Queue-wait gain must beat the inter-site transfer cost",
+    context=("topology",),
+)
+def _transfer_aware(
+    topology, mean_runtime: float = 120.0, min_gain_minutes: float = 5.0
+) -> TransferAwareSelector:
+    return TransferAwareSelector(
+        topology, mean_runtime=mean_runtime, min_gain_minutes=min_gain_minutes
+    )
+
+
+# -- the paper's five strategies (exact factory parity with core) ------------
+
+register_policy("NoRes", description="Paper baseline: never reschedule")(
+    core_policies.no_res
+)
+register_policy(
+    "ResSusUtil", description="Restart suspended jobs at the least-utilized pool"
+)(core_policies.res_sus_util)
+register_policy("ResSusRand", description="Restart suspended jobs at a random pool")(
+    core_policies.res_sus_rand
+)
+register_policy(
+    "ResSusWaitUtil",
+    description="Also restart jobs waiting past the threshold (utilization)",
+)(core_policies.res_sus_wait_util)
+register_policy(
+    "ResSusWaitRand",
+    description="Also restart jobs waiting past the threshold (random)",
+)(core_policies.res_sus_wait_rand)
+
+
+# -- composable generic families ---------------------------------------------
+
+
+@register_policy(
+    "res_sus", description="Restart suspended jobs via a selector sub-spec"
+)
+def _res_sus(
+    selector: Optional[PoolSelector] = None, name: Optional[str] = None
+) -> RescheduleSuspended:
+    return RescheduleSuspended(selector or LowestUtilizationSelector(), name=name)
+
+
+@register_policy(
+    "res_sus_wait", description="Restart suspended and long-waiting jobs via a selector"
+)
+def _res_sus_wait(
+    selector: Optional[PoolSelector] = None,
+    wait_threshold: float = core_policies.DEFAULT_WAIT_THRESHOLD,
+    name: Optional[str] = None,
+) -> RescheduleSuspendedAndWaiting:
+    return RescheduleSuspendedAndWaiting(
+        selector or LowestUtilizationSelector(), wait_threshold, name=name
+    )
+
+
+@register_policy(
+    "res_wait_only", description="Ablation: move only long-waiting jobs"
+)
+def _res_wait_only(
+    selector: Optional[PoolSelector] = None,
+    wait_threshold: float = core_policies.DEFAULT_WAIT_THRESHOLD,
+) -> RescheduleWaitingOnly:
+    return RescheduleWaitingOnly(
+        selector or LowestUtilizationSelector(), wait_threshold
+    )
+
+
+@register_policy(
+    "mig_sus", description="Checkpoint-migrate suspended jobs (keeps progress)"
+)
+def _mig_sus(
+    selector: Optional[PoolSelector] = None, name: Optional[str] = None
+) -> MigrateSuspended:
+    return MigrateSuspended(selector or LowestUtilizationSelector(), name=name)
+
+
+@register_policy(
+    "dup_sus", description="Duplicate suspended jobs; first finisher wins"
+)
+def _dup_sus(
+    selector: Optional[PoolSelector] = None, name: Optional[str] = None
+) -> DuplicateSuspended:
+    return DuplicateSuspended(selector or LowestUtilizationSelector(), name=name)
+
+
+@register_policy(
+    "transfer_aware",
+    description="Restart suspended jobs only when the queue-wait gain beats transfer cost",
+    context=("topology",),
+)
+def _transfer_aware_policy(
+    topology,
+    mean_runtime: float = 120.0,
+    min_gain_minutes: float = 5.0,
+    name: Optional[str] = None,
+) -> RescheduleSuspended:
+    return RescheduleSuspended(
+        TransferAwareSelector(
+            topology, mean_runtime=mean_runtime, min_gain_minutes=min_gain_minutes
+        ),
+        name=name
+        or f"TransferAware[gain={min_gain_minutes:g},runtime={mean_runtime:g}]",
+    )
+
+
+# -- the new families ---------------------------------------------------------
+
+register_policy(
+    "dfrs",
+    description="Fractional-share suspension: victims keep running at a fraction",
+)(FractionalSharePolicy)
+register_policy(
+    "migration_cost",
+    description="Migrate suspended jobs only when priced benefit is positive",
+)(MigrationCostPolicy)

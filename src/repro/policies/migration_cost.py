@@ -1,0 +1,106 @@
+"""Cost/benefit-gated migration (after Calzolari et al., arXiv:1204.6631).
+
+Where :class:`~repro.core.policies.MigrateSuspended` migrates whenever
+its selector finds *any* alternate pool, this policy prices each
+candidate move and only migrates when the expected gain is positive:
+
+    benefit(target) = predicted_wait(here)
+                      - predicted_wait(target)
+                      - transfer_minutes
+                      - resuspend_penalty * utilization(target)
+
+``predicted_wait`` uses the same backlog model as
+:class:`~repro.core.selectors.PredictedWaitSelector`: net backlog
+(waiting + suspended - free cores) times the mean job runtime, spread
+over the pool's cores.  The resuspension term charges busier targets
+for the chance the migrated job is preempted again on arrival.  The
+actual migration delay and dilation paid in-simulation still come
+from :class:`~repro.simulator.config.SimulationConfig`; this policy's
+parameters shape the *decision*, not the mechanics.
+
+Ties between equally-beneficial targets break on lexicographic pool
+id, keeping runs deterministic without consuming RNG draws.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.context import PoolSnapshot
+from ..core.decisions import STAY, Decision, migrate
+from ..core.policy import ReschedulingPolicy
+from ..errors import ConfigurationError
+
+__all__ = ["MigrationCostPolicy"]
+
+
+class MigrationCostPolicy(ReschedulingPolicy):
+    """Migrate a suspended job only when the priced benefit is positive.
+
+    Args:
+        mean_runtime: expected job runtime (minutes) used to convert
+            backlog depth into predicted queue-wait minutes.
+        transfer_minutes: modelled cost of shipping the checkpoint.
+        resuspend_penalty: minutes charged per unit of target
+            utilization — the expected cost of being preempted again.
+        min_benefit: migrate only when the best candidate's benefit
+            strictly exceeds this (minutes).
+        name: report name; defaults to a parameter-bearing form so
+            differently-tuned instances stay distinguishable.
+    """
+
+    def __init__(
+        self,
+        mean_runtime: float = 120.0,
+        transfer_minutes: float = 10.0,
+        resuspend_penalty: float = 30.0,
+        min_benefit: float = 0.0,
+        name: Optional[str] = None,
+    ) -> None:
+        if mean_runtime <= 0:
+            raise ConfigurationError(f"mean_runtime must be > 0, got {mean_runtime}")
+        if transfer_minutes < 0:
+            raise ConfigurationError(
+                f"transfer_minutes must be >= 0, got {transfer_minutes}"
+            )
+        if resuspend_penalty < 0:
+            raise ConfigurationError(
+                f"resuspend_penalty must be >= 0, got {resuspend_penalty}"
+            )
+        self.mean_runtime = mean_runtime
+        self.transfer_minutes = transfer_minutes
+        self.resuspend_penalty = resuspend_penalty
+        self.min_benefit = min_benefit
+        self.name = name or (
+            f"MigCost[runtime={mean_runtime:g},transfer={transfer_minutes:g},"
+            f"resuspend={resuspend_penalty:g},min={min_benefit:g}]"
+        )
+
+    def _predicted_wait(self, snapshot: PoolSnapshot) -> float:
+        net_backlog = (
+            snapshot.waiting_jobs + snapshot.suspended_jobs - snapshot.free_cores
+        )
+        if net_backlog <= 0:
+            return 0.0
+        return net_backlog * self.mean_runtime / max(snapshot.total_cores, 1)
+
+    def on_suspend(self, job, view) -> Decision:
+        staying = self._predicted_wait(view.pool(job.pool_id))
+        best_pool: Optional[str] = None
+        best_benefit = self.min_benefit
+        for pool_id in view.candidate_pools(job):
+            if pool_id == job.pool_id:
+                continue
+            snapshot = view.pool(pool_id)
+            cost = self.transfer_minutes + self.resuspend_penalty * snapshot.utilization
+            benefit = staying - self._predicted_wait(snapshot) - cost
+            if benefit > best_benefit or (
+                benefit == best_benefit
+                and best_pool is not None
+                and pool_id < best_pool
+            ):
+                best_pool = pool_id
+                best_benefit = benefit
+        if best_pool is None:
+            return STAY
+        return migrate(best_pool)

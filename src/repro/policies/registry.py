@@ -1,0 +1,280 @@
+"""String-keyed registries for rescheduling policies and pool selectors.
+
+The registry is the one place that maps stable names to the factories
+that build live policy objects.  Everything that has to address a
+policy across a process boundary — the parallel runner, fabric
+workers, the content-addressed cache, CLI flags, provenance records —
+carries a spec *string* (see :mod:`repro.policies.spec`) and calls
+:func:`policy_from_spec` at the point of use.
+
+Third-party packages plug in without touching this repo: expose a
+zero-argument callable under the ``repro.policies`` entry-point group
+that calls :func:`register_policy` / :func:`register_selector`.  The
+registries load entry points lazily, on the first lookup that misses,
+so pure-builtin runs never pay the metadata scan.
+
+Factories may need live objects a string cannot carry (today: the
+site :class:`~repro.sites.topology.Topology`).  They declare those as
+``context`` keys at registration time; callers supply them via
+``policy_from_spec(spec, context={"topology": topo})``.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from ..errors import ConfigurationError, UnknownPolicyError
+from .spec import PolicySpec, format_spec, parse_spec
+
+__all__ = [
+    "ENTRY_POINT_GROUP",
+    "PolicyRegistration",
+    "register_policy",
+    "register_selector",
+    "policy_from_spec",
+    "selector_from_spec",
+    "available_policies",
+    "available_selectors",
+    "load_plugins",
+]
+
+#: The ``importlib.metadata`` entry-point group third-party packages use.
+ENTRY_POINT_GROUP = "repro.policies"
+
+
+@dataclass(frozen=True)
+class PolicyRegistration:
+    """One registered factory: its name, builder and declared needs."""
+
+    name: str
+    factory: Callable[..., object]
+    description: str = ""
+    context: Tuple[str, ...] = field(default=())
+
+
+class _Registry:
+    """A name -> :class:`PolicyRegistration` map with lazy plugin loading."""
+
+    def __init__(self, kind: str) -> None:
+        self._kind = kind
+        self._entries: Dict[str, PolicyRegistration] = {}
+
+    def register(
+        self,
+        name: str,
+        factory: Callable[..., object],
+        *,
+        description: str = "",
+        context: Tuple[str, ...] = (),
+        replace: bool = False,
+    ) -> Callable[..., object]:
+        if not name:
+            raise ConfigurationError(f"{self._kind} registration needs a name")
+        if name in self._entries and not replace:
+            raise ConfigurationError(
+                f"{self._kind} {name!r} is already registered; pass replace=True to override"
+            )
+        self._entries[name] = PolicyRegistration(
+            name=name,
+            factory=factory,
+            description=description or (inspect.getdoc(factory) or "").partition("\n")[0],
+            context=tuple(context),
+        )
+        return factory
+
+    def get(self, name: str) -> PolicyRegistration:
+        entry = self._entries.get(name)
+        if entry is None:
+            load_plugins()
+            entry = self._entries.get(name)
+        if entry is None:
+            raise UnknownPolicyError(name, known=self.names())
+        return entry
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def entries(self) -> Tuple[PolicyRegistration, ...]:
+        return tuple(self._entries[name] for name in self.names())
+
+
+_POLICIES = _Registry("policy")
+_SELECTORS = _Registry("selector")
+_plugins_loaded = False
+
+
+def register_policy(
+    name: str,
+    *,
+    description: str = "",
+    context: Tuple[str, ...] = (),
+    replace: bool = False,
+) -> Callable[[Callable[..., object]], Callable[..., object]]:
+    """Decorator: register a policy factory under ``name``.
+
+    The factory is called with the spec's keyword parameters (plus any
+    declared ``context`` objects) and must return a
+    :class:`~repro.core.policy.ReschedulingPolicy`.
+    """
+
+    def decorate(factory: Callable[..., object]) -> Callable[..., object]:
+        return _POLICIES.register(
+            name, factory, description=description, context=context, replace=replace
+        )
+
+    return decorate
+
+
+def register_selector(
+    name: str,
+    *,
+    description: str = "",
+    context: Tuple[str, ...] = (),
+    replace: bool = False,
+) -> Callable[[Callable[..., object]], Callable[..., object]]:
+    """Decorator: register a pool-selector factory under ``name``."""
+
+    def decorate(factory: Callable[..., object]) -> Callable[..., object]:
+        return _SELECTORS.register(
+            name, factory, description=description, context=context, replace=replace
+        )
+
+    return decorate
+
+
+def load_plugins() -> Tuple[str, ...]:
+    """Load ``repro.policies`` entry points (idempotent).
+
+    Each entry point must resolve to a zero-argument callable that
+    performs its registrations; an entry point whose import already
+    registered everything may resolve to any non-callable.  Returns the
+    names of the entry points that loaded cleanly; a broken plugin is
+    skipped (an unrelated package's bad metadata must not take down
+    builtin policies).
+    """
+    global _plugins_loaded
+    if _plugins_loaded:
+        return ()
+    _plugins_loaded = True
+    try:
+        from importlib.metadata import entry_points
+    except ImportError:  # pragma: no cover - importlib.metadata ships with 3.8+
+        return ()
+    try:
+        candidates = entry_points(group=ENTRY_POINT_GROUP)
+    except TypeError:  # pragma: no cover - pre-3.10 selectable API
+        candidates = entry_points().get(ENTRY_POINT_GROUP, [])
+    loaded = []
+    for entry in candidates:
+        try:
+            hook = entry.load()
+            if callable(hook):
+                hook()
+        except Exception:
+            continue
+        loaded.append(entry.name)
+    return tuple(loaded)
+
+
+def _build_kwargs(
+    spec: PolicySpec,
+    entry: PolicyRegistration,
+    context: Optional[Dict[str, object]],
+    defaults: Optional[Dict[str, object]],
+) -> Dict[str, object]:
+    kwargs: Dict[str, object] = {}
+    for key, value in spec.params:
+        if isinstance(value, PolicySpec):
+            kwargs[key] = selector_from_spec(value, context=context)
+        else:
+            kwargs[key] = value
+    if defaults:
+        parameters = inspect.signature(entry.factory).parameters
+        takes_kwargs = any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+        )
+        for key, value in defaults.items():
+            if key not in kwargs and (takes_kwargs or key in parameters):
+                kwargs[key] = value
+    for key in entry.context:
+        if context is None or key not in context:
+            raise ConfigurationError(
+                f"{spec.name!r} needs context[{key!r}] "
+                f"(pass context={{{key!r}: ...}} when building from a spec)"
+            )
+        kwargs[key] = context[key]
+    return kwargs
+
+
+def _instantiate(
+    registry: _Registry,
+    spec: Union[str, PolicySpec],
+    context: Optional[Dict[str, object]],
+    defaults: Optional[Dict[str, object]],
+) -> object:
+    parsed = parse_spec(spec)
+    entry = registry.get(parsed.name)
+    kwargs = _build_kwargs(parsed, entry, context, defaults)
+    try:
+        return entry.factory(**kwargs)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad parameters for {registry._kind} spec {format_spec(parsed)!r}: {exc}"
+        ) from None
+
+
+def policy_from_spec(
+    spec: Union[str, PolicySpec],
+    *,
+    context: Optional[Dict[str, object]] = None,
+    defaults: Optional[Dict[str, object]] = None,
+) -> object:
+    """Build a policy from a spec string (or parsed :class:`PolicySpec`).
+
+    Args:
+        spec: e.g. ``"ResSusUtil"`` or ``"dfrs:share=0.5,floor=0.1"``.
+            Nested ``selector=name(...)`` parameters are resolved
+            through the selector registry.
+        context: live objects for factories that declared context keys
+            (e.g. ``{"topology": topo}`` for site-aware policies).
+        defaults: fallback parameters applied only when the spec does
+            not set them *and* the factory accepts them — how the CLI
+            threads ``--wait-threshold`` through without breaking
+            policies that take no such parameter.
+
+    The built policy gets a ``spec`` attribute holding the canonical
+    spec string, so telemetry and provenance can echo how it was
+    addressed.  Specs never enter cache fingerprints or cell seeds —
+    those still key on the policy's class/name/parameters, which is
+    what keeps registry-routed baselines bit-identical to direct
+    construction.
+    """
+    policy = _instantiate(_POLICIES, spec, context, defaults)
+    try:
+        policy.spec = format_spec(parse_spec(spec))
+    except AttributeError:  # pragma: no cover - slotted third-party policy
+        pass
+    return policy
+
+
+def selector_from_spec(
+    spec: Union[str, PolicySpec],
+    *,
+    context: Optional[Dict[str, object]] = None,
+) -> object:
+    """Build a pool selector from a spec string (or parsed spec)."""
+    return _instantiate(_SELECTORS, spec, context, None)
+
+
+def available_policies() -> Tuple[PolicyRegistration, ...]:
+    """All registered policies (builtins plus loaded plugins), sorted."""
+    load_plugins()
+    return _POLICIES.entries()
+
+
+def available_selectors() -> Tuple[PolicyRegistration, ...]:
+    """All registered selectors (builtins plus loaded plugins), sorted."""
+    load_plugins()
+    return _SELECTORS.entries()

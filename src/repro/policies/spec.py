@@ -1,0 +1,172 @@
+"""The spec-string grammar: stable, picklable addresses for policies.
+
+Every policy and selector the registry knows is reachable through a
+plain string, so the parallel runner, fabric workers, cache keys, CLI
+flags and provenance records can all name a policy without shipping a
+live object::
+
+    NoRes
+    ResSusWaitUtil:wait_threshold=45
+    dfrs:share=0.5,floor=0.1
+    res_sus:selector=weighted(queue_weight=2,utilization_weight=1)
+
+Grammar (whitespace around tokens is ignored)::
+
+    spec   := name [":" params]
+    params := param ("," param)*          # commas inside (...) don't split
+    param  := key "=" value
+    value  := int | float | bool | none | bare-word | name "(" [params] ")"
+
+Nested ``name(...)`` values are sub-specs — the way a policy spec names
+its pool selector.  :func:`format_spec` renders the canonical form
+(parameters sorted by key), so two spellings of the same spec compare
+equal after a parse/format round trip.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+from ..errors import ConfigurationError
+
+__all__ = ["PolicySpec", "parse_spec", "format_spec", "canonical_spec"]
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\-]*$")
+
+#: Scalar parameter values a spec string can carry.
+Scalar = Union[int, float, bool, None, str]
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A parsed spec: a registry name plus sorted ``(key, value)`` params.
+
+    Parameters are stored as a sorted tuple of pairs (not a dict) so
+    specs are hashable, picklable and canonically ordered; values are
+    scalars or nested :class:`PolicySpec` instances.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def as_dict(self) -> Dict[str, object]:
+        """The parameters as a plain dict."""
+        return dict(self.params)
+
+    def __str__(self) -> str:
+        return format_spec(self)
+
+
+def _parse_value(text: str) -> object:
+    text = text.strip()
+    if not text:
+        raise ConfigurationError("empty value in policy spec")
+    if "(" in text:
+        if not text.endswith(")"):
+            raise ConfigurationError(f"unbalanced parentheses in spec value {text!r}")
+        name, _, inner = text[:-1].partition("(")
+        return _parse_named(name.strip(), inner)
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if not _NAME_RE.match(text):
+        raise ConfigurationError(f"bad value {text!r} in policy spec")
+    return text
+
+
+def _split_params(text: str) -> list:
+    """Split on commas that are not inside parentheses."""
+    parts = []
+    depth = 0
+    start = 0
+    for i, ch in enumerate(text):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise ConfigurationError(f"unbalanced parentheses in spec {text!r}")
+        elif ch == "," and depth == 0:
+            parts.append(text[start:i])
+            start = i + 1
+    if depth != 0:
+        raise ConfigurationError(f"unbalanced parentheses in spec {text!r}")
+    parts.append(text[start:])
+    return parts
+
+
+def _parse_named(name: str, params_text: str) -> PolicySpec:
+    name = name.strip()
+    if not _NAME_RE.match(name):
+        raise ConfigurationError(f"bad name {name!r} in policy spec")
+    params_text = params_text.strip()
+    if not params_text:
+        return PolicySpec(name)
+    params = {}
+    for part in _split_params(params_text):
+        key, eq, value = part.partition("=")
+        key = key.strip()
+        if not eq:
+            raise ConfigurationError(
+                f"policy spec parameter {part.strip()!r} is not key=value"
+            )
+        if not _NAME_RE.match(key):
+            raise ConfigurationError(f"bad parameter name {key!r} in policy spec")
+        if key in params:
+            raise ConfigurationError(f"duplicate parameter {key!r} in policy spec")
+        params[key] = _parse_value(value)
+    return PolicySpec(name, tuple(sorted(params.items())))
+
+
+def parse_spec(text: str) -> PolicySpec:
+    """Parse one spec string into a :class:`PolicySpec`.
+
+    Raises:
+        ConfigurationError: on any grammar violation.
+    """
+    if isinstance(text, PolicySpec):
+        return text
+    if not isinstance(text, str) or not text.strip():
+        raise ConfigurationError(f"policy spec must be a non-empty string, got {text!r}")
+    name, colon, params_text = text.strip().partition(":")
+    return _parse_named(name, params_text if colon else "")
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, PolicySpec):
+        body = ",".join(f"{k}={_format_value(v)}" for k, v in value.params)
+        return f"{value.name}({body})"
+    if value is None:
+        return "none"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def format_spec(spec: PolicySpec) -> str:
+    """Render the canonical string form (parameters sorted by key)."""
+    if not spec.params:
+        return spec.name
+    body = ",".join(f"{k}={_format_value(v)}" for k, v in spec.params)
+    return f"{spec.name}:{body}"
+
+
+def canonical_spec(text: Union[str, PolicySpec]) -> str:
+    """Parse-then-format: the canonical spelling of any valid spec."""
+    return format_spec(parse_spec(text))

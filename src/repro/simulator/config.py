@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -63,13 +62,11 @@ class SimulationConfig:
             the disabled :data:`~repro.telemetry.NO_INSTRUMENTATION`.
             Telemetry is strictly read-only: enabling it never changes
             a :class:`~repro.simulator.results.SimulationResult`.
-        observer: deprecated single-observer field, kept so existing
-            ``SimulationConfig(observer=...)`` call sites continue to
-            work.  A non-``None`` value raises a
-            :class:`DeprecationWarning` and is folded into
-            ``instrumentation.observers``; use
-            ``instrumentation=Instrumentation(observers=(obs,))``
-            instead.
+        observer: removed single-observer field.  It went through a
+            deprecation cycle (warn-and-fold); a non-``None`` value now
+            raises :class:`~repro.errors.ConfigurationError` with the
+            migration hint.  Use
+            ``instrumentation=Instrumentation(observers=(obs,))``.
     """
 
     sample_interval: float = 1.0
@@ -97,20 +94,11 @@ class SimulationConfig:
                 f"faults must be a FaultConfig instance, got {type(self.faults).__name__}"
             )
         if self.observer is not None:
-            warnings.warn(
-                "SimulationConfig(observer=...) is deprecated; pass "
-                "instrumentation=Instrumentation(observers=(obs,)) instead",
-                DeprecationWarning,
-                stacklevel=3,
+            raise ConfigurationError(
+                "SimulationConfig(observer=...) was removed after its "
+                "deprecation cycle; pass "
+                "instrumentation=Instrumentation(observers=(obs,)) instead"
             )
-            # dataclasses.replace() re-runs __post_init__ on the already
-            # folded config, so only fold an observer we have not seen.
-            if self.observer not in self.instrumentation.observers:
-                object.__setattr__(
-                    self,
-                    "instrumentation",
-                    self.instrumentation.with_observer(self.observer),
-                )
         if self.sample_interval <= 0:
             raise ConfigurationError(
                 f"sample_interval must be > 0, got {self.sample_interval}"

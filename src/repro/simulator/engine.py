@@ -565,11 +565,21 @@ class SimulationEngine:
 
     def _on_finish(self, payload: Tuple[Job, int], now: float) -> None:
         job, epoch = payload
-        if job.epoch != epoch or job.state is not JobState.RUNNING:
+        if job.epoch != epoch:
             return  # stale completion from before a suspension/restart
-        pool = self.pools[job.pool_id]
-        finish_pool = job.pool_id
-        machine = pool.finish_job(job, now)
+        pool_id = job.pool_id
+        if job.state is JobState.RUNNING:
+            pool = self.pools[pool_id]
+            finish_pool = pool_id
+            machine = pool.finish_job(job, now)
+        elif job.state is JobState.SUSPENDED and job.fractional_share:
+            # A fractional-share grant let the suspended job run out its
+            # remaining work in place (see _grant_fraction).
+            pool = self.pools[pool_id]
+            finish_pool = pool_id
+            machine = pool.finish_suspended(job, now)
+        else:
+            return  # stale completion from before a suspension/restart
         if self._emit_enabled:
             self._emit(now, "finish", job, pool_id=finish_pool)
         partner = self._dup_partner.pop(job.job_id, None)
@@ -588,6 +598,10 @@ class SimulationEngine:
         if job.state is not JobState.WAITING or job.wait_episode != episode:
             return  # the job started or moved since this check was scheduled
         decision = self.policy.on_wait_timeout(job, self.view)
+        if self._telemetry is not None:
+            self._telemetry.count_policy_decision(
+                self.policy.name, decision.action.value
+            )
         target = self._validated_target(job, decision)
         if target is None:
             # Keep checking: the paper's per-job timer re-arms while the
@@ -871,6 +885,15 @@ class SimulationEngine:
             if victim.state is not JobState.SUSPENDED:
                 continue
             decision = self.policy.on_suspend(victim, self.view)
+            if self._telemetry is not None:
+                self._telemetry.count_policy_decision(
+                    self.policy.name, decision.action.value
+                )
+            if decision.action is Action.FRACTION:
+                # FRACTION never moves the job, so it is handled before
+                # target validation (which would degrade it to STAY).
+                self._grant_fraction(victim, decision.share, now)
+                continue
             target = self._validated_target(victim, decision)
             if target is None:
                 continue
@@ -919,6 +942,31 @@ class SimulationEngine:
                     )
                 new_victims = self._move_to_pool(shadow, target, now)
             pending.extend(new_victims)
+
+    def _grant_fraction(self, job: Job, share: float, now: float) -> None:
+        """Let a suspended job keep running at ``share`` of its host's speed.
+
+        The job stays SUSPENDED and resident (its preemptor holds the
+        cores); it merely keeps accruing progress at
+        ``share * speed_factor`` (see :meth:`Job._accrue_fractional`).
+        The fractional completion is scheduled against the job's
+        current epoch: a resume, restart or fault bumps the epoch and
+        invalidates it, and the follow-up segment reschedules from the
+        fractionally advanced progress.  Fault segment failures are not
+        rolled for fractional segments — the attempt's fault exposure
+        stays tied to its running segments, and a machine crash still
+        kills the resident job through the eviction path.
+        """
+        job.fractional_share = share
+        if self._emit_enabled:
+            self._emit(
+                now, "fraction", job, pool_id=job.pool_id,
+                detail=f"share={share:g}",
+            )
+        speed = share * job.machine.spec.speed_factor
+        self._events.push(
+            now + job.remaining_minutes() / speed, EVENT_FINISH, (job, job.epoch)
+        )
 
     def _move_to_pool(
         self, job: Job, target: str, now: float, overhead=None, origin=None

@@ -81,6 +81,7 @@ class Job:
         "epoch",
         "wait_episode",
         "progress",
+        "fractional_share",
         "total_wait",
         "total_suspend",
         "wasted_restart",
@@ -106,6 +107,7 @@ class Job:
         self.epoch = 0
         self.wait_episode = 0
         self.progress = 0.0
+        self.fractional_share = 0.0
         self.total_wait = 0.0
         self.total_suspend = 0.0
         self.wasted_restart = 0.0
@@ -207,9 +209,25 @@ class Job:
         self.suspension_count += 1
         self.segment_start = now
 
+    def _accrue_fractional(self, now: float) -> None:
+        """Fold a fractional-share suspended segment into progress.
+
+        No-op unless a fractional policy granted the suspended job a
+        CPU share (see :data:`~repro.core.decisions.Action.FRACTION`),
+        so the binary suspend/resume path is arithmetically untouched.
+        """
+        if self.fractional_share:
+            self.progress += (
+                (now - self.segment_start)
+                * self.fractional_share
+                * self.machine.spec.speed_factor
+            )
+            self.fractional_share = 0.0
+
     def resume(self, now: float) -> None:
         """Resume execution on the machine the job is resident on."""
         self._require("resume", JobState.SUSPENDED)
+        self._accrue_fractional(now)
         self.total_suspend += now - self.segment_start
         self.state = JobState.RUNNING
         self.epoch += 1
@@ -225,6 +243,7 @@ class Job:
         if self.state is JobState.RUNNING:
             self.accrue_progress(now)
         else:
+            self._accrue_fractional(now)
             self.total_suspend += now - self.segment_start
         self.wasted_restart += self.progress
         self.progress = 0.0
@@ -244,6 +263,7 @@ class Job:
         (migration overheads are applied separately by the engine).
         """
         self._require("checkpoint_detach", JobState.SUSPENDED)
+        self._accrue_fractional(now)
         self.total_suspend += now - self.segment_start
         self.state = JobState.PENDING
         self.machine = None
@@ -283,6 +303,7 @@ class Job:
         if self.state is JobState.RUNNING:
             self.accrue_progress(now)
         elif self.state is JobState.SUSPENDED:
+            self._accrue_fractional(now)
             self.total_suspend += now - self.segment_start
         else:
             self.total_wait += now - self.segment_start
@@ -310,8 +331,17 @@ class Job:
         self.segment_start = now
 
     def finish(self, now: float) -> None:
-        """Complete successfully."""
-        self._require("finish", JobState.RUNNING)
+        """Complete successfully.
+
+        Normally only RUNNING jobs finish; a SUSPENDED job may finish
+        too when a fractional share let it run out its remaining work
+        in place — that caps the suspension episode at the finish time.
+        """
+        if self.state is JobState.SUSPENDED and self.fractional_share:
+            self.fractional_share = 0.0
+            self.total_suspend += now - self.segment_start
+        else:
+            self._require("finish", JobState.RUNNING)
         self.progress = self.spec.runtime_minutes
         self.state = JobState.FINISHED
         self.finish_minute = now
@@ -335,6 +365,7 @@ class Job:
         if self.state is JobState.RUNNING:
             self.accrue_progress(now)
         elif self.state is JobState.SUSPENDED:
+            self._accrue_fractional(now)
             self.total_suspend += now - self.segment_start
         elif self.state is JobState.WAITING:
             self.total_wait += now - self.segment_start

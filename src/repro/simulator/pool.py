@@ -339,6 +339,28 @@ class PhysicalPool:
         job.finish(now)
         return machine
 
+    def finish_suspended(self, job: Job, now: float) -> Machine:
+        """Account a fractionally-shared suspended job's completion.
+
+        A suspended job holds memory but no cores, so only the resident
+        memory is released; the suspension episode is capped at the
+        finish time (see :meth:`Job.finish`).  Returns the machine so
+        the engine can refill the freed memory.
+        """
+        machine = job.machine
+        if machine is None or job.job_id not in machine.suspended:
+            raise SchedulingError(
+                f"pool {self.pool_id}: job {job.job_id} is not suspended on any machine here"
+            )
+        machine.remove(job)
+        del self.suspended[job.job_id]
+        self._suspend_order.pop(job.job_id, None)
+        self._capacity_version += 1
+        if self._telemetry is not None:
+            self._telemetry.observe_suspension(self.pool_id, now - job.segment_start)
+        job.finish(now)
+        return machine
+
     def detach_suspended(
         self, job: Job, now: float, preserve_progress: bool = False
     ) -> Machine:

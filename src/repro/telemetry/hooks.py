@@ -16,6 +16,7 @@ Metric schema (all names prefixed ``repro_``):
 ==============================================  =========  ==========================
 ``repro_sim_events_total{event=}``              counter    emitted simulation events
 ``repro_engine_queue_events_total{kind=}``      counter    engine event-queue pops
+``repro_policy_decisions_total{policy=,action=}``  counter  rescheduling-policy decisions
 ``repro_sim_samples_total``                     counter    sampler ticks
 ``repro_sim_minutes``                           gauge      final simulated time
 ``repro_jobs_outstanding``                      gauge      jobs left (0 after a run)
@@ -51,6 +52,7 @@ class EngineTelemetry:
         "registry",
         "_events",
         "_queue_events",
+        "_policy_decisions",
         "_samples",
         "_sim_minutes",
         "_outstanding",
@@ -74,6 +76,11 @@ class EngineTelemetry:
             "repro_engine_queue_events_total",
             "Engine event-queue pops, by event kind",
             labelnames=("kind",),
+        )
+        self._policy_decisions = registry.counter(
+            "repro_policy_decisions_total",
+            "Rescheduling-policy decisions, by policy and action",
+            labelnames=("policy", "action"),
         )
         self._samples = registry.counter(
             "repro_sim_samples_total", "State-sampler ticks"
@@ -134,6 +141,10 @@ class EngineTelemetry:
     def count_queue_event(self, kind_name: str) -> None:
         """One engine event-queue pop."""
         self._queue_events.labels(kind_name).inc()
+
+    def count_policy_decision(self, policy_name: str, action: str) -> None:
+        """One rescheduling decision (on_suspend / on_wait_timeout)."""
+        self._policy_decisions.labels(policy_name, action).inc()
 
     def on_sample(
         self,

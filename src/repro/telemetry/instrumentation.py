@@ -18,8 +18,9 @@ site guarded emission with ``if self._observer is not None``.
 
 Instrumentation is strictly read-only: it never touches the simulation
 RNG and cannot change any :class:`~repro.simulator.results.SimulationResult`
-field.  The old ``observer=`` keyword keeps working through a
-deprecation shim in :class:`~repro.simulator.config.SimulationConfig`.
+field.  The old ``SimulationConfig(observer=...)`` keyword has been
+removed after its deprecation cycle; passing it raises
+:class:`~repro.errors.ConfigurationError` with the migration hint.
 """
 
 from __future__ import annotations

@@ -145,6 +145,7 @@ def write_cells_jsonl(cells, directory: Union[str, Path]) -> Path:
                 {
                     "scenario": cell.scenario_name,
                     "policy": cell.policy_name,
+                    "policy_spec": getattr(cell, "policy_spec", None),
                     "scheduler": cell.scheduler_name,
                     "wall_seconds": round(cell.wall_seconds, 6),
                     "from_cache": bool(cell.from_cache),

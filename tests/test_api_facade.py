@@ -73,13 +73,24 @@ class TestRunExperiment:
         assert all(c.scenario_name == smoke_scenario.name for c in cells)
 
     def test_matches_runner(self, smoke_scenario):
-        direct = repro.ExperimentRunner().run_grid(
+        direct = repro.ExperimentRunner().run(
             [smoke_scenario], [repro.no_res, repro.res_sus_util]
         )
         via_facade = repro.run_experiment(
             smoke_scenario, [repro.no_res, repro.res_sus_util]
         )
         assert [c.summary for c in direct] == [c.summary for c in via_facade]
+
+    def test_run_grid_alias_warns_but_matches(self, smoke_scenario):
+        import warnings
+
+        runner = repro.ExperimentRunner()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = runner.run_grid([smoke_scenario], [repro.no_res])
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        modern = repro.ExperimentRunner().run([smoke_scenario], [repro.no_res])
+        assert [c.summary for c in legacy] == [c.summary for c in modern]
 
     def test_empty_scenarios_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -14,7 +14,7 @@ import pickle
 import pytest
 
 import repro
-from repro.errors import CacheError
+from repro.errors import CacheError, ConfigurationError
 from repro.experiments.cache import (
     CACHE_SCHEMA_VERSION,
     ResultCache,
@@ -73,9 +73,14 @@ class TestCellKey:
         assert key is not None and len(key) == 64
         assert repro.__version__ in engine_salt()
 
-    def test_observer_blocks_caching(self, smoke_scenario):
-        with pytest.warns(DeprecationWarning):
-            config = SimulationConfig(strict=False, observer=EventLog())
+    def test_observer_keyword_raises(self, smoke_scenario):
+        with pytest.raises(ConfigurationError, match="Instrumentation\\(observers="):
+            SimulationConfig(strict=False, observer=EventLog())
+
+    def test_observer_instrumentation_blocks_caching(self, smoke_scenario):
+        config = SimulationConfig(
+            strict=False, instrumentation=Instrumentation(observers=(EventLog(),))
+        )
         assert cell_cache_key(smoke_scenario, repro.no_res(), None, config) is None
 
     def test_instrumentation_blocks_caching(self, smoke_scenario):

@@ -21,6 +21,20 @@ class TestParser:
         assert args.scenario == "busy-week"
         assert args.policy == "NoRes"
 
+    def test_policy_flags_accept_free_form_specs(self):
+        args = build_parser().parse_args(["run", "--policy", "dfrs:share=0.5"])
+        assert args.policy == "dfrs:share=0.5"
+        args = build_parser().parse_args(
+            ["table", "2", "--policy", "NoRes", "--policy", "dfrs:share=0.5"]
+        )
+        assert args.policy == ["NoRes", "dfrs:share=0.5"]
+        args = build_parser().parse_args(["table", "2"])
+        assert args.policy is None
+        args = build_parser().parse_args(
+            ["run-grid", "--preset", "smoke", "--policy", "migration_cost"]
+        )
+        assert args.policy == ["migration_cost"]
+
 
 class TestCommands:
     def test_run_smoke(self, capsys):
@@ -121,3 +135,48 @@ class TestCliTelemetry:
         code = main(["stats", str(teldir)])
         assert code == 0
         assert "experiment cells" in capsys.readouterr().out
+
+    def test_policies_list(self, capsys):
+        code = main(["policies", "list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("NoRes", "ResSusUtil", "dfrs", "migration_cost"):
+            assert name in out
+        assert "selectors" in out
+        assert "spec grammar" in out
+
+    def test_run_with_registry_spec(self, capsys):
+        code = main(
+            ["run", "--scenario", "smoke", "--policy", "dfrs:share=0.5,floor=0.1"]
+        )
+        assert code == 0
+        assert "DFRS[share=0.5,floor=0.1]" in capsys.readouterr().out
+
+    def test_run_with_migration_cost_spec(self, capsys):
+        code = main(
+            [
+                "run", "--scenario", "smoke",
+                "--policy", "migration_cost:transfer_minutes=5",
+            ]
+        )
+        assert code == 0
+        assert "MigCost[" in capsys.readouterr().out
+
+    def test_run_unknown_policy_fails_cleanly(self, capsys):
+        code = main(["run", "--scenario", "smoke", "--policy", "nonsense"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "nonsense" in err
+
+    def test_table_policy_override_echoes_spec(self, capsys):
+        code = main(
+            [
+                "table", "1", "--scale", "0.05",
+                "--policy", "NoRes", "--policy", "dfrs:share=0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DFRS[share=0.5,floor=0.05]" in out
+        assert "<dfrs:share=0.5>" in out  # per-cell spec echo

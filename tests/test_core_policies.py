@@ -287,6 +287,14 @@ class TestPolicyRegistry:
         assert policy_from_name("ResSusWaitUtil", 99.0).wait_threshold == 99.0
         assert policy_from_name("NoRes", 99.0).wait_threshold is None
 
+    def test_policy_from_name_is_deprecated(self):
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            policy_from_name("NoRes")
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+
     def test_default_threshold_constant(self):
         assert DEFAULT_WAIT_THRESHOLD == 30.0
         assert res_sus_wait_util().wait_threshold == 30.0

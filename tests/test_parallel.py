@@ -22,6 +22,7 @@ from repro.experiments.parallel import execute_cells, make_cell_task
 from repro.experiments.runner import ExperimentRunner
 from repro.simulator.config import SimulationConfig
 from repro.simulator.observer import EventLog
+from repro.telemetry import Instrumentation
 
 FAST = SimulationConfig(strict=False, record_samples=False)
 
@@ -188,9 +189,8 @@ class TestTaskConstruction:
         assert task.cell_id == "smoke#7|NoRes|RoundRobin"
 
     def test_observer_config_disables_caching(self, smoke_scenario):
-        with pytest.warns(DeprecationWarning):
-            config = SimulationConfig(strict=False, observer=EventLog())
-        with pytest.warns(DeprecationWarning):
-            # the per-cell replace() re-runs __post_init__, re-warning
-            task = make_cell_task(0, smoke_scenario, repro.no_res(), None, config)
+        config = SimulationConfig(
+            strict=False, instrumentation=Instrumentation(observers=(EventLog(),))
+        )
+        task = make_cell_task(0, smoke_scenario, repro.no_res(), None, config)
         assert task.cache_key is None

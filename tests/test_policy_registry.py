@@ -1,0 +1,406 @@
+"""The policy plugin registry: spec grammar, registry round-trips,
+entry-point discovery, the new policy families, and the golden-matrix
+guarantee that registry-routed baselines stay bit-identical to direct
+construction.
+"""
+
+import pickle
+
+import pytest
+
+import repro
+from repro.core.context import PoolSnapshot, StaticSystemView
+from repro.core.decisions import Action
+from repro.errors import ConfigurationError, UnknownPolicyError
+from repro.policies import (
+    FractionalSharePolicy,
+    MigrationCostPolicy,
+    PolicySpec,
+    canonical_spec,
+    format_spec,
+    parse_spec,
+    policy_from_spec,
+    selector_from_spec,
+    available_policies,
+    available_selectors,
+)
+from repro.policies import registry as registry_module
+from repro.workload.cluster import ClusterSpec
+
+from conftest import make_job, make_pool, run_tiny
+
+
+class TestSpecGrammar:
+    def test_bare_name(self):
+        spec = parse_spec("NoRes")
+        assert spec == PolicySpec("NoRes")
+        assert format_spec(spec) == "NoRes"
+
+    def test_typed_params(self):
+        spec = parse_spec("dfrs:share=0.5,floor=0.1")
+        assert dict(spec.params) == {"share": 0.5, "floor": 0.1}
+
+    def test_scalar_coercion(self):
+        spec = parse_spec("x:a=1,b=1.5,c=true,d=false,e=none,f=word")
+        assert dict(spec.params) == {
+            "a": 1, "b": 1.5, "c": True, "d": False, "e": None, "f": "word",
+        }
+
+    def test_nested_selector_spec(self):
+        spec = parse_spec("res_sus:selector=weighted(queue_weight=2)")
+        (key, inner), = spec.params
+        assert key == "selector"
+        assert isinstance(inner, PolicySpec)
+        assert inner.name == "weighted"
+        assert dict(inner.params) == {"queue_weight": 2}
+
+    def test_canonical_sorts_params(self):
+        assert canonical_spec("dfrs:share=0.5,floor=0.1") == "dfrs:floor=0.1,share=0.5"
+        assert canonical_spec("NoRes") == "NoRes"
+
+    def test_canonical_is_idempotent(self):
+        text = "res_sus:selector=weighted(util_weight=2,queue_weight=1)"
+        once = canonical_spec(text)
+        assert canonical_spec(once) == once
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_spec("res_sus:selector=weighted(queue_weight=2")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_spec("dfrs:share=0.5,share=0.6")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_spec("no spaces:x=1")
+
+
+class TestRegistry:
+    def test_builtin_policies_present(self):
+        names = {entry.name for entry in available_policies()}
+        assert {
+            "NoRes", "ResSusUtil", "ResSusRand", "ResSusWaitUtil",
+            "ResSusWaitRand", "dfrs", "migration_cost",
+        } <= names
+
+    def test_builtin_selectors_present(self):
+        names = {entry.name for entry in available_selectors()}
+        assert {"util", "random", "shortest_queue", "weighted"} <= names
+
+    def test_spec_attribute_is_canonical(self):
+        policy = policy_from_spec("dfrs:share=0.5,floor=0.1")
+        assert policy.spec == "dfrs:floor=0.1,share=0.5"
+
+    def test_unknown_policy_lists_known_names(self):
+        with pytest.raises(UnknownPolicyError, match="dfrs"):
+            policy_from_spec("definitely_not_registered")
+
+    def test_context_policy_without_context_fails(self):
+        with pytest.raises(ConfigurationError, match="context"):
+            policy_from_spec("transfer_aware")
+
+    def test_bad_parameters_surface_the_spec(self):
+        with pytest.raises(ConfigurationError, match="dfrs"):
+            policy_from_spec("dfrs:bogus_param=1")
+
+    def test_defaults_applied_only_when_accepted(self):
+        # NoRes takes no wait threshold: the default is dropped silently.
+        baseline = policy_from_spec("NoRes", defaults={"wait_threshold": 45.0})
+        assert baseline.wait_threshold is None
+        waiting = policy_from_spec(
+            "ResSusWaitUtil", defaults={"wait_threshold": 45.0}
+        )
+        assert waiting.wait_threshold == 45.0
+
+    def test_spec_param_wins_over_default(self):
+        policy = policy_from_spec(
+            "res_sus_wait:wait_threshold=10", defaults={"wait_threshold": 45.0}
+        )
+        assert policy.wait_threshold == 10
+
+    def test_selector_from_spec(self):
+        selector = selector_from_spec("weighted:queue_weight=2")
+        assert type(selector).__name__ == "WeightedSelector"
+
+    def test_registry_pickle_round_trip(self):
+        # The worker-side contract: a policy built from a spec pickles
+        # (CellTask carries live policies) and the rebuilt object makes
+        # the same decision.
+        policy = policy_from_spec("dfrs:share=0.5,floor=0.25")
+        clone = pickle.loads(pickle.dumps(policy))
+        assert clone.name == policy.name
+        view = StaticSystemView(
+            now=0.0, snapshots=[PoolSnapshot("a", 4, 4, 0, 2)], seed=1
+        )
+        job = _FakeJob("a")
+        assert policy.on_suspend(job, view) == clone.on_suspend(job, view)
+
+    def test_custom_registration_round_trip(self):
+        @registry_module.register_policy("test_custom_policy")
+        def _factory(share=0.5):
+            return FractionalSharePolicy(share=share, name=f"Custom[{share:g}]")
+
+        try:
+            policy = policy_from_spec("test_custom_policy:share=0.75")
+            assert policy.name == "Custom[0.75]"
+            assert policy.spec == "test_custom_policy:share=0.75"
+        finally:
+            registry_module._POLICIES._entries.pop("test_custom_policy", None)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry_module.register_policy("NoRes")(lambda: None)
+
+
+class _FakeEntryPoint:
+    """Stand-in for importlib.metadata.EntryPoint."""
+
+    def __init__(self, name, hook):
+        self.name = name
+        self._hook = hook
+
+    def load(self):
+        return self._hook
+
+
+@pytest.fixture
+def fresh_plugin_state():
+    """Re-arm lazy plugin loading and clean up synthetic registrations."""
+    before = registry_module._plugins_loaded
+    registry_module._plugins_loaded = False
+    yield
+    registry_module._plugins_loaded = before
+    registry_module._POLICIES._entries.pop("third_party_policy", None)
+
+
+class TestEntryPointDiscovery:
+    def test_synthetic_package_discovered(self, monkeypatch, fresh_plugin_state):
+        def register():
+            registry_module.register_policy(
+                "third_party_policy", description="synthetic plugin"
+            )(lambda: repro.no_res())
+
+        def fake_entry_points(group=None):
+            assert group == registry_module.ENTRY_POINT_GROUP
+            return [_FakeEntryPoint("third_party", register)]
+
+        import importlib.metadata
+
+        monkeypatch.setattr(importlib.metadata, "entry_points", fake_entry_points)
+        loaded = registry_module.load_plugins()
+        assert loaded == ("third_party",)
+        policy = policy_from_spec("third_party_policy")
+        assert policy.name == "NoRes"
+
+    def test_broken_plugin_is_skipped(self, monkeypatch, fresh_plugin_state):
+        def explode():
+            raise RuntimeError("bad plugin")
+
+        def fake_entry_points(group=None):
+            return [_FakeEntryPoint("broken", explode)]
+
+        import importlib.metadata
+
+        monkeypatch.setattr(importlib.metadata, "entry_points", fake_entry_points)
+        assert registry_module.load_plugins() == ()
+        # Builtins survive a broken third-party plugin.
+        assert policy_from_spec("NoRes").name == "NoRes"
+
+    def test_load_plugins_is_idempotent(self, monkeypatch, fresh_plugin_state):
+        calls = []
+
+        def fake_entry_points(group=None):
+            calls.append(group)
+            return []
+
+        import importlib.metadata
+
+        monkeypatch.setattr(importlib.metadata, "entry_points", fake_entry_points)
+        registry_module.load_plugins()
+        registry_module.load_plugins()
+        assert len(calls) == 1
+
+
+class _FakeJob:
+    def __init__(self, pool_id):
+        self.pool_id = pool_id
+        self.spec = _FakeSpec()
+
+
+class _FakeSpec:
+    candidate_pools = None
+
+
+class TestFractionalSharePolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FractionalSharePolicy(share=0.0)
+        with pytest.raises(ConfigurationError):
+            FractionalSharePolicy(share=1.5)
+        with pytest.raises(ConfigurationError):
+            FractionalSharePolicy(floor=0.0)
+
+    def test_share_divides_among_suspended(self):
+        policy = FractionalSharePolicy(share=0.6, floor=0.1)
+        view = StaticSystemView(
+            now=0.0, snapshots=[PoolSnapshot("a", 4, 4, 0, 3)], seed=1
+        )
+        decision = policy.on_suspend(_FakeJob("a"), view)
+        assert decision.action is Action.FRACTION
+        assert decision.share == pytest.approx(0.2)
+
+    def test_floor_caps_the_division(self):
+        policy = FractionalSharePolicy(share=0.4, floor=0.25)
+        view = StaticSystemView(
+            now=0.0, snapshots=[PoolSnapshot("a", 4, 4, 0, 10)], seed=1
+        )
+        assert policy.on_suspend(_FakeJob("a"), view).share == pytest.approx(0.25)
+
+    def test_name_embeds_parameters(self):
+        # Distinct parameters must yield distinct cell ids (hence seeds).
+        assert FractionalSharePolicy(share=0.5).name != FractionalSharePolicy(share=0.6).name
+
+
+class TestMigrationCostPolicy:
+    def _view(self):
+        return StaticSystemView(
+            now=0.0,
+            snapshots=[
+                PoolSnapshot("a", 10, 10, 8, 2),   # heavy backlog here
+                PoolSnapshot("b", 10, 0, 0, 0),    # idle target
+            ],
+            seed=1,
+        )
+
+    def test_migrates_when_benefit_positive(self):
+        policy = MigrationCostPolicy(transfer_minutes=10.0, resuspend_penalty=30.0)
+        decision = policy.on_suspend(_FakeJob("a"), self._view())
+        assert decision.action is Action.MIGRATE
+        assert decision.target_pool == "b"
+
+    def test_stays_when_transfer_eats_the_benefit(self):
+        policy = MigrationCostPolicy(transfer_minutes=10_000.0)
+        decision = policy.on_suspend(_FakeJob("a"), self._view())
+        assert decision.action is Action.STAY
+
+    def test_min_benefit_raises_the_bar(self):
+        view = self._view()
+        eager = MigrationCostPolicy(transfer_minutes=10.0, min_benefit=0.0)
+        picky = MigrationCostPolicy(transfer_minutes=10.0, min_benefit=10_000.0)
+        assert eager.on_suspend(_FakeJob("a"), view).action is Action.MIGRATE
+        assert picky.on_suspend(_FakeJob("a"), view).action is Action.STAY
+
+    def test_deterministic_tie_break(self):
+        view = StaticSystemView(
+            now=0.0,
+            snapshots=[
+                PoolSnapshot("a", 10, 10, 8, 2),
+                PoolSnapshot("c", 10, 0, 0, 0),
+                PoolSnapshot("b", 10, 0, 0, 0),   # identical to c
+            ],
+            seed=1,
+        )
+        policy = MigrationCostPolicy(transfer_minutes=10.0)
+        assert policy.on_suspend(_FakeJob("a"), view).target_pool == "b"
+
+
+def one_pool():
+    return ClusterSpec([make_pool("p0", 1, cores=1)])
+
+
+class TestFractionalEngine:
+    """Exact micro-scenarios for FRACTION decisions in the engine."""
+
+    def test_fractional_victim_resumes_with_accrued_progress(self):
+        jobs = [
+            make_job(0, submit=0.0, runtime=10.0, priority=0),
+            make_job(1, submit=4.0, runtime=6.0, priority=100),
+        ]
+        result = run_tiny(
+            jobs, cluster=one_pool(),
+            policy=FractionalSharePolicy(share=0.5, floor=0.5),
+        )
+        victim = result.record_by_id(0)
+        # Suspended at 4 with 6 remaining; runs at half speed until the
+        # preemptor finishes at 10 (3 minutes of progress), then resumes
+        # with 3 remaining: finishes at 13 instead of NoRes's 16.
+        assert victim.restart_count == 0
+        assert victim.finish_minute == 13.0
+
+    def test_fractional_victim_can_finish_while_suspended(self):
+        jobs = [
+            make_job(0, submit=0.0, runtime=10.0, priority=0),
+            make_job(1, submit=4.0, runtime=20.0, priority=100),
+        ]
+        result = run_tiny(
+            jobs, cluster=one_pool(),
+            policy=FractionalSharePolicy(share=0.5, floor=0.5),
+        )
+        victim = result.record_by_id(0)
+        # 6 remaining at half speed: finishes at 4 + 12 = 16, still
+        # suspended (the preemptor runs until 24).
+        assert victim.finish_minute == 16.0
+        assert result.record_by_id(1).finish_minute == 24.0
+
+    def test_fractional_beats_no_res_on_suspension_time(self):
+        jobs = [
+            make_job(0, submit=0.0, runtime=10.0, priority=0),
+            make_job(1, submit=4.0, runtime=6.0, priority=100),
+        ]
+        baseline = run_tiny(jobs, cluster=one_pool(), policy=repro.no_res())
+        fractional = run_tiny(
+            jobs, cluster=one_pool(),
+            policy=FractionalSharePolicy(share=0.5, floor=0.5),
+        )
+        assert (
+            fractional.record_by_id(0).finish_minute
+            < baseline.record_by_id(0).finish_minute
+        )
+
+
+class TestGoldenMatrix:
+    """Registry-routed baselines reproduce direct construction exactly."""
+
+    def test_spec_strings_match_direct_factories(self, tmp_path):
+        scenario = repro.smoke(seed=7)
+        runner = repro.ExperimentRunner(n_workers=1)
+        via_registry = runner.run(
+            [scenario], ["NoRes", "ResSusUtil", "ResSusWaitUtil"]
+        )
+        direct = repro.ExperimentRunner(n_workers=1).run(
+            [scenario],
+            [repro.no_res, repro.res_sus_util, lambda: repro.res_sus_wait_util(30.0)],
+        )
+        assert len(via_registry) == len(direct) == 3
+        for reg_cell, direct_cell in zip(via_registry, direct):
+            assert reg_cell.seed == direct_cell.seed
+            assert reg_cell.policy_name == direct_cell.policy_name
+            assert reg_cell.summary == direct_cell.summary
+        # Registry cells additionally carry their spec string.
+        assert [c.policy_spec for c in via_registry] == [
+            "NoRes", "ResSusUtil", "ResSusWaitUtil",
+        ]
+        assert all(c.policy_spec is None for c in direct)
+
+    def test_new_families_run_end_to_end(self):
+        scenario = repro.smoke(seed=7)
+        cells = repro.ExperimentRunner(n_workers=1).run(
+            [scenario],
+            ["dfrs:share=0.5,floor=0.1", "migration_cost:transfer_minutes=5"],
+        )
+        assert len(cells) == 2
+        assert cells[0].policy_name.startswith("DFRS[")
+        assert cells[1].policy_name.startswith("MigCost[")
+        assert all(c.summary.job_count > 0 for c in cells)
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        missing = [name for name in repro.__all__ if not hasattr(repro, name)]
+        assert missing == []
+
+    def test_registry_surface_exported(self):
+        assert "policy_from_spec" in repro.__all__
+        assert "FractionalSharePolicy" in repro.__all__
+        assert "MigrationCostPolicy" in repro.__all__

@@ -242,26 +242,20 @@ class TestFanOut:
         assert calls[1::2] == [("b", k, 0) for k in kinds]
 
 
-class TestDeprecationShim:
-    def test_observer_keyword_warns_and_folds(self):
+class TestRemovedObserverKeyword:
+    def test_observer_keyword_raises_with_migration_hint(self):
+        with pytest.raises(ConfigurationError, match="Instrumentation\\(observers="):
+            SimulationConfig(strict=False, observer=EventLog())
+
+    def test_instrumentation_is_the_replacement(self):
         log = EventLog()
-        with pytest.warns(DeprecationWarning, match="observer"):
-            config = SimulationConfig(strict=False, observer=log)
-        assert log in config.instrumentation.observers
+        config = SimulationConfig(
+            strict=False, instrumentation=Instrumentation(observers=(log,))
+        )
         repro.run_simulation(
             make_trace([make_job(0, runtime=5.0)]), make_cluster(), config=config
         )
         assert [e.event for e in log.events] == ["submit", "start", "finish"]
-
-    def test_replace_does_not_double_fold(self):
-        from dataclasses import replace
-
-        log = EventLog()
-        with pytest.warns(DeprecationWarning):
-            config = SimulationConfig(strict=False, observer=log)
-        with pytest.warns(DeprecationWarning):
-            reseeded = replace(config, seed=99)
-        assert reseeded.instrumentation.observers.count(log) == 1
 
 
 class TestProgress:
