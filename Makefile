@@ -1,4 +1,4 @@
-.PHONY: ci test lint smoke faults bench bench-record bench-check ingest fabric policies
+.PHONY: ci test lint smoke faults bench bench-record bench-check ingest fabric policies chaos
 
 # Everything CI runs, in one command (tests + lint + smoke + faults).
 ci:
@@ -32,6 +32,12 @@ fabric:
 # `--policy SPEC` round trip.
 policies:
 	scripts/ci.sh policies
+
+# Robustness gate: seeded chaos scenarios (kill storms, heartbeat
+# freezes, corruption) against a live self-healing fleet, the invariant
+# audit, the CLI round trip, and the BENCH_chaos.json recovery check.
+chaos:
+	scripts/ci.sh chaos
 
 # Full reproduction log: every table/figure benchmark at current scale,
 # then a refreshed point on the engine-throughput trajectory.

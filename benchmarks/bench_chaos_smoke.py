@@ -1,0 +1,61 @@
+"""CI smoke gate for the chaos harness and the self-healing supervisor.
+
+The robustness contract, asserted end to end with real worker
+subprocesses and real SIGKILLs:
+
+1. **Kill-storm converges.** With slot 0 crash-looping into
+   quarantine and three workers SIGKILLed in the publish window, the
+   supervised fleet still publishes every cell, bit-identical to the
+   serial run, with a clean lease journal (the invariant audit finds
+   zero violations).
+2. **Recovery machinery actually engages.** The run records restarts,
+   a quarantined slot and recovered cells — a passing audit over a
+   fault-free run would prove nothing.
+3. **The control stays quiet.** The ``straggler`` scenario (one slow
+   worker, no faults) finishes with zero restarts and zero takeovers,
+   so the harness itself is not the source of the recovery noise it
+   measures.
+
+``scripts/ci.sh chaos`` runs this file plus the recovery regression
+gate (``scripts/bench_record.py --chaos --check``).
+"""
+
+from __future__ import annotations
+
+from repro.chaos import run_scenario
+
+from conftest import banner, run_once
+
+
+def summarize(report) -> str:
+    return (
+        f"cells: {report.cells}   wall: {report.wall_seconds:.2f}s   "
+        f"recovery: {report.recovery_seconds:.2f}s   "
+        f"restarts: {report.restarts}   quarantined: {report.quarantined}   "
+        f"recovered: {report.cells_recovered}   "
+        f"takeovers: {report.takeovers}   swept: {report.swept_leases}"
+    )
+
+
+def test_kill_storm_converges_with_quarantine(benchmark):
+    report = run_once(benchmark, run_scenario, "kill-storm", seed=2010)
+
+    print(banner("CI chaos smoke: kill-storm vs 4-worker supervised fleet"))
+    print(summarize(report))
+    for violation in report.violations:
+        print(f"VIOLATION: {violation}")
+    assert report.ok, report.violations
+    assert report.restarts >= 3
+    assert report.quarantined >= 1
+    assert report.cells_recovered >= 1
+
+
+def test_straggler_control_is_quiet(benchmark):
+    report = run_once(benchmark, run_scenario, "straggler", seed=2010)
+
+    print(banner("CI chaos smoke: straggler control (no faults)"))
+    print(summarize(report))
+    assert report.ok, report.violations
+    assert report.restarts == 0
+    assert report.quarantined == 0
+    assert report.takeovers == 0

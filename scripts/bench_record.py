@@ -29,6 +29,14 @@ grid's 4-worker overlap speedup:
     PYTHONPATH=src python scripts/bench_record.py --grid
     PYTHONPATH=src python scripts/bench_record.py --grid --check --quick
 
+Chaos-recovery trajectory (BENCH_chaos.json) — replay the seeded fault
+scenarios against a live supervised fleet, recording the recovery
+clock and the invariant audit's counters; the check hard-fails on any
+invariant violation and gates recovery-time regressions:
+
+    PYTHONPATH=src python scripts/bench_record.py --chaos
+    PYTHONPATH=src python scripts/bench_record.py --chaos --check
+
 The file format and comparison rules live in :mod:`repro.benchtrack`;
 this script only adds argument parsing, git labelling and reporting.
 """
@@ -191,6 +199,86 @@ def run_grid(args) -> int:
     return 0
 
 
+def run_chaos(args) -> int:
+    """Measure the chaos scenarios; write or gate BENCH_chaos.json."""
+    print("calibrating interpreter ...", flush=True)
+    calibration = benchtrack.calibrate()
+    cores = os.cpu_count() or 1
+    print(
+        f"calibration score: {calibration:,.0f} iterations/sec "
+        f"({cores} core(s) available)"
+    )
+
+    scenarios = benchtrack.measure_chaos_matrix(
+        progress=lambda msg: print(msg, flush=True)
+    )
+    for s in scenarios:
+        verdict = "OK" if not s.violations else "VIOLATED"
+        print(
+            f"  {s.spec.name}: {verdict} — {s.cells} cells in "
+            f"{s.wall_seconds:.2f}s, recovery {s.recovery_seconds:.2f}s, "
+            f"{s.restarts} restart(s), {s.quarantined} quarantined, "
+            f"{s.cells_recovered} recovered, {s.takeovers} takeover(s)"
+        )
+        for violation in s.violations:
+            print(f"    VIOLATION: {violation}", file=sys.stderr)
+
+    record = benchtrack.ChaosRecord(
+        schema_version=benchtrack.SCHEMA_VERSION,
+        label=args.label or git_label(),
+        recorded_at=datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        calibration_score=calibration,
+        available_cores=cores,
+        scenarios=scenarios,
+        notes=args.notes,
+    )
+
+    if args.check:
+        history = benchtrack.load_chaos_history(args.output)
+        if not history:
+            # Still hard-fail on violations: a chaos run that broke an
+            # invariant is wrong even with no baseline to compare to.
+            empty = benchtrack.ChaosRecord(
+                schema_version=benchtrack.SCHEMA_VERSION,
+                label="(none)", recorded_at=None,
+                calibration_score=calibration, available_cores=cores,
+                scenarios=(),
+            )
+            failures = benchtrack.check_chaos_regression(empty, record)
+            if failures:
+                print("chaos invariant violations:", file=sys.stderr)
+                for failure in failures:
+                    print(f"  {failure}", file=sys.stderr)
+                return 1
+            print(f"no committed trajectory in {args.output}; nothing to gate")
+            return 0
+        previous = history[-1]
+        failures = benchtrack.check_chaos_regression(
+            previous, record, threshold=args.threshold
+        )
+        if failures:
+            print(
+                f"chaos regression vs record {previous.label!r}:",
+                file=sys.stderr,
+            )
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"chaos OK vs record {previous.label!r} "
+            f"(threshold {args.threshold:.0%})"
+        )
+        return 0
+
+    count = benchtrack.write_chaos_record(
+        args.output, record, append=not args.overwrite
+    )
+    print(f"wrote chaos record {record.label!r} to {args.output} ({count} total)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -241,10 +329,16 @@ def main(argv=None) -> int:
              "engine matrix (trajectory file defaults to BENCH_grid.json; "
              "--quick keeps only the padded scheduling-bound grid)",
     )
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="measure the chaos-recovery scenarios instead of the engine "
+             "matrix (trajectory file defaults to BENCH_chaos.json; the "
+             "check hard-fails on invariant violations)",
+    )
     args = parser.parse_args(argv)
 
-    if args.ingest and args.grid:
-        parser.error("--ingest and --grid are mutually exclusive")
+    if sum((args.ingest, args.grid, args.chaos)) > 1:
+        parser.error("--ingest, --grid and --chaos are mutually exclusive")
     if args.ingest:
         if args.output == "BENCH_engine.json":
             args.output = "BENCH_ingest.json"
@@ -253,6 +347,12 @@ def main(argv=None) -> int:
         if args.output == "BENCH_engine.json":
             args.output = "BENCH_grid.json"
         return run_grid(args)
+    if args.chaos:
+        if args.output == "BENCH_engine.json":
+            args.output = "BENCH_chaos.json"
+        if args.threshold == 0.20:
+            args.threshold = benchtrack.CHAOS_THRESHOLD
+        return run_chaos(args)
 
     specs = benchtrack.QUICK_WORKLOADS if args.quick else benchtrack.WORKLOADS
 

@@ -2,7 +2,7 @@
 # CI entry point — the same commands run locally (`make ci`) and in
 # .github/workflows/ci.yml, so a green local run means a green pipeline.
 #
-# Usage: scripts/ci.sh [tests|lint|smoke|faults|bench|ingest|fabric|policies|all]
+# Usage: scripts/ci.sh [tests|lint|smoke|faults|bench|ingest|fabric|policies|chaos|all]
 #
 # Subcommands:
 #   tests   tier-1 test suite (the gate every PR must keep green)
@@ -45,8 +45,17 @@
 #           across two runs); finally `repro policies list` and a
 #           same-spec `repro run --policy dfrs:...` pair that must be
 #           byte-identical
-#   all     tests + lint + smoke + faults (default; bench, ingest and
-#           fabric are their own CI jobs because they are
+#   chaos   robustness gate: chaos-plan/audit/supervisor test files
+#           (including the seeded scenario matrix against a live
+#           supervised fleet), benchmarks/bench_chaos_smoke.py
+#           (kill-storm converges with quarantine, the straggler
+#           control stays quiet), a `repro chaos run` CLI round trip,
+#           and the BENCH_chaos.json gate (scripts/bench_record.py
+#           --chaos --check: any invariant violation, or a scenario's
+#           recovery time regressing more than 25% past the committed
+#           baseline, fails the leg)
+#   all     tests + lint + smoke + faults (default; bench, ingest,
+#           fabric and chaos are their own CI jobs because they are
 #           timing-sensitive, and policies is its own job so a
 #           registry regression is named in the check list)
 
@@ -253,6 +262,48 @@ run_policies() {
     echo "CLI policy spec round trip OK"
 }
 
+run_chaos() {
+    echo "== chaos: plan / invariant-audit / supervisor tests =="
+    python -m pytest tests/test_chaos.py tests/test_supervisor.py -q
+
+    echo "== chaos: kill-storm + straggler control vs live fleet =="
+    python -m pytest benchmarks/bench_chaos_smoke.py -q -s
+
+    echo "== chaos: CLI scenario round trip =="
+    local cdir
+    cdir="$(mktemp -d)"
+    trap 'rm -rf "$cdir"' RETURN
+    python -m repro chaos list > "$cdir/list.txt"
+    for scenario in kill-storm heartbeat-freeze corruption straggler; do
+        if ! grep -q "$scenario" "$cdir/list.txt"; then
+            echo "error: 'repro chaos list' is missing $scenario" >&2
+            cat "$cdir/list.txt" >&2
+            exit 1
+        fi
+    done
+    python -m repro chaos run --scenario straggler --seed 2010 --json \
+        > "$cdir/report.json"
+    CHAOS_JSON="$cdir/report.json" python - <<'EOF'
+import json, os
+
+with open(os.environ["CHAOS_JSON"], encoding="utf-8") as handle:
+    report = json.load(handle)
+assert report["ok"], report["violations"]
+assert report["cells"] > 0, report
+assert report["restarts"] == 0, "the control scenario restarted workers"
+assert report["quarantined"] == 0, "the control scenario quarantined a slot"
+print(
+    f"chaos CLI OK: {report['scenario']} converged over "
+    f"{report['cells']} cells in {report['wall_seconds']:.2f}s"
+)
+EOF
+    echo "CLI chaos round trip OK"
+
+    echo "== chaos: BENCH_chaos.json recovery regression gate =="
+    python scripts/bench_record.py --chaos --check \
+        --threshold "${CHAOS_THRESHOLD:-0.25}" --output BENCH_chaos.json
+}
+
 case "${1:-all}" in
     tests)  run_tests ;;
     lint)   run_lint ;;
@@ -262,9 +313,10 @@ case "${1:-all}" in
     ingest) run_ingest ;;
     fabric) run_fabric ;;
     policies) run_policies ;;
+    chaos)  run_chaos ;;
     all)    run_tests; run_lint; run_smoke; run_faults ;;
     *)
-        echo "usage: scripts/ci.sh [tests|lint|smoke|faults|bench|ingest|fabric|policies|all]" >&2
+        echo "usage: scripts/ci.sh [tests|lint|smoke|faults|bench|ingest|fabric|policies|chaos|all]" >&2
         exit 2
         ;;
 esac

@@ -80,6 +80,17 @@ __all__ = [
     "load_grid_history",
     "write_grid_record",
     "check_grid_regression",
+    "ChaosSpec",
+    "ChaosScenarioResult",
+    "ChaosRecord",
+    "CHAOS_SCENARIOS",
+    "measure_chaos",
+    "measure_chaos_matrix",
+    "chaos_record_to_dict",
+    "chaos_record_from_dict",
+    "load_chaos_history",
+    "write_chaos_record",
+    "check_chaos_regression",
 ]
 
 #: Bumped when the JSON layout changes incompatibly.
@@ -1212,4 +1223,247 @@ def check_grid_regression(
                     f"{speedup:.2f}x (floor {min_speedup:.1f}x) — fabric "
                     "workers are serialising"
                 )
+    return failures
+
+
+# -- chaos-recovery trajectory (BENCH_chaos.json) ------------------------------------
+#
+# The grid trajectory measures how fast the fabric runs when nothing
+# goes wrong; the chaos trajectory measures how fast it *recovers*
+# when everything does.  Each record replays the seeded fault
+# scenarios from :mod:`repro.chaos` against a live supervised fleet
+# and captures the recovery clock (first worker failure -> every cell
+# published) plus the audit's counters.  Two gates follow:
+#
+# * **invariants** — any audit violation in the current record is a
+#   hard failure regardless of history; a chaos run that loses a cell
+#   or diverges from the serial digests is broken, not slow.
+# * **recovery time** — per scenario joined by (name, seed, workers),
+#   recovery may not regress more than the threshold (default 25%)
+#   over the committed record, with a small absolute epsilon so
+#   sub-second baselines are not gated on scheduler jitter.
+#
+# Recovery is dominated by deliberately-injected waits (lease TTL,
+# restart backoff), so it is wall-clock-bound and machine-comparable
+# without calibration normalisation — same reasoning as the padded
+# grids above.
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One tracked chaos scenario configuration."""
+
+    name: str
+    seed: int = 2010
+    workers: int = 4
+
+
+@dataclass(frozen=True)
+class ChaosScenarioResult:
+    """One scenario's measured recovery, audit counters included."""
+
+    spec: ChaosSpec
+    cells: int
+    wall_seconds: float
+    recovery_seconds: float
+    restarts: int
+    quarantined: int
+    cells_recovered: int
+    takeovers: int
+    swept_leases: int
+    violations: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ChaosRecord:
+    """One point on the chaos-recovery trajectory."""
+
+    schema_version: int
+    label: str
+    recorded_at: Optional[str]
+    calibration_score: float
+    available_cores: int
+    scenarios: Tuple[ChaosScenarioResult, ...]
+    notes: str = ""
+
+
+#: Recovery-time regressions beyond this fraction fail the gate.
+CHAOS_THRESHOLD = 0.25
+
+#: Absolute slack added to every recovery gate: scenario recovery is
+#: seconds-scale and quantised by poll intervals and backoff steps, so
+#: a purely relative gate would flap on sub-second baselines.
+CHAOS_EPSILON_SECONDS = 0.75
+
+#: The tracked scenario matrix (the ``straggler`` control injects no
+#: faults, so its recovery clock never starts — nothing to track).
+CHAOS_SCENARIOS: Tuple[ChaosSpec, ...] = (
+    ChaosSpec(name="kill-storm", seed=2010, workers=4),
+    ChaosSpec(name="heartbeat-freeze", seed=2010, workers=4),
+    ChaosSpec(name="corruption", seed=2010, workers=4),
+)
+
+
+def measure_chaos(
+    spec: ChaosSpec,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ChaosScenarioResult:
+    """Run one chaos scenario and distil its report into a result.
+
+    Violations are *recorded*, not raised — the regression gate turns
+    them into failures so a bad run still lands in the operator's
+    hands as a diffable record.
+    """
+    from .chaos import run_scenario
+
+    if progress is not None:
+        progress(f"chaos {spec.name}: seed {spec.seed}, {spec.workers} workers")
+    report = run_scenario(spec.name, seed=spec.seed, workers=spec.workers)
+    return ChaosScenarioResult(
+        spec=spec,
+        cells=report.cells,
+        wall_seconds=report.wall_seconds,
+        recovery_seconds=report.recovery_seconds,
+        restarts=report.restarts,
+        quarantined=report.quarantined,
+        cells_recovered=report.cells_recovered,
+        takeovers=report.takeovers,
+        swept_leases=report.swept_leases,
+        violations=report.violations,
+    )
+
+
+def measure_chaos_matrix(
+    specs: Sequence[ChaosSpec] = CHAOS_SCENARIOS,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Tuple[ChaosScenarioResult, ...]:
+    """Measure every tracked scenario (matrix order preserved)."""
+    return tuple(measure_chaos(spec, progress=progress) for spec in specs)
+
+
+def chaos_record_to_dict(record: ChaosRecord) -> Dict:
+    """Plain-JSON form (inverse of :func:`chaos_record_from_dict`)."""
+    return {
+        "schema_version": record.schema_version,
+        "label": record.label,
+        "recorded_at": record.recorded_at,
+        "calibration_score": record.calibration_score,
+        "available_cores": record.available_cores,
+        "notes": record.notes,
+        "scenarios": [
+            {
+                "name": s.spec.name,
+                "seed": s.spec.seed,
+                "workers": s.spec.workers,
+                "cells": s.cells,
+                "wall_seconds": s.wall_seconds,
+                "recovery_seconds": s.recovery_seconds,
+                "restarts": s.restarts,
+                "quarantined": s.quarantined,
+                "cells_recovered": s.cells_recovered,
+                "takeovers": s.takeovers,
+                "swept_leases": s.swept_leases,
+                "violations": list(s.violations),
+            }
+            for s in record.scenarios
+        ],
+    }
+
+
+def chaos_record_from_dict(data: Dict) -> ChaosRecord:
+    """Parse one chaos record dict, validating the schema."""
+    try:
+        version = data["schema_version"]
+        if version != SCHEMA_VERSION:
+            raise BenchFormatError(f"unsupported bench schema version {version!r}")
+        scenarios = tuple(
+            ChaosScenarioResult(
+                spec=ChaosSpec(
+                    name=s["name"], seed=s["seed"], workers=s["workers"]
+                ),
+                cells=s["cells"],
+                wall_seconds=s["wall_seconds"],
+                recovery_seconds=s["recovery_seconds"],
+                restarts=s["restarts"],
+                quarantined=s["quarantined"],
+                cells_recovered=s["cells_recovered"],
+                takeovers=s["takeovers"],
+                swept_leases=s["swept_leases"],
+                violations=tuple(s["violations"]),
+            )
+            for s in data["scenarios"]
+        )
+        return ChaosRecord(
+            schema_version=version,
+            label=data["label"],
+            recorded_at=data["recorded_at"],
+            calibration_score=data["calibration_score"],
+            available_cores=data["available_cores"],
+            scenarios=scenarios,
+            notes=data.get("notes", ""),
+        )
+    except KeyError as exc:
+        raise BenchFormatError(f"chaos record is missing field {exc}") from None
+
+
+def load_chaos_history(path: str) -> List[ChaosRecord]:
+    """All chaos records in ``path``, oldest first; ``[]`` when absent."""
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "records" not in data:
+        raise BenchFormatError(f"{path}: expected an object with a 'records' list")
+    return [chaos_record_from_dict(entry) for entry in data["records"]]
+
+
+def write_chaos_record(path: str, record: ChaosRecord, append: bool = True) -> int:
+    """Persist a chaos record; returns the new history length."""
+    history = load_chaos_history(path) if append else []
+    history.append(record)
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "records": [chaos_record_to_dict(entry) for entry in history],
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return len(history)
+
+
+def check_chaos_regression(
+    previous: ChaosRecord,
+    current: ChaosRecord,
+    threshold: float = CHAOS_THRESHOLD,
+    epsilon_seconds: float = CHAOS_EPSILON_SECONDS,
+) -> List[str]:
+    """Compare two chaos records; returns failures (empty = pass).
+
+    Invariant violations in the *current* record always fail; the
+    recovery clock is gated per scenario joined on (name, seed,
+    workers) at ``previous * (1 + threshold) + epsilon_seconds``.
+    """
+    failures: List[str] = []
+    for scenario in current.scenarios:
+        for violation in scenario.violations:
+            failures.append(
+                f"{scenario.spec.name}: invariant violated — {violation}"
+            )
+    prev_scenarios = {s.spec: s for s in previous.scenarios}
+    for scenario in current.scenarios:
+        if scenario.violations:
+            continue
+        prev = prev_scenarios.get(scenario.spec)
+        if prev is None or prev.violations:
+            continue
+        allowed = prev.recovery_seconds * (1.0 + threshold) + epsilon_seconds
+        if scenario.recovery_seconds > allowed:
+            failures.append(
+                f"{scenario.spec.name}: recovery took "
+                f"{scenario.recovery_seconds:.2f}s, over the "
+                f"{allowed:.2f}s limit ({prev.recovery_seconds:.2f}s "
+                f"baseline + {threshold:.0%} + {epsilon_seconds:.2f}s slack)"
+            )
     return failures

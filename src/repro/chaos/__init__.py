@@ -1,0 +1,37 @@
+"""Deterministic chaos engineering for the distributed fabric.
+
+The paper's platform loses machines whenever an owner reclaims one;
+this package attacks our own fabric the same way, on purpose and from
+a seed.  :mod:`.plan` is the in-band fault vocabulary workers execute
+against themselves, :mod:`.harness` turns named scenarios into seeded
+schedules and runs them against a live supervised fleet, and
+:mod:`.invariants` audits what is left on disk afterwards.
+
+Entry points: ``repro chaos run --scenario kill-storm --seed 2010``
+on the command line, :func:`run_scenario` from code.
+"""
+
+from .harness import (
+    SCENARIOS,
+    ChaosReport,
+    ChaosSchedule,
+    build_schedule,
+    run_scenario,
+)
+from .invariants import ChaosAudit, audit_run, grid_digests
+from .plan import CHAOS_PLAN_ENV, ChaosAction, ChaosPlan, ChaosPlanError
+
+__all__ = [
+    "CHAOS_PLAN_ENV",
+    "ChaosAction",
+    "ChaosAudit",
+    "ChaosPlan",
+    "ChaosPlanError",
+    "ChaosReport",
+    "ChaosSchedule",
+    "SCENARIOS",
+    "audit_run",
+    "build_schedule",
+    "grid_digests",
+    "run_scenario",
+]

@@ -1,0 +1,200 @@
+"""The chaos invariant checker: what must survive any fault schedule.
+
+The fabric's safety argument is short — cells are deterministic and
+published atomically, so any race resolves to the same bytes — but an
+argument is not an audit.  :func:`audit_run` re-derives every claim
+from the on-disk evidence a run leaves behind:
+
+1. **completeness** — the report covers every cell and carries no
+   failures;
+2. **bit-identical digests** — each cell's summary hashes to exactly
+   the serial run's value, in grid order (not merely "a" result: *the*
+   result);
+3. **durable publications** — ``cache.peek`` (which verifies the
+   sha256 envelope without touching hit/miss stats) accepts every
+   cell's entry, so no torn or corrupted bytes survived;
+4. **journal consistency** — every lease file parses, none is left
+   ``claimed`` (a claim outliving the run is an orphan: its holder is
+   gone and nobody reconciled it), and every ``done`` marker points at
+   a published entry;
+5. **no droppings** — no abandoned atomic-write tmp files outside the
+   manifests scratch area.
+
+The audit also *counts* the recovery story: done-marker takeover
+counts plus swept settled leases become ``cells_recovered`` — cells
+that were lost mid-flight and completed anyway — which is the number
+``BENCH_chaos.json`` tracks per scenario.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..experiments.cache import ResultCache, stable_hash
+from ..experiments.parallel import CellTask, GridReport
+from ..fabric.lease import CLAIMED, DONE
+
+__all__ = ["ChaosAudit", "audit_run", "grid_digests"]
+
+
+def grid_digests(report: GridReport) -> List[Optional[str]]:
+    """Stable per-cell digests of a grid report, in grid order."""
+    return [
+        stable_hash(o.summary) if o is not None else None
+        for o in report.outcomes
+    ]
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosAudit:
+    """The verdict on one audited run."""
+
+    cells: int
+    violations: Tuple[str, ...]
+    #: Evidence counters: done_markers, takeovers, cells_recovered,
+    #: swept_leases, claimed_leases, torn_leases, tmp_droppings.
+    counters: Tuple[Tuple[str, int], ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counter(self, name: str) -> int:
+        return dict(self.counters).get(name, 0)
+
+    def to_dict(self) -> dict:
+        return {
+            "cells": self.cells,
+            "ok": self.ok,
+            "violations": list(self.violations),
+            "counters": {k: v for k, v in self.counters},
+        }
+
+
+def audit_run(
+    report: GridReport,
+    tasks: Sequence[CellTask],
+    cache: ResultCache,
+    serial_digests: Optional[Sequence[Optional[str]]] = None,
+    swept_leases: int = 0,
+) -> ChaosAudit:
+    """Audit a fabric run against the chaos invariants.
+
+    Args:
+        report: the coordinator's report for the chaos run.
+        tasks: the grid it was asked to compute.
+        cache: the cache directory the fleet coordinated through.
+        serial_digests: :func:`grid_digests` of a clean serial run of
+            the same grid — the bit-identical ground truth.  ``None``
+            skips the digest comparison (unit tests that only care
+            about journal hygiene).
+        swept_leases: settled orphan leases the backend reconciled
+            after the run (``SupervisedWorkerBackend.last_swept_leases``)
+            — each one was a cell lost mid-publish and recovered.
+    """
+    violations: List[str] = []
+    keys = [t.cache_key for t in tasks if t.cache_key]
+
+    # 1. completeness
+    missing = [i for i, o in enumerate(report.outcomes) if o is None]
+    if missing:
+        violations.append(
+            f"report is missing outcomes for cell index(es) {missing[:8]}"
+        )
+    if report.failures:
+        violations.append(
+            f"report carries {len(report.failures)} cell failure(s)"
+        )
+
+    # 2. bit-identical to serial
+    if serial_digests is not None:
+        got = grid_digests(report)
+        if list(got) != list(serial_digests):
+            diverged = [
+                i
+                for i, (a, b) in enumerate(zip(got, serial_digests))
+                if a != b
+            ]
+            violations.append(
+                f"digests diverge from the serial run at cell "
+                f"index(es) {diverged[:8]}"
+            )
+
+    # 3. durable publications
+    unpublished = [k for k in keys if cache.peek(k) is None]
+    if unpublished:
+        violations.append(
+            f"{len(unpublished)} cell(s) have no valid cache entry "
+            f"(first: {unpublished[0][:12]}…)"
+        )
+
+    # 4. journal consistency
+    done_markers = 0
+    takeovers = 0
+    recovered_markers = 0
+    claimed = 0
+    torn = 0
+    key_set = set(keys)
+    leases_dir = cache.leases_dir
+    if leases_dir.is_dir():
+        for path in sorted(leases_dir.iterdir()):
+            if not path.is_file() or not path.name.endswith(".lease"):
+                continue
+            key = path.name[: -len(".lease")]
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+                status = data.get("status")
+            except (OSError, ValueError):
+                torn += 1
+                violations.append(f"unparsable lease file {path.name}")
+                continue
+            if status == CLAIMED:
+                claimed += 1
+                violations.append(
+                    f"orphan claimed lease survived the run: {path.name} "
+                    f"(holder {data.get('worker_id')})"
+                )
+            elif status == DONE:
+                done_markers += 1
+                cell_takeovers = int(data.get("takeovers", 0) or 0)
+                takeovers += cell_takeovers
+                if cell_takeovers > 0:
+                    recovered_markers += 1
+                if key in key_set and cache.peek(key) is None:
+                    violations.append(
+                        f"done marker {path.name} journals an "
+                        "unpublished cell"
+                    )
+            else:
+                violations.append(
+                    f"lease {path.name} has unknown status {status!r}"
+                )
+
+    # 5. no droppings
+    droppings = [
+        p
+        for p in cache.root.glob("*/*.tmp.*")
+        if p.parent.name != "manifests"
+    ]
+    if droppings:
+        violations.append(
+            f"{len(droppings)} abandoned tmp file(s), first: "
+            f"{droppings[0].relative_to(cache.root)}"
+        )
+
+    counters: Dict[str, int] = {
+        "done_markers": done_markers,
+        "takeovers": takeovers,
+        "cells_recovered": recovered_markers + int(swept_leases),
+        "swept_leases": int(swept_leases),
+        "claimed_leases": claimed,
+        "torn_leases": torn,
+        "tmp_droppings": len(droppings),
+    }
+    return ChaosAudit(
+        cells=len(tasks),
+        violations=tuple(violations),
+        counters=tuple(sorted(counters.items())),
+    )

@@ -1,0 +1,285 @@
+"""In-band fault plans: what a worker does to itself, and when.
+
+A :class:`ChaosPlan` is a JSON file of :class:`ChaosAction` entries,
+armed through the ``REPRO_CHAOS_PLAN`` environment variable and loaded
+by each fabric worker at startup (:mod:`repro.fabric.worker`).  The
+worker calls the plan's hooks at the three instants that matter to the
+lease protocol, and a matching action fires right there:
+
+========== ============== ==================================================
+stage       action         effect inside the worker process
+========== ============== ==================================================
+start       ``die``        SIGKILL itself at process startup, before any
+                           claim (the crash-loop a broken binary or bad
+                           host produces — drives supervisor quarantine
+                           independently of what work is left)
+compute     ``die``        SIGKILL itself before simulating the cell
+compute     ``delay``      sleep ``seconds`` before simulating (straggler /
+                           heartbeat freeze while holding the lease)
+publish     ``enospc``     raise ``OSError(ENOSPC)`` in place of the cache
+                           write (disk-full on publish)
+publish     ``torn``       scribble garbage *non-atomically* over the cache
+                           entry path, then SIGKILL itself (the torn write
+                           the cache's atomic protocol normally forbids)
+post-publish ``kill``      SIGKILL itself between ``cache.put`` and
+                           ``release_done`` (the crash-mid-publish window)
+========== ============== ==================================================
+
+Selectors: ``worker`` is matched against the worker id's slot suffix
+(``w2`` matches slot 2 in every incarnation, ``w2r1`` exactly one
+incarnation, ``*`` everyone); ``nth`` picks the worker's n-th computed
+cell (per process — a restarted incarnation reloads the plan and
+counts from zero); ``every`` repeats the action on all matching cells
+instead of consuming it.
+
+Everything is data, so a seeded scenario builds the same plan every
+time and a replayed run injects the same faults at the same points.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import errno
+import json
+import os
+import re
+import signal
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from ..errors import ReproError
+
+__all__ = [
+    "CHAOS_PLAN_ENV",
+    "COMPUTE",
+    "POST_PUBLISH",
+    "PUBLISH",
+    "START",
+    "ChaosAction",
+    "ChaosPlan",
+    "ChaosPlanError",
+    "worker_suffix",
+]
+
+#: Environment variable pointing workers at a serialized plan.
+CHAOS_PLAN_ENV = "REPRO_CHAOS_PLAN"
+
+#: Hook stages, in cell-lifecycle order.
+START = "start"
+COMPUTE = "compute"
+PUBLISH = "publish"
+POST_PUBLISH = "post-publish"
+
+_STAGES = (START, COMPUTE, PUBLISH, POST_PUBLISH)
+_ACTIONS_BY_STAGE = {
+    START: ("die",),
+    COMPUTE: ("die", "delay"),
+    PUBLISH: ("enospc", "torn"),
+    POST_PUBLISH: ("kill",),
+}
+_INCARNATION_RE = re.compile(r"r\d+$")
+
+
+class ChaosPlanError(ReproError):
+    """A fault plan was malformed."""
+
+
+def worker_suffix(worker_id: str) -> str:
+    """The slot suffix of a fabric worker id (``run-123-w2r1`` → ``w2r1``)."""
+    return worker_id.rsplit("-", 1)[-1]
+
+
+def _selector_matches(selector: str, suffix: str) -> bool:
+    if selector == "*" or selector == suffix:
+        return True
+    # "w2" matches every incarnation of slot 2 ("w2", "w2r1", ...)
+    # but not slot 21.
+    if suffix.startswith(selector):
+        rest = suffix[len(selector):]
+        return bool(_INCARNATION_RE.fullmatch(rest))
+    return False
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosAction:
+    """One planned fault.
+
+    Attributes:
+        worker: slot selector (``w0``, ``w0r2``, or ``*``).
+        stage: which hook fires it (:data:`COMPUTE`, :data:`PUBLISH`,
+            :data:`POST_PUBLISH`).
+        action: what happens (see the table in the module docstring).
+        nth: the matching worker's n-th computed cell (0-based,
+            per-process ordinal), ignored when ``every`` is set.
+        every: fire on every matching cell instead of once.
+        seconds: sleep length for ``delay``.
+    """
+
+    worker: str
+    stage: str
+    action: str
+    nth: int = 0
+    every: bool = False
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.stage not in _STAGES:
+            raise ChaosPlanError(
+                f"unknown chaos stage {self.stage!r} (want one of {_STAGES})"
+            )
+        if self.action not in _ACTIONS_BY_STAGE[self.stage]:
+            raise ChaosPlanError(
+                f"action {self.action!r} is not valid at stage "
+                f"{self.stage!r} (want one of "
+                f"{_ACTIONS_BY_STAGE[self.stage]})"
+            )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosAction":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ChaosPlanError(
+                f"unknown chaos action field(s): {sorted(unknown)}"
+            )
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ChaosPlanError(f"bad chaos action {data!r}: {exc}") from exc
+
+
+class ChaosPlan:
+    """The actions armed for one worker process.
+
+    Built either directly (tests) or via :meth:`load` from the file
+    named by :data:`CHAOS_PLAN_ENV`.  Hooks are cheap no-ops when no
+    action matches, so arming a plan perturbs timing only where it
+    injects.
+    """
+
+    def __init__(
+        self,
+        actions: Sequence[ChaosAction],
+        worker_id: str,
+        sleep=time.sleep,
+    ) -> None:
+        suffix = worker_suffix(worker_id)
+        self.worker_id = worker_id
+        self._sleep = sleep
+        self._pending: List[ChaosAction] = [
+            a for a in actions if _selector_matches(a.worker, suffix)
+        ]
+        self.fired: List[ChaosAction] = []
+
+    # -- construction --------------------------------------------------
+
+    @staticmethod
+    def dump(actions: Sequence[ChaosAction], path: Union[str, Path]) -> Path:
+        """Serialize a plan for :data:`CHAOS_PLAN_ENV` consumption."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"actions": [a.to_dict() for a in actions]}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path], worker_id: str) -> "ChaosPlan":
+        """Load the plan file and keep the actions aimed at ``worker_id``."""
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise ChaosPlanError(f"cannot read chaos plan {path}: {exc}") from exc
+        except ValueError as exc:
+            raise ChaosPlanError(f"chaos plan {path} is not JSON: {exc}") from exc
+        raw = data.get("actions") if isinstance(data, dict) else None
+        if not isinstance(raw, list):
+            raise ChaosPlanError(
+                f"chaos plan {path} must be {{\"actions\": [...]}}"
+            )
+        return cls([ChaosAction.from_dict(a) for a in raw], worker_id=worker_id)
+
+    # -- hook plumbing -------------------------------------------------
+
+    def _take(self, stage: str, ordinal: int) -> Optional[ChaosAction]:
+        for action in self._pending:
+            if action.stage != stage:
+                continue
+            if not action.every and action.nth != ordinal:
+                continue
+            if not action.every:
+                self._pending.remove(action)
+            self.fired.append(action)
+            return action
+        return None
+
+    def _log(self, action: ChaosAction, key: str) -> None:
+        print(
+            f"[chaos] {self.worker_id}: {action.action} at {action.stage} "
+            f"(cell {key[:12]}…)",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    def _die(self) -> None:
+        # SIGKILL ourselves: no cleanup, no atexit, no flushing beyond
+        # what already hit the OS — exactly what a reclaimed host or an
+        # OOM kill looks like to the rest of the fleet.
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    # -- worker-facing hooks -------------------------------------------
+
+    def on_start(self) -> None:
+        """At process startup, before the worker claims anything."""
+        action = self._take(START, 0)
+        if action is None:
+            return
+        self._log(action, "(startup)")
+        if action.action == "die":
+            self._die()
+
+    def on_compute(self, key: str, ordinal: int) -> None:
+        """Before the cell is simulated (lease held, nothing published)."""
+        action = self._take(COMPUTE, ordinal)
+        if action is None:
+            return
+        self._log(action, key)
+        if action.action == "die":
+            self._die()
+        elif action.action == "delay":
+            self._sleep(action.seconds)
+
+    def on_publish(self, cache, key: str, ordinal: int) -> None:
+        """In place of the cache write (result computed, not yet durable)."""
+        action = self._take(PUBLISH, ordinal)
+        if action is None:
+            return
+        self._log(action, key)
+        if action.action == "enospc":
+            raise OSError(errno.ENOSPC, "chaos: no space left on device")
+        if action.action == "torn":
+            # The torn write the cache's tmp-then-rename protocol is
+            # designed to make impossible: bypass it, leave half a
+            # record at the real path, and die before anyone can be
+            # told.  peek() must reject this as a digest mismatch.
+            target = cache.path_for(key)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            with open(target, "wb") as fh:
+                fh.write(b"RPC1torn-entry-from-chaos")
+            self._die()
+
+    def on_post_publish(self, key: str, ordinal: int) -> None:
+        """Between ``cache.put`` and ``release_done`` (the orphan window)."""
+        action = self._take(POST_PUBLISH, ordinal)
+        if action is None:
+            return
+        self._log(action, key)
+        if action.action == "kill":
+            self._die()

@@ -48,6 +48,7 @@ telemetry as ``cells.jsonl``); see ``docs/performance.md`` and
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -239,8 +240,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-dir", default=None, metavar="DIR",
         help="write cells.jsonl and fabric gauges (repro_fabric_cells) into DIR",
     )
+    run_grid.add_argument(
+        "--supervise", action="store_true",
+        help="run the fleet under the self-healing supervisor (crash "
+        "restarts with backoff, quarantine, elastic sizing); overrides "
+        "--backend (see docs/robustness.md)",
+    )
+    run_grid.add_argument(
+        "--min-workers", type=int, default=1, metavar="N",
+        help="--supervise: never shrink the fleet below N workers (default 1)",
+    )
+    run_grid.add_argument(
+        "--max-workers", type=int, default=4, metavar="N",
+        help="--supervise: never grow the fleet above N workers (default 4)",
+    )
     _add_scale_seed(run_grid)
     _add_policy_override(run_grid)
+
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help="run a seeded fault-injection scenario against a live "
+        "supervised fleet and audit the invariants "
+        "(see docs/robustness.md)",
+    )
+    chaos_cmd.add_argument(
+        "action", choices=["run", "list"],
+        help="'run' one scenario end to end, or 'list' the catalogue",
+    )
+    chaos_cmd.add_argument(
+        "--scenario", default="kill-storm", metavar="NAME",
+        help="scenario to run (see 'repro chaos list'; default: kill-storm)",
+    )
+    chaos_cmd.add_argument(
+        "--seed", type=int, default=2010, metavar="N",
+        help="deterministic schedule seed (default 2010)",
+    )
+    chaos_cmd.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="fleet size ceiling during the scenario (default 4)",
+    )
+    chaos_cmd.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the full report as JSON instead of a summary",
+    )
 
     policies_cmd = sub.add_parser(
         "policies", help="inspect the policy plugin registry"
@@ -750,7 +792,27 @@ def _cmd_run_grid(args: argparse.Namespace) -> int:
             f"static shard {args.shard_id}/{args.num_shards}: "
             f"{len(tasks)} of {total_cells} cells"
         )
-    backend = backend_from_spec(args.backend)
+    if args.supervise:
+        import signal
+
+        from .fabric import SupervisedWorkerBackend
+
+        if not 1 <= args.min_workers <= args.max_workers:
+            raise ReproError(
+                "--supervise needs 1 <= --min-workers <= --max-workers "
+                f"(got {args.min_workers}..{args.max_workers})"
+            )
+        backend = SupervisedWorkerBackend(
+            min_workers=args.min_workers, max_workers=args.max_workers
+        )
+        # SIGTERM asks for a graceful drain: stop the fleet, leave the
+        # leases and cache coherent, exit nonzero.  A resumed run picks
+        # up exactly the unpublished cells.
+        signal.signal(
+            signal.SIGTERM, lambda *_: backend.request_drain()
+        )
+    else:
+        backend = backend_from_spec(args.backend)
     cache = open_cache(args.cache_dir, False if args.no_cache else None)
     checkpoint = GridCheckpoint(args.checkpoint) if args.checkpoint else None
     feed = _make_cell_feed(args)
@@ -878,6 +940,39 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     )
     print(f"cache {directory}: {report.as_line()}")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .chaos import SCENARIOS, run_scenario
+
+    if args.action == "list":
+        width = max(len(name) for name in SCENARIOS)
+        for name, description in SCENARIOS.items():
+            print(f"  {name:<{width}}  {description}")
+        return 0
+    if args.scenario not in SCENARIOS:
+        known = ", ".join(SCENARIOS)
+        raise ReproError(f"unknown scenario {args.scenario!r} (known: {known})")
+    report = run_scenario(
+        args.scenario, seed=args.seed, workers=args.workers
+    )
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        verdict = "OK" if report.ok else "VIOLATED"
+        print(
+            f"chaos {report.scenario} (seed {report.seed}): {verdict} — "
+            f"{report.cells} cells in {report.wall_seconds:.2f}s, "
+            f"recovery {report.recovery_seconds:.2f}s, "
+            f"{report.restarts} restart(s), "
+            f"{report.quarantined} quarantined, "
+            f"{report.cells_recovered} cell(s) recovered, "
+            f"{report.takeovers} takeover(s), "
+            f"{report.swept_leases} lease(s) swept"
+        )
+        for violation in report.violations:
+            print(f"  VIOLATION: {violation}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _cmd_generate_trace(args: argparse.Namespace) -> int:
@@ -1084,6 +1179,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "faults": _cmd_faults,
     "run-grid": _cmd_run_grid,
+    "chaos": _cmd_chaos,
     "policies": _cmd_policies,
     "cache": _cmd_cache,
     "stats": _cmd_stats,

@@ -55,6 +55,7 @@ __all__ = [
     "CacheDiskStats",
     "CacheGcReport",
     "CacheStats",
+    "LEASE_GRACE_SECONDS",
     "ResultCache",
     "cell_cache_key",
     "derive_cell_seed",
@@ -326,6 +327,14 @@ class CacheDiskStats:
         )
 
 
+#: A ``claimed`` fabric lease whose file was rewritten (heartbeat)
+#: within this many seconds is *live*: gc must not evict its entry or
+#: steal its lease, no matter what the age/size bounds say.  Generous
+#: relative to worker heartbeat cadence (TTL/3) on purpose — gc racing
+#: an active fleet should err toward keeping a cell.
+LEASE_GRACE_SECONDS = 120.0
+
+
 @dataclasses.dataclass(frozen=True)
 class CacheGcReport:
     """What one :meth:`ResultCache.gc` pass did (or would do)."""
@@ -336,18 +345,23 @@ class CacheGcReport:
     bytes_remaining: int
     lease_files_removed: int
     dry_run: bool = False
+    #: Entries/leases protected because a worker holds a live claim.
+    leases_live: int = 0
 
     def as_line(self) -> str:
         """One-line human-readable rendering for the CLI."""
         verb = "would evict" if self.dry_run else "evicted"
         freed = self.bytes_freed / (1024.0 * 1024.0)
         kept = self.bytes_remaining / (1024.0 * 1024.0)
-        return (
+        line = (
             f"{verb} {self.evicted}/{self.scanned} entr"
             f"{'y' if self.evicted == 1 else 'ies'} ({freed:.1f} MB), "
             f"{kept:.1f} MB remaining, "
             f"{self.lease_files_removed} lease file(s) removed"
         )
+        if self.leases_live:
+            line += f", {self.leases_live} live lease(s) protected"
+        return line
 
 
 class ResultCache:
@@ -482,6 +496,29 @@ class ResultCache:
             return []
         return sorted(p for p in self.leases_dir.iterdir() if p.is_file())
 
+    def _live_lease_keys(self, now: float, grace: float) -> set:
+        """Keys whose lease is a recently-heartbeaten ``claimed`` claim.
+
+        A claimed lease is judged live by its *file mtime* (the holder
+        rewrites the file on every heartbeat), not by the wall-clock
+        timestamps inside it — mtime and ``now`` come from the same
+        local clock, so a worker on a host with a stepped clock still
+        keeps its claim protected.  ``done`` markers are never live:
+        they journal finished work and are fair game for cleanup.
+        """
+        live = set()
+        for lease_path in self._lease_files():
+            if not lease_path.name.endswith(".lease"):
+                continue
+            try:
+                age = now - lease_path.stat().st_mtime
+                data = json.loads(lease_path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if data.get("status") == "claimed" and age <= grace:
+                live.add(lease_path.name[: -len(".lease")])
+        return live
+
     def disk_stats(self, now: Optional[float] = None) -> CacheDiskStats:
         """Scan the directory and report what it holds."""
         now = time.time() if now is None else now
@@ -508,6 +545,7 @@ class ResultCache:
         max_age_seconds: Optional[float] = None,
         now: Optional[float] = None,
         dry_run: bool = False,
+        lease_grace_seconds: float = LEASE_GRACE_SECONDS,
     ) -> CacheGcReport:
         """Evict entries until the cache satisfies the given bounds.
 
@@ -520,23 +558,39 @@ class ResultCache:
         fabric lease files (older than ``max_age_seconds``, or all of
         them when only ``max_bytes`` is given and the entry they
         journal is gone) are cleaned up alongside.
+
+        gc is safe to run concurrently with an active worker fleet: a
+        cell whose lease is ``claimed`` and recently heartbeaten
+        (within ``lease_grace_seconds`` of file mtime) is *live* — its
+        entry is never evicted and its lease never removed, whatever
+        the age/size bounds say.  At worst a protected cell makes a
+        ``max_bytes`` pass overshoot its target until the claim
+        settles.
         """
         now = time.time() if now is None else now
+        live = self._live_lease_keys(now, lease_grace_seconds)
         entries = list(self.iter_entries())
         total = sum(size for _k, _p, size, _m in entries)
         doomed = []
         survivors = []
         for entry in entries:
-            _key, _path, _size, mtime = entry
-            if max_age_seconds is not None and now - mtime > max_age_seconds:
+            key, _path, _size, mtime = entry
+            if (
+                max_age_seconds is not None
+                and now - mtime > max_age_seconds
+                and key not in live
+            ):
                 doomed.append(entry)
             else:
                 survivors.append(entry)
         if max_bytes is not None:
             kept_bytes = sum(size for _k, _p, size, _m in survivors)
-            survivors.sort(key=lambda e: e[3])  # oldest mtime first
-            while survivors and kept_bytes > max_bytes:
-                victim = survivors.pop(0)
+            evictable = sorted(
+                (e for e in survivors if e[0] not in live),
+                key=lambda e: e[3],  # oldest mtime first
+            )
+            while evictable and kept_bytes > max_bytes:
+                victim = evictable.pop(0)
                 doomed.append(victim)
                 kept_bytes -= victim[2]
         freed = 0
@@ -561,6 +615,11 @@ class ResultCache:
                 age = now - lease_path.stat().st_mtime
             except OSError:
                 continue
+            if lease_path.stem in live:
+                # A heartbeating claim is never swept, even by an
+                # aggressive --max-age: the holder is computing right
+                # now and stealing its lease would duplicate the work.
+                continue
             stale = max_age_seconds is not None and age > max_age_seconds
             orphaned = lease_path.stem in doomed_keys
             if not (stale or orphaned):
@@ -582,6 +641,7 @@ class ResultCache:
             bytes_remaining=total - freed,
             lease_files_removed=lease_removed,
             dry_run=dry_run,
+            leases_live=len(live),
         )
 
     def _sweep_tmp_files(self) -> None:

@@ -30,6 +30,13 @@ coordination medium:
   materializes every ``SimulationResult``), per-backend telemetry
   gauges, and static sharding (:func:`~repro.fabric.coordinator.shard_tasks`)
   as the no-shared-cache fallback.
+* :mod:`.supervisor` — the self-healing layer:
+  :class:`~repro.fabric.supervisor.FleetSupervisor` restarts dead
+  workers with exponential backoff and deterministic jitter,
+  quarantines crash-loopers after a budget, grows/shrinks the fleet
+  elastically as the grid drains, and drains gracefully on request;
+  :class:`~repro.fabric.supervisor.SupervisedWorkerBackend` wraps it
+  as a drop-in backend (``--backend supervised:1-4``).
 * :mod:`.presets` — named grid builders for the CLI and benchmarks.
 
 Determinism contract: because every cell's seed derives from its
@@ -56,6 +63,12 @@ from .lease import (
     LeaseStore,
 )
 from .presets import GRID_PRESETS, build_grid
+from .supervisor import (
+    FleetSupervisor,
+    SupervisedWorkerBackend,
+    SupervisorConfig,
+    SupervisorStats,
+)
 from .worker import WorkerStats, run_worker
 
 __all__ = [
@@ -74,6 +87,11 @@ __all__ = [
     "SubprocessWorkerBackend",
     "SSHBackend",
     "backend_from_spec",
+    # supervision
+    "FleetSupervisor",
+    "SupervisedWorkerBackend",
+    "SupervisorConfig",
+    "SupervisorStats",
     # coordinator
     "run_grid_fabric",
     "shard_tasks",

@@ -24,8 +24,15 @@ for free.
   it shares the full :class:`Backend` interface so swapping it in is
   a one-line change.
 
+Every spawned worker's stderr is captured to a per-worker log file
+under ``<cache>/manifests/``; when a worker dies, the last
+:data:`STDERR_TAIL_LINES` lines are surfaced in the coordinator's
+failure message (and in the supervisor's restart log), so chaos kills
+and real crashes alike are diagnosable from the coordinating process.
+
 :func:`backend_from_spec` parses the CLI's ``--backend`` strings:
-``local``, ``local:4``, ``subprocess:2``, ``ssh:host1,host2``.
+``local``, ``local:4``, ``subprocess:2``, ``supervised:1-4``,
+``ssh:host1,host2``.
 """
 
 from __future__ import annotations
@@ -49,10 +56,32 @@ __all__ = [
     "BackendError",
     "LocalPoolBackend",
     "SSHBackend",
+    "STDERR_TAIL_LINES",
     "SubprocessWorkerBackend",
     "backend_from_spec",
     "new_run_id",
+    "stderr_tail",
 ]
+
+#: How many trailing stderr lines of a dead worker are surfaced.
+STDERR_TAIL_LINES = 20
+
+
+def stderr_tail(path, limit: int = STDERR_TAIL_LINES) -> str:
+    """The last ``limit`` lines of a worker's captured stderr log.
+
+    Returns ``""`` when the log is missing or empty — a dead worker
+    that never wrote is reported as silent, not as an error about the
+    error report.
+    """
+    if path is None:
+        return ""
+    try:
+        text = Path(path).read_text(encoding="utf-8", errors="replace")
+    except OSError:
+        return ""
+    lines = text.splitlines()
+    return "\n".join(lines[-limit:])
 
 
 class BackendError(ReproError):
@@ -144,6 +173,54 @@ class SubprocessWorkerBackend:
         )
         return env
 
+    def worker_stderr_path(self, cache_dir: Path, worker_id: str) -> Path:
+        """Where one worker's captured stderr log lives."""
+        return Path(cache_dir) / "manifests" / f"{worker_id}.stderr.log"
+
+    def spawn_worker(
+        self,
+        manifest: Path,
+        cache_dir: Path,
+        run_id: str,
+        lease_ttl: float,
+        worker_id: str,
+    ) -> subprocess.Popen:
+        """Spawn one worker process, stderr captured to its log file.
+
+        The returned ``Popen`` carries a ``stderr_path`` attribute so
+        whoever reaps the process (the backend's ``_await`` or the
+        fleet supervisor) can surface the tail of its last words.
+        """
+        cache_dir = Path(cache_dir)
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro.fabric._worker_main",
+            "--manifest",
+            str(manifest),
+            "--cache-dir",
+            str(cache_dir),
+            "--worker-id",
+            worker_id,
+            "--run-id",
+            run_id,
+            "--ttl",
+            str(lease_ttl),
+            "--poll",
+            str(self.poll_interval),
+            "--stats-file",
+            str(cache_dir / "manifests" / f"{worker_id}.stats.json"),
+        ]
+        stderr_path = self.worker_stderr_path(cache_dir, worker_id)
+        stderr_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(stderr_path, "wb") as stderr_log:
+            proc = subprocess.Popen(
+                cmd, env=self._worker_env(), stderr=stderr_log
+            )
+        proc.stderr_path = stderr_path
+        proc.worker_id = worker_id
+        return proc
+
     def run(
         self,
         tasks: Sequence[CellTask],
@@ -155,30 +232,15 @@ class SubprocessWorkerBackend:
         manifest = write_manifest(
             tasks, cache_dir / "manifests" / f"{run_id}.manifest"
         )
-        env = self._worker_env()
         procs: List[subprocess.Popen] = []
         try:
             for i in range(self.n_workers):
-                cmd = [
-                    sys.executable,
-                    "-m",
-                    "repro.fabric._worker_main",
-                    "--manifest",
-                    str(manifest),
-                    "--cache-dir",
-                    str(cache_dir),
-                    "--worker-id",
-                    f"{run_id}-w{i}",
-                    "--run-id",
-                    run_id,
-                    "--ttl",
-                    str(lease_ttl),
-                    "--poll",
-                    str(self.poll_interval),
-                    "--stats-file",
-                    str(cache_dir / "manifests" / f"{run_id}-w{i}.stats.json"),
-                ]
-                procs.append(subprocess.Popen(cmd, env=env))
+                procs.append(
+                    self.spawn_worker(
+                        manifest, cache_dir, run_id, lease_ttl,
+                        worker_id=f"{run_id}-w{i}",
+                    )
+                )
             self._await(procs, tasks, cache_dir, run_id, lease_ttl)
         finally:
             for proc in procs:
@@ -217,6 +279,24 @@ class SubprocessWorkerBackend:
                         f"{len(unpublished)} remaining cell(s) in-process",
                         file=sys.stderr,
                     )
+                    for proc in crashed:
+                        tail = stderr_tail(
+                            getattr(proc, "stderr_path", None)
+                        )
+                        label = (
+                            f"[fabric] worker exit {proc.returncode}"
+                            f" (pid {proc.pid})"
+                        )
+                        if tail:
+                            print(
+                                f"{label}, last stderr lines:\n{tail}",
+                                file=sys.stderr,
+                            )
+                        else:
+                            print(
+                                f"{label}, no stderr output captured",
+                                file=sys.stderr,
+                            )
                     leases = LeaseStore(
                         cache_dir,
                         run_id=run_id,
@@ -288,8 +368,10 @@ def backend_from_spec(spec: str) -> Backend:
 
     ``local`` / ``local:N`` → :class:`LocalPoolBackend`;
     ``subprocess:N`` (``subprocess`` alone defaults to 2) →
-    :class:`SubprocessWorkerBackend`; ``ssh:host1,host2`` →
-    :class:`SSHBackend`.
+    :class:`SubprocessWorkerBackend`; ``supervised:MIN-MAX`` (or
+    ``supervised:N``, defaults 1-4) → the self-healing
+    :class:`~repro.fabric.supervisor.SupervisedWorkerBackend`;
+    ``ssh:host1,host2`` → :class:`SSHBackend`.
     """
     kind, _, arg = spec.partition(":")
     kind = kind.strip().lower()
@@ -298,13 +380,27 @@ def backend_from_spec(spec: str) -> Backend:
             return LocalPoolBackend(int(arg) if arg else 1)
         if kind == "subprocess":
             return SubprocessWorkerBackend(int(arg) if arg else 2)
+        if kind == "supervised":
+            from .supervisor import SupervisedWorkerBackend
+
+            if not arg:
+                return SupervisedWorkerBackend()
+            low, sep, high = arg.partition("-")
+            if sep:
+                return SupervisedWorkerBackend(
+                    min_workers=int(low), max_workers=int(high)
+                )
+            return SupervisedWorkerBackend(
+                min_workers=1, max_workers=int(low)
+            )
     except ValueError:
         raise ReproError(f"bad worker count in backend spec: {spec!r}") from None
     if kind == "ssh":
         hosts = [h.strip() for h in arg.split(",") if h.strip()]
         return SSHBackend(hosts)
     raise ReproError(
-        f"unknown backend {spec!r} (expected local[:N], subprocess[:N] or ssh:hosts)"
+        f"unknown backend {spec!r} (expected local[:N], subprocess[:N], "
+        "supervised[:MIN-MAX] or ssh:hosts)"
     )
 
 

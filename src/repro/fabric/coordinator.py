@@ -364,5 +364,26 @@ def run_grid_fabric(
             if provenance in provenance_counts:
                 states[provenance] = provenance_counts[provenance]
         _record_gauges(registry, backend.name, states)
+        supervisor_stats = getattr(backend, "last_supervisor_stats", None)
+        if supervisor_stats is not None:
+            registry.gauge(
+                "repro_fabric_restarts",
+                "Worker restarts the fleet supervisor performed in the "
+                "last coordinated run",
+                ("backend",),
+            ).labels(backend=backend.name).set(supervisor_stats.restarts)
+            events = registry.gauge(
+                "repro_fabric_supervisor",
+                "Fleet supervisor recovery actions in the last "
+                "coordinated run",
+                ("backend", "event"),
+            )
+            for event, value in (
+                ("quarantined", supervisor_stats.quarantined),
+                ("grown", supervisor_stats.grown),
+                ("shrunk", supervisor_stats.shrunk),
+                ("swept_leases", getattr(backend, "last_swept_leases", 0)),
+            ):
+                events.labels(backend=backend.name, event=event).set(value)
 
     return report

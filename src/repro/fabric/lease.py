@@ -25,10 +25,17 @@ of any race (two holders after a partition, a stale TTL that was
 merely slow) is the same bytes written twice.  The protocol only
 exists to make duplicated work rare.
 
-All timestamps are wall-clock ``time.time()`` — leases must be
-comparable across hosts sharing the cache directory; the TTL is
-minutes-scale, so NTP-grade skew is irrelevant.  The clock is
-injectable for tests.
+All timestamps *in the file* are wall-clock ``time.time()`` — leases
+must be comparable across hosts sharing the cache directory; the TTL
+is minutes-scale, so NTP-grade skew is irrelevant.  Staleness,
+however, is never judged by wall clock alone: a backwards clock step
+(NTP correction, VM resume) could otherwise pin a dead holder's lease
+fresh forever.  Negative heartbeat ages clamp to zero, and each
+:class:`LeaseStore` additionally remembers the **local monotonic**
+instant it first observed every ``heartbeat_at`` value — a lease whose
+heartbeat has not changed for a full TTL of monotonic time is stale no
+matter what the wall clock says.  Both clocks are injectable for
+tests.
 """
 
 from __future__ import annotations
@@ -80,8 +87,15 @@ class Lease:
     wall_seconds: float = 0.0
 
     def age(self, now: float) -> float:
-        """Seconds since the holder last heartbeat."""
-        return now - self.heartbeat_at
+        """Seconds since the holder last heartbeat (never negative).
+
+        A backwards wall-clock step can put ``heartbeat_at`` in the
+        observer's future; a negative age clamps to zero so the lease
+        reads *fresh* — the safe direction, since staleness grants
+        takeover.  Liveness across clock steps is restored by
+        :meth:`LeaseStore.observed_stale`'s monotonic observations.
+        """
+        return max(0.0, now - self.heartbeat_at)
 
     def is_stale(self, now: float, ttl: float) -> bool:
         """Whether the holder is presumed dead (claimed + heartbeat old)."""
@@ -106,6 +120,8 @@ class LeaseStore:
         worker_id: identity of this claimant (one store per worker).
         ttl_seconds: heartbeat age beyond which claims are stealable.
         clock: wall-clock source, injectable for tests.
+        monotonic: monotonic clock used for local staleness
+            observations (immune to wall-clock steps).
     """
 
     def __init__(
@@ -115,6 +131,7 @@ class LeaseStore:
         worker_id: str,
         ttl_seconds: float = DEFAULT_TTL_SECONDS,
         clock=time.time,
+        monotonic=time.monotonic,
     ) -> None:
         from ..experiments.cache import ResultCache
 
@@ -124,7 +141,10 @@ class LeaseStore:
         self.worker_id = worker_id
         self.ttl = float(ttl_seconds)
         self._clock = clock
+        self._monotonic = monotonic
         self._host = socket.gethostname()
+        #: key -> (heartbeat_at last seen, monotonic instant first seen).
+        self._observed: dict = {}
 
     def path_for(self, key: str) -> Path:
         """On-disk path of the lease for cache key ``key``."""
@@ -164,17 +184,64 @@ class LeaseStore:
         except FileExistsError:
             existing = self.read(key)
             if existing is None:
-                # Garbage or vanished-underneath-us: retry the exclusive
-                # create on the next poll rather than racing blind now.
+                # Unreadable lease.  Two very different causes: a
+                # racing claimer that won the exclusive create
+                # microseconds ago and has not finished writing (the
+                # file is brand new — leave it alone), or a torn file
+                # from a non-atomic external writer (it will never
+                # become readable and nobody can heartbeat it — after
+                # a TTL of staying garbage, clear it so the cell is
+                # claimable again instead of pinned forever).
+                try:
+                    age = now - path.stat().st_mtime
+                except OSError:
+                    return False
+                if age > self.ttl:
+                    try:
+                        path.unlink(missing_ok=True)
+                    except OSError:
+                        pass
                 return False
-            if existing.status == DONE or not existing.is_stale(now, self.ttl):
+            if existing.status == DONE:
+                self._observed.pop(key, None)
                 return False
+            # Wall-clock staleness catches ordinary deaths; the
+            # monotonic observation catches holders whose heartbeat is
+            # pinned fresh by a backwards wall-clock step.
+            if not (
+                existing.is_stale(now, self.ttl)
+                or self.observed_stale(key, existing)
+            ):
+                return False
+            self._observed.pop(key, None)
             return self._takeover(key, existing, now)
         try:
             os.write(fd, body.encode("utf-8"))
         finally:
             os.close(fd)
         return True
+
+    def observed_stale(self, key: str, lease: Lease) -> bool:
+        """Staleness judged by *this store's* monotonic clock.
+
+        Wall-clock staleness misjudges in both directions: a forward
+        step fakes staleness (survivable — takeover is safe by
+        design), while a backwards step makes a dead holder's
+        heartbeat look perpetually fresh (not survivable — the cell
+        would never be taken over).  So the store remembers the
+        monotonic instant it first saw each ``heartbeat_at`` value;
+        a claimed lease whose heartbeat has not advanced for a full
+        TTL of local monotonic time is stale regardless of what the
+        wall-clock arithmetic says.  The first observation of any
+        heartbeat value always reads fresh — staleness needs a full
+        locally-measured TTL of silence.
+        """
+        mono_now = self._monotonic()
+        seen = self._observed.get(key)
+        if seen is None or seen[0] != lease.heartbeat_at:
+            self._observed[key] = (lease.heartbeat_at, mono_now)
+            return False
+        return mono_now - seen[1] > self.ttl
 
     def _takeover(self, key: str, stale: Lease, now: float) -> bool:
         """Steal a stale lease; ``True`` if our write won the race."""
@@ -216,14 +283,29 @@ class LeaseStore:
         return True
 
     def release_done(self, key: str, wall_seconds: float = 0.0) -> None:
-        """Replace our claim with a ``done`` marker (provenance journal)."""
+        """Replace our claim with a ``done`` marker (provenance journal).
+
+        The marker inherits the current lease's takeover count —
+        whether that lease is still our claim or already a thief's (or
+        even the thief's done marker, when we are the resumed original
+        holder publishing second) — so the journal records how
+        contested the cell was; the chaos invariant checker reads it
+        back as "cells lost, then recovered".
+        """
         from ..fsutil import atomic_write_text
 
         now = self._clock()
+        current = self.read(key)
+        takeovers = current.takeovers if current is not None else 0
         body = self._render(
-            key, DONE, claimed_at=now, takeovers=0, wall_seconds=wall_seconds
+            key,
+            DONE,
+            claimed_at=now,
+            takeovers=takeovers,
+            wall_seconds=wall_seconds,
         )
         atomic_write_text(self.path_for(key), body)
+        self._observed.pop(key, None)
 
     def release_failed(self, key: str) -> None:
         """Drop our claim so another worker may retry immediately."""
@@ -234,6 +316,7 @@ class LeaseStore:
             self.path_for(key).unlink(missing_ok=True)
         except OSError:
             pass
+        self._observed.pop(key, None)
 
     def _render(
         self,

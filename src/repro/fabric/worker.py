@@ -29,6 +29,13 @@ the exact command line the SSH backend plans for remote hosts.
 to at least that wall time.  It exists for scheduling-bound fabric
 benchmarks on small CI machines and is honestly recorded in the bench
 metadata; it is never set in real runs.
+
+``REPRO_CHAOS_PLAN`` (path to a JSON fault plan, see
+:mod:`repro.chaos.plan`) arms in-band fault injection: the worker
+calls the plan's hooks at the three interesting instants of a cell's
+life (before compute, before publish, between publish and lease
+release) and the plan decides whether to die, stall, or corrupt right
+there.  Never set outside the chaos harness.
 """
 
 from __future__ import annotations
@@ -172,6 +179,7 @@ def run_worker(
     wait_for_all: bool = True,
     cell_floor: Optional[float] = None,
     sleep=time.sleep,
+    chaos=None,
 ) -> WorkerStats:
     """Run the claim/compute/publish loop until the grid is published.
 
@@ -188,6 +196,10 @@ def run_worker(
         cell_floor: pad each computed cell to at least this wall time
             (see :data:`CELL_FLOOR_ENV`).
         sleep: sleep function, injectable for tests.
+        chaos: optional :class:`~repro.chaos.plan.ChaosPlan` whose
+            ``on_compute`` / ``on_publish`` / ``on_post_publish``
+            hooks fire around each computed cell (fault injection for
+            the chaos harness; ``None`` in real runs).
     """
     stats = WorkerStats(worker_id=leases.worker_id)
     start = time.perf_counter()
@@ -237,13 +249,18 @@ def run_worker(
 
             for task in claimed:
                 key = task.cache_key
+                ordinal = stats.computed
                 try:
+                    if chaos is not None:
+                        chaos.on_compute(key, ordinal)
                     _, summary, result, wall = _simulate_task(task)
                     if cell_floor is not None and wall < cell_floor:
                         sleep(cell_floor - wall)
                         wall = cell_floor
                     stats.computed += 1
                     recent_walls.append(wall)
+                    if chaos is not None:
+                        chaos.on_publish(cache, key, ordinal)
                     cache.put(
                         key,
                         {
@@ -253,6 +270,13 @@ def run_worker(
                         },
                     )
                     stats.published += 1
+                    if chaos is not None:
+                        chaos.on_post_publish(key, ordinal)
+                    # Stop heartbeating before writing the done marker:
+                    # a heartbeat in flight after release_done could
+                    # rename a stale CLAIMED body over the marker,
+                    # leaving a settled orphan for the sweep to clean.
+                    heartbeat.drop(key)
                     leases.release_done(key, wall_seconds=wall)
                 except Exception:
                     # A poisoned cell must not kill the worker (its
@@ -313,8 +337,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     floor_text = os.environ.get(CELL_FLOOR_ENV)
     cell_floor = float(floor_text) if floor_text else None
+    chaos = None
+    from ..chaos.plan import CHAOS_PLAN_ENV, ChaosPlan
+
+    plan_path = os.environ.get(CHAOS_PLAN_ENV)
+    if plan_path:
+        chaos = ChaosPlan.load(plan_path, worker_id=args.worker_id)
+        chaos.on_start()
     stats = run_worker(
-        tasks, cache, leases, poll_interval=args.poll, cell_floor=cell_floor
+        tasks, cache, leases, poll_interval=args.poll, cell_floor=cell_floor,
+        chaos=chaos,
     )
     if args.stats_file:
         atomic_write_text(

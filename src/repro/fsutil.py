@@ -13,6 +13,7 @@ SIGKILLed mid-write.
 from __future__ import annotations
 
 import os
+import threading
 from pathlib import Path
 from typing import Union
 
@@ -22,7 +23,15 @@ __all__ = ["atomic_write_bytes", "atomic_write_text"]
 def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
     """Write ``data`` to ``path`` atomically (tmp file + ``os.replace``)."""
     path = Path(path)
-    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    # The tmp name must be unique per *writer*, not per process: two
+    # threads of one process writing the same path (a worker's
+    # heartbeat thread racing its compute thread on a lease file)
+    # would otherwise interleave inside a shared tmp file and rename
+    # torn bytes into place.  The pid stays last so crash-sweepers can
+    # parse it for a liveness check.
+    tmp = path.with_name(
+        f"{path.name}.tmp.{threading.get_ident()}.{os.getpid()}"
+    )
     try:
         with open(tmp, "wb") as handle:
             handle.write(data)

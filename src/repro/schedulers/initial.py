@@ -55,6 +55,17 @@ class InitialScheduler:
         """
         raise NotImplementedError
 
+    def reset(self) -> None:
+        """Drop any per-run state.
+
+        The engine calls this when it takes ownership of a scheduler
+        instance, so reusing one object across simulations (a grid
+        sharing a scheduler between cells) cannot leak placement state
+        from one run into the next — every run must be a pure function
+        of its inputs for the cache/fabric bit-identical contract to
+        hold.  Stateless schedulers inherit this no-op.
+        """
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -71,6 +82,9 @@ class RoundRobinScheduler(InitialScheduler):
 
     def __init__(self) -> None:
         self._cursors: Dict[Tuple[str, ...], int] = {}
+
+    def reset(self) -> None:
+        self._cursors.clear()
 
     def order(self, candidates: Sequence[str], view: SystemView) -> List[str]:
         key = tuple(candidates)

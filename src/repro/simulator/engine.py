@@ -144,6 +144,10 @@ class SimulationEngine:
         self.config = config or SimulationConfig()
         self.policy = policy or NoRescheduling()
         self.scheduler = initial_scheduler or RoundRobinScheduler()
+        # A reused scheduler instance (grids share one object across
+        # cells) must not leak placement state between runs: every
+        # simulation is a pure function of its inputs.
+        self.scheduler.reset()
         instrumentation = self.config.instrumentation
         self._observers = instrumentation.observers
         self._telemetry: Optional[EngineTelemetry] = (

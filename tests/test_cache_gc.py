@@ -211,3 +211,129 @@ class TestGc:
         report = cache.gc()
         assert report.evicted == 0
         assert all(cache.peek(k) is not None for k in keys)
+
+
+class TestGcConcurrentWithFleet:
+    """``cache gc`` racing an active fleet (satellite invariants).
+
+    A gc pass over a cache that a live fleet is using must never evict
+    an entry whose cell is under a *live* claimed lease (the worker
+    would see its published result vanish mid-run) and never remove a
+    heartbeating lease file (that would hand the cell to a second
+    worker while the first still computes).  Liveness is judged by the
+    lease file's mtime — heartbeats rewrite it — against
+    ``lease_grace_seconds``.
+    """
+
+    def test_age_gc_spares_live_leased_entry(self, tmp_path):
+        import time as time_module
+
+        cache = ResultCache(tmp_path)
+        keys = fill(cache, 2)
+        leases = LeaseStore(tmp_path, run_id="r", worker_id="w")
+        assert leases.claim(keys[0])  # live: lease file mtime is now
+        now = time_module.time()
+        for k in keys:
+            os.utime(cache.path_for(k), (now - 5000.0, now - 5000.0))
+        report = cache.gc(max_age_seconds=100.0, now=now)
+        assert report.evicted == 1
+        assert report.leases_live == 1
+        assert cache.peek(keys[0]) is not None  # protected
+        assert cache.peek(keys[1]) is None
+        assert "1 live lease(s) protected" in report.as_line()
+
+    def test_size_gc_spares_live_leased_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = fill(cache, 2, payload_bytes=2048)
+        leases = LeaseStore(tmp_path, run_id="r", worker_id="w")
+        assert leases.claim(keys[0])
+        # keys[0] is the older entry — normally first out the door.
+        os.utime(cache.path_for(keys[0]), (1000.0, 1000.0))
+        report = cache.gc(max_bytes=3000)
+        assert report.evicted == 1
+        assert cache.peek(keys[0]) is not None
+        assert cache.peek(keys[1]) is None
+
+    def test_gc_never_removes_heartbeating_lease(self, tmp_path):
+        import time as time_module
+
+        cache = ResultCache(tmp_path)
+        keys = fill(cache, 1)
+        leases = LeaseStore(tmp_path, run_id="r", worker_id="w")
+        assert leases.claim(keys[0])
+        assert leases.heartbeat(keys[0])  # fresh mtime
+        now = time_module.time()
+        os.utime(cache.path_for(keys[0]), (now - 5000.0, now - 5000.0))
+        report = cache.gc(max_age_seconds=100.0, now=now)
+        assert report.lease_files_removed == 0
+        assert leases.read(keys[0]).worker_id == "w"
+        assert report.leases_live == 1
+
+    def test_stale_claim_past_grace_is_not_protected(self, tmp_path):
+        import time as time_module
+
+        cache = ResultCache(tmp_path)
+        keys = fill(cache, 1)
+        leases = LeaseStore(tmp_path, run_id="r", worker_id="w")
+        assert leases.claim(keys[0])
+        now = time_module.time()
+        # The holder stopped heartbeating well past the grace window:
+        # the lease no longer pins the entry.
+        os.utime(leases.path_for(keys[0]), (now - 500.0, now - 500.0))
+        os.utime(cache.path_for(keys[0]), (now - 5000.0, now - 5000.0))
+        report = cache.gc(
+            max_age_seconds=100.0, now=now, lease_grace_seconds=120.0
+        )
+        assert report.evicted == 1
+        assert report.leases_live == 0
+        assert cache.peek(keys[0]) is None
+
+    def test_done_markers_are_not_live(self, tmp_path):
+        import time as time_module
+
+        cache = ResultCache(tmp_path)
+        keys = fill(cache, 1)
+        leases = LeaseStore(tmp_path, run_id="r", worker_id="w")
+        assert leases.claim(keys[0])
+        leases.release_done(keys[0])  # fresh mtime, but status=done
+        now = time_module.time()
+        os.utime(cache.path_for(keys[0]), (now - 5000.0, now - 5000.0))
+        report = cache.gc(max_age_seconds=100.0, now=now)
+        assert report.evicted == 1
+        assert report.lease_files_removed == 1
+        assert report.leases_live == 0
+
+    def test_worker_racing_gc_keeps_computing(self, tmp_path):
+        # End-to-end shape of the race: a worker claims, computes and
+        # publishes while gc passes run concurrently with an age bound
+        # that would evict everything unprotected.  The worker's cell
+        # must survive to its release_done.
+        import threading
+        import time as time_module
+
+        cache = ResultCache(tmp_path)
+        keys = fill(cache, 4)
+        leases = LeaseStore(tmp_path, run_id="r", worker_id="w")
+        assert leases.claim(keys[0])
+        now = time_module.time()
+        for k in keys:
+            os.utime(cache.path_for(k), (now - 5000.0, now - 5000.0))
+        stop = threading.Event()
+
+        def gc_loop():
+            while not stop.is_set():
+                cache.gc(max_age_seconds=100.0)
+                time_module.sleep(0.005)
+
+        thread = threading.Thread(target=gc_loop)
+        thread.start()
+        try:
+            for _ in range(10):  # "compute", heartbeating throughout
+                assert leases.heartbeat(keys[0])
+                assert cache.peek(keys[0]) is not None
+                time_module.sleep(0.01)
+            leases.release_done(keys[0])
+        finally:
+            stop.set()
+            thread.join()
+        assert cache.peek(keys[0]) is not None

@@ -15,8 +15,10 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 
 from repro.fabric.lease import CLAIMED, DONE, Lease, LeaseStore
+from repro.fsutil import atomic_write_text
 
 
 def make_store(tmp_path, worker="w0", run="run-a", ttl=60.0, clock=None):
@@ -190,3 +192,163 @@ class TestLeaseSerialization:
         assert a.claim(KEY)
         data = json.loads(a.path_for(KEY).read_text(encoding="utf-8"))
         assert list(data) == sorted(data)
+
+
+class TestClockSteps:
+    """Staleness under wall-clock steps (NTP corrections, VM resume).
+
+    Regression tests for the monotonic-observation layer: a backwards
+    wall-clock step must neither grant spurious takeovers (negative
+    ages clamp to fresh) nor pin a dead holder's lease fresh forever
+    (a heartbeat that stays unchanged for a full TTL of *local
+    monotonic* time is stale whatever the wall clock says).
+    """
+
+    def _stores(self, tmp_path, wall, mono, ttl=60.0):
+        a = LeaseStore(
+            tmp_path, run_id="run-a", worker_id="a", ttl_seconds=ttl,
+            clock=wall, monotonic=mono,
+        )
+        b = LeaseStore(
+            tmp_path, run_id="run-a", worker_id="b", ttl_seconds=ttl,
+            clock=wall, monotonic=mono,
+        )
+        return a, b
+
+    def test_negative_heartbeat_age_clamps_to_fresh(self, tmp_path):
+        wall, mono = FakeClock(), FakeClock(start=0.0)
+        a, b = self._stores(tmp_path, wall, mono)
+        assert a.claim(KEY)
+        wall.now -= 3600.0  # observer's clock steps back an hour
+        lease = b.read(KEY)
+        assert lease.age(wall()) == 0.0
+        assert not lease.is_stale(wall(), 60.0)
+
+    def test_backwards_step_does_not_grant_takeover(self, tmp_path):
+        wall, mono = FakeClock(), FakeClock(start=0.0)
+        a, b = self._stores(tmp_path, wall, mono)
+        assert a.claim(KEY)
+        wall.now -= 3600.0
+        mono.advance(30.0)  # under a TTL of real time has passed
+        assert not b.claim(KEY)
+        assert b.read(KEY).worker_id == "a"
+
+    def test_monotonic_observation_unpins_dead_holder(self, tmp_path):
+        # The holder dies, then the observer's wall clock steps back
+        # past the heartbeat: wall arithmetic reads the lease fresh
+        # forever, but a full TTL of monotonic silence must still
+        # declare it stale and allow the takeover.
+        wall, mono = FakeClock(), FakeClock(start=0.0)
+        a, b = self._stores(tmp_path, wall, mono)
+        assert a.claim(KEY)
+        wall.now -= 3600.0  # heartbeat_at is now an hour in our future
+        assert not b.claim(KEY)  # first observation always reads fresh
+        mono.advance(61.0)  # a full TTL of real time, no heartbeat
+        assert b.claim(KEY)
+        lease = b.read(KEY)
+        assert lease.worker_id == "b"
+        assert lease.takeovers == 1
+
+    def test_fresh_heartbeat_resets_monotonic_observation(self, tmp_path):
+        wall, mono = FakeClock(), FakeClock(start=0.0)
+        a, b = self._stores(tmp_path, wall, mono)
+        assert a.claim(KEY)
+        wall.now -= 3600.0
+        assert not b.claim(KEY)
+        mono.advance(50.0)
+        assert a.heartbeat(KEY)  # holder is alive after all
+        mono.advance(50.0)  # 100s total, but only 50s since new beat
+        assert not b.claim(KEY)
+        mono.advance(61.0)
+        assert b.claim(KEY)
+
+    def test_garbage_lease_cleared_only_after_ttl(self, tmp_path):
+        # A torn lease file (non-atomic external writer) reads as None
+        # and can never be heartbeat; claim() clears it once it has
+        # stayed garbage for a TTL, but never sooner — a brand-new
+        # unreadable file may be a racing winner mid-write.
+        import time as time_module
+
+        clock = FakeClock(start=time_module.time())
+        a = make_store(tmp_path, "a", ttl=60.0, clock=clock)
+        path = a.path_for(KEY)
+        path.write_text("{not json", encoding="utf-8")
+        assert not a.claim(KEY)
+        assert path.exists()  # too fresh to judge
+        clock.advance(61.0)
+        assert not a.claim(KEY)  # this attempt clears the garbage...
+        assert not path.exists()
+        assert a.claim(KEY)  # ...and the next one claims cleanly
+        assert a.read(KEY).worker_id == "a"
+
+
+class TestAtomicLeaseWrites:
+    def test_two_threads_on_one_path_never_tear(self, tmp_path):
+        # Regression: a worker's heartbeat thread and its compute
+        # thread both atomic-write the same lease file.  With a tmp
+        # name keyed by pid alone they shared one tmp file, and the
+        # interleaved bytes were renamed into place — the chaos audit
+        # caught a lease ending in "}}".  Tmp names are per-thread
+        # now, so every observed state must be one complete body.
+        path = tmp_path / f"{KEY}.lease"
+        bodies = [
+            '{"status": "claimed", "padding": "xxxxxxxxxxxxxxxx"}',
+            '{"status": "done"}',
+        ]
+        stop = threading.Event()
+
+        def hammer(body):
+            while not stop.is_set():
+                atomic_write_text(path, body)
+
+        threads = [
+            threading.Thread(target=hammer, args=(b,)) for b in bodies
+        ]
+        for t in threads:
+            t.start()
+        torn = []
+        deadline = time.monotonic() + 1.0
+        try:
+            while time.monotonic() < deadline:
+                try:
+                    text = path.read_text(encoding="utf-8")
+                except OSError:
+                    continue
+                if text not in bodies:
+                    torn.append(text)
+                    break
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=5.0)
+        assert not torn, f"torn lease body observed: {torn[0]!r}"
+
+
+class TestDoneMarkerTakeovers:
+    def test_done_marker_inherits_takeover_count(self, tmp_path):
+        clock = FakeClock()
+        a = make_store(tmp_path, "a", ttl=60.0, clock=clock)
+        b = make_store(tmp_path, "b", ttl=60.0, clock=clock)
+        assert a.claim(KEY)
+        clock.advance(61.0)
+        assert b.claim(KEY)
+        b.release_done(KEY, wall_seconds=2.0)
+        marker = b.read(KEY)
+        assert marker.status == DONE
+        assert marker.takeovers == 1
+
+    def test_resumed_original_holder_preserves_journal(self, tmp_path):
+        # The original holder resumes after its lease was stolen and
+        # the thief already published: the holder's own release_done
+        # must not reset the journal's takeover count to zero.
+        clock = FakeClock()
+        a = make_store(tmp_path, "a", ttl=60.0, clock=clock)
+        b = make_store(tmp_path, "b", ttl=60.0, clock=clock)
+        assert a.claim(KEY)
+        clock.advance(61.0)
+        assert b.claim(KEY)
+        b.release_done(KEY, wall_seconds=2.0)
+        a.release_done(KEY, wall_seconds=9.0)  # resumed original
+        marker = a.read(KEY)
+        assert marker.status == DONE
+        assert marker.takeovers == 1

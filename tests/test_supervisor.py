@@ -1,0 +1,400 @@
+"""Tests for the self-healing fleet supervisor.
+
+The state machine under test (see ``repro/fabric/supervisor.py``):
+
+* a crashed worker is restarted with exponential backoff and
+  deterministic jitter;
+* a slot that crash-loops past its restart budget is quarantined;
+* a healthy-then-dead worker does not accumulate a crash streak;
+* the fleet grows toward the remaining work and shrinks by attrition,
+  bounded by ``min_workers``/``max_workers`` and a hard spawn budget;
+* clean exits with work remaining trigger one re-scan, then retire;
+* a drain request terminates the fleet gracefully.
+
+Everything here drives the supervisor with fake clocks and fake
+process handles; the chaos harness (``tests/test_chaos.py``) runs the
+same machine against real SIGKILLed subprocesses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric import build_grid, run_grid_fabric
+from repro.fabric.supervisor import (
+    FleetSupervisor,
+    SupervisedWorkerBackend,
+    SupervisorConfig,
+    deterministic_jitter,
+)
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.now += seconds
+
+
+class FakeHandle:
+    """A process handle whose death is scripted.
+
+    ``lifetime`` is how long after spawn ``poll()`` starts reporting
+    ``returncode`` (None = immortal until terminated).
+    """
+
+    def __init__(self, clock, lifetime=None, returncode=-9, pid=4242):
+        self._clock = clock
+        self._born = clock()
+        self._lifetime = lifetime
+        self._returncode = returncode
+        self.pid = pid
+        self.terminated = False
+        self.killed = False
+
+    def poll(self):
+        if self.terminated or self.killed:
+            return -15
+        if self._lifetime is not None and (
+            self._clock() - self._born >= self._lifetime
+        ):
+            return self._returncode
+        return None
+
+    def terminate(self):
+        self.terminated = True
+
+    def kill(self):
+        self.killed = True
+
+
+def make_supervisor(clock, spawn, config=None, **kwargs):
+    defaults = dict(initial_workers=1, min_workers=1, max_workers=1)
+    defaults.update(kwargs)
+    return FleetSupervisor(
+        spawn,
+        config=config or SupervisorConfig(
+            backoff_base_seconds=1.0,
+            backoff_factor=2.0,
+            backoff_max_seconds=60.0,
+            jitter_fraction=0.0,
+            restart_budget=3,
+            healthy_uptime_seconds=100.0,
+            rescan_budget=1,
+            # Exactly one slot's crash-loop: quarantined/retired
+            # capacity is normally *replaced* by _resize while work
+            # remains, and an unbounded budget would let these tests
+            # watch replacement slots crash-loop forever.
+            spawn_budget_factor=4,
+            drain_timeout_seconds=5.0,
+        ),
+        name="test-fleet",
+        clock=clock,
+        sleep=clock.sleep,
+        on_event=lambda kind, msg: None,
+        **defaults,
+    )
+
+
+class TestJitter:
+    def test_stable_and_bounded(self):
+        values = {deterministic_jitter(f"run|{i}|0", 0.25) for i in range(64)}
+        assert all(-0.25 <= v <= 0.25 for v in values)
+        assert len(values) > 32  # actually spreads
+        assert deterministic_jitter("run|3|1", 0.25) == deterministic_jitter(
+            "run|3|1", 0.25
+        )
+
+    def test_zero_fraction_is_zero(self):
+        assert deterministic_jitter("anything", 0.0) == 0.0
+
+
+class TestCrashLoop:
+    def test_restart_budget_then_quarantine(self):
+        clock = FakeClock()
+        spawn_times = []
+
+        def spawn(slot, incarnation):
+            spawn_times.append((incarnation, clock()))
+            return FakeHandle(clock, lifetime=0.1)  # dies almost at once
+
+        sup = make_supervisor(clock, spawn)
+        stats = sup.run(lambda: 5, poll_interval=0.1)
+
+        # incarnations 0..3 spawned: the original plus restart_budget
+        # restarts; the 4th crash (streak 4 > budget 3) quarantines.
+        assert [inc for inc, _ in spawn_times] == [0, 1, 2, 3]
+        assert stats.restarts == 3
+        assert stats.quarantined == 1
+        assert stats.first_failure_at is not None
+        assert stats.completed_at is None  # grid never finished
+
+    def test_backoff_gaps_grow_exponentially(self):
+        clock = FakeClock()
+        spawn_times = []
+
+        def spawn(slot, incarnation):
+            spawn_times.append(clock())
+            return FakeHandle(clock, lifetime=0.0)
+
+        sup = make_supervisor(clock, spawn)
+        sup.run(lambda: 5, poll_interval=0.01)
+
+        gaps = [b - a for a, b in zip(spawn_times, spawn_times[1:])]
+        # Scheduled delays are 1, 2, 4 (base 1.0, factor 2, no jitter);
+        # observed gaps are quantised up by at most one poll interval.
+        assert len(gaps) == 3
+        for gap, scheduled in zip(gaps, (1.0, 2.0, 4.0)):
+            assert scheduled <= gap <= scheduled + 0.05
+
+    def test_jitter_skews_backoff_deterministically(self):
+        def run_once():
+            clock = FakeClock()
+            spawn_times = []
+
+            def spawn(slot, incarnation):
+                spawn_times.append(clock())
+                return FakeHandle(clock, lifetime=0.0)
+
+            config = SupervisorConfig(
+                backoff_base_seconds=1.0, backoff_factor=2.0,
+                backoff_max_seconds=60.0, jitter_fraction=0.25,
+                restart_budget=2, healthy_uptime_seconds=100.0,
+            )
+            sup = make_supervisor(clock, spawn, config=config)
+            sup.run(lambda: 5, poll_interval=0.01)
+            return spawn_times
+
+        first, second = run_once(), run_once()
+        assert first == second  # replays exactly
+        gaps = [b - a for a, b in zip(first, first[1:])]
+        assert any(abs(gap - round(gap)) > 0.01 for gap in gaps)  # skewed
+
+    def test_healthy_uptime_resets_streak(self):
+        clock = FakeClock()
+        incarnations = []
+
+        def spawn(slot, incarnation):
+            incarnations.append(incarnation)
+            return FakeHandle(clock, lifetime=200.0)  # healthy, then dies
+
+        config = SupervisorConfig(
+            backoff_base_seconds=0.1, backoff_factor=2.0,
+            backoff_max_seconds=1.0, jitter_fraction=0.0,
+            restart_budget=2, healthy_uptime_seconds=100.0,
+            spawn_budget_factor=5,
+        )
+        sup = make_supervisor(clock, spawn, config=config)
+        stats = sup.run(lambda: 5, poll_interval=1.0)
+
+        # Every death follows 200s of honest work, so the streak never
+        # exceeds 1 and nobody is quarantined; the run ends only when
+        # the hard spawn budget (5 x max_workers=1) is exhausted.
+        assert stats.quarantined == 0
+        assert stats.spawned == 5
+        assert len(incarnations) == 5
+
+
+class TestElasticity:
+    def test_grows_toward_remaining_work(self):
+        clock = FakeClock()
+        handles = []
+
+        def spawn(slot, incarnation):
+            handle = FakeHandle(clock)  # immortal
+            handles.append((slot, handle))
+            return handle
+
+        remaining = iter([10, 10, 0])
+        sup = make_supervisor(
+            clock, spawn, initial_workers=1, min_workers=1, max_workers=4
+        )
+        stats = sup.run(lambda: next(remaining), poll_interval=0.1)
+
+        assert stats.grown == 3  # 1 initial + 3 grown = 4 = max_workers
+        assert sorted(slot for slot, _ in handles) == [0, 1, 2, 3]
+        assert stats.completed_at is not None
+
+    def test_attrition_shrink_when_fleet_covers_work(self):
+        clock = FakeClock()
+        handles = {}
+
+        def spawn(slot, incarnation):
+            # Slot 1's first incarnation dies quickly; slot 0 lives.
+            lifetime = 0.5 if slot == 1 else None
+            handle = FakeHandle(clock, lifetime=lifetime)
+            handles[(slot, incarnation)] = handle
+            return handle
+
+        remaining = iter([1, 1, 1, 1, 0])
+        sup = make_supervisor(
+            clock, spawn, initial_workers=2, min_workers=1, max_workers=2
+        )
+        stats = sup.run(lambda: next(remaining), poll_interval=0.3)
+
+        # One cell left and a surviving worker to cover it: the dead
+        # slot is retired by attrition, not restarted.
+        assert stats.shrunk == 1
+        assert stats.restarts == 0
+        assert (1, 1) not in handles
+
+    def test_explicit_grow_and_shrink_respect_bounds(self):
+        clock = FakeClock()
+
+        def spawn(slot, incarnation):
+            return FakeHandle(clock)
+
+        sup = make_supervisor(
+            clock, spawn, initial_workers=2, min_workers=1, max_workers=3
+        )
+        # Prime two slots without entering the run loop.
+        sup._resize(2, clock())
+        assert sup.grow(5) == 1  # clamped at max_workers=3
+        assert sup.shrink(5) == 2  # clamped at min_workers=1
+        assert sup._active_count() == 1
+
+    def test_spawn_budget_bounds_every_recovery_loop(self):
+        clock = FakeClock()
+        spawned = []
+
+        def spawn(slot, incarnation):
+            spawned.append((slot, incarnation))
+            return FakeHandle(clock, lifetime=0.0)
+
+        config = SupervisorConfig(
+            backoff_base_seconds=0.01, backoff_factor=1.0,
+            backoff_max_seconds=0.01, jitter_fraction=0.0,
+            restart_budget=10_000, healthy_uptime_seconds=1e9,
+            spawn_budget_factor=3,
+        )
+        sup = make_supervisor(
+            clock, spawn, config=config, initial_workers=2,
+            min_workers=1, max_workers=2,
+        )
+        stats = sup.run(lambda: 5, poll_interval=0.01)
+        assert stats.spawned == 6  # 3 x max_workers, then exhausted
+        assert len(spawned) == 6
+
+
+class TestCleanExits:
+    def test_clean_exit_with_work_remaining_rescans_once(self):
+        clock = FakeClock()
+        spawns = []
+
+        def spawn(slot, incarnation):
+            spawns.append(incarnation)
+            return FakeHandle(clock, lifetime=0.5, returncode=0)
+
+        config = SupervisorConfig(
+            backoff_base_seconds=1.0, backoff_factor=2.0,
+            backoff_max_seconds=60.0, jitter_fraction=0.0,
+            restart_budget=3, healthy_uptime_seconds=100.0,
+            rescan_budget=1, spawn_budget_factor=2,
+        )
+        sup = make_supervisor(clock, spawn, config=config)
+        stats = sup.run(lambda: 5, poll_interval=0.3)
+
+        # First clean exit -> one re-scan incarnation (counted as a
+        # restart, but never as a failure); its clean exit retires the
+        # slot (rescan budget 1) and the fleet is empty.
+        assert spawns == [0, 1]
+        assert stats.shrunk == 1
+        assert stats.restarts == 1
+        assert stats.first_failure_at is None
+        assert stats.quarantined == 0
+
+
+class TestCompletionAndDrain:
+    def test_completion_drains_fleet_and_stamps_recovery(self):
+        clock = FakeClock()
+        handles = []
+
+        def spawn(slot, incarnation):
+            handle = FakeHandle(clock)
+            handles.append(handle)
+            return handle
+
+        remaining = iter([3, 2, 0])
+        sup = make_supervisor(clock, spawn)
+        stats = sup.run(lambda: next(remaining), poll_interval=0.1)
+
+        assert stats.completed_at is not None
+        assert stats.recovery_seconds() == 0.0  # nothing ever died
+        assert handles[0].terminated  # drained, not abandoned
+
+    def test_recovery_window_spans_failure_to_completion(self):
+        clock = FakeClock()
+
+        def spawn(slot, incarnation):
+            # First incarnation dies at t=1; the restart is immortal.
+            lifetime = 1.0 if incarnation == 0 else None
+            return FakeHandle(clock, lifetime=lifetime)
+
+        calls = {"n": 0}
+
+        def status():
+            calls["n"] += 1
+            return 0 if clock() >= 20.0 else 4
+
+        config = SupervisorConfig(
+            backoff_base_seconds=1.0, backoff_factor=2.0,
+            backoff_max_seconds=60.0, jitter_fraction=0.0,
+            restart_budget=3, healthy_uptime_seconds=0.5,
+        )
+        sup = make_supervisor(clock, spawn, config=config)
+        stats = sup.run(status, poll_interval=0.5)
+        assert stats.restarts == 1
+        assert stats.recovery_seconds() == pytest.approx(19.0, abs=1.0)
+
+    def test_drain_request_terminates_and_reports(self):
+        clock = FakeClock()
+        handles = []
+
+        def spawn(slot, incarnation):
+            handle = FakeHandle(clock)
+            handles.append(handle)
+            return handle
+
+        sup = make_supervisor(clock, spawn)
+
+        calls = {"n": 0}
+
+        def status():
+            calls["n"] += 1
+            if calls["n"] == 3:
+                sup.request_drain()  # the SIGTERM hook fires mid-run
+            return 7
+
+        stats = sup.run(status, poll_interval=0.1)
+        assert stats.drained
+        assert handles[0].terminated
+
+
+@pytest.mark.slow
+class TestSupervisedBackendIntegration:
+    def test_happy_fleet_matches_serial(self, tmp_path):
+        from repro.experiments.cache import ResultCache, stable_hash
+        from repro.experiments.parallel import run_grid_parallel
+
+        tasks = build_grid("smoke")
+        serial = run_grid_parallel(tasks, n_workers=1)
+        backend = SupervisedWorkerBackend(
+            min_workers=1, max_workers=2, poll_interval=0.05
+        )
+        report = run_grid_fabric(
+            build_grid("smoke"), backend, ResultCache(tmp_path),
+            poll_interval=0.05,
+        )
+        assert report.ok
+        assert [stable_hash(o.summary) for o in report.completed] == [
+            stable_hash(o.summary) for o in serial.completed
+        ]
+        stats = backend.last_supervisor_stats
+        assert stats is not None
+        assert stats.quarantined == 0
+        assert not stats.drained
+        assert backend.last_swept_leases == 0
